@@ -1,0 +1,59 @@
+//! Regenerates Figure 2: resource overhead of SignalCat + monitors vs.
+//! recording-buffer size, grouped by platform like the paper (HARP top,
+//! KC705 bottom).
+
+use hwdbg_bench::{monitor_overhead, synth_platform};
+use hwdbg_synth::Platform;
+use hwdbg_testbed::{metadata, BugId, BugPlatform};
+
+const DEPTHS: [u64; 4] = [1024, 2048, 4096, 8192];
+
+fn main() {
+    for platform in [Platform::IntelHarp, Platform::XilinxKc705] {
+        println!("=== {platform} ===");
+        println!(
+            "{:<4} {:>6} {:>14} {:>12} {:>10}   {:>8} {:>6}",
+            "bug", "depth", "BRAM (bits)", "registers", "logic", "fmax", "meets"
+        );
+        for id in BugId::ALL {
+            let wanted = match metadata(id).platform {
+                BugPlatform::Harp => Platform::IntelHarp,
+                _ => Platform::XilinxKc705,
+            };
+            if wanted != platform {
+                continue;
+            }
+            for depth in DEPTHS {
+                let m = monitor_overhead(id, depth).expect("instrumentation");
+                println!(
+                    "{:<4} {:>6} {:>14} {:>12} {:>10}   {:>7.0}M {:>6}",
+                    id.to_string(),
+                    depth,
+                    m.overhead.bram_bits,
+                    m.overhead.registers,
+                    m.overhead.logic_cells,
+                    m.timing.fmax_mhz,
+                    m.meets_target,
+                );
+            }
+        }
+        println!();
+    }
+    // Shape summary (the paper's headline claims for this figure).
+    let a = monitor_overhead(BugId::D2, 1024).unwrap();
+    let b = monitor_overhead(BugId::D2, 8192).unwrap();
+    println!("shape check (D2): BRAM x{:.1} for 8x buffer; registers {} -> {} (flat)",
+        b.overhead.bram_bits as f64 / a.overhead.bram_bits as f64,
+        a.overhead.registers, b.overhead.registers);
+    let failing: Vec<String> = BugId::ALL
+        .iter()
+        .filter(|&&id| !monitor_overhead(id, 8192).unwrap().meets_target)
+        .map(|id| id.to_string())
+        .collect();
+    println!(
+        "target frequency: {}/20 designs keep their target; misses: {:?} (paper: Optimus only)",
+        20 - failing.len(),
+        failing
+    );
+    let _ = synth_platform(BugId::D1);
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 3: LossCheck register/logic overhead normalized to
+//! the platform totals, for the data-loss bugs, plus the localization
+//! outcomes of §6.3.
+
+use hwdbg_bench::{losscheck_eval, synth_platform, LOSS_BUGS};
+
+fn main() {
+    println!(
+        "{:<4} {:>12} {:>10} {:>12} {:>10}  {:>9} {:>6}",
+        "bug", "regs", "regs %", "logic", "logic %", "localized", "FPs"
+    );
+    for id in LOSS_BUGS {
+        let e = losscheck_eval(id).expect("losscheck");
+        let platform = synth_platform(id);
+        let (regs_pct, logic_pct, _) = e.overhead.normalized(platform);
+        println!(
+            "{:<4} {:>12} {:>9.4}% {:>12} {:>9.4}%  {:>9} {:>6}",
+            id.to_string(),
+            e.overhead.registers,
+            regs_pct,
+            e.overhead.logic_cells,
+            logic_pct,
+            e.localized,
+            e.false_positives,
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table 1: the bug-study classification.
+
+use hwdbg_testbed::study::{catalog, class_totals, common_symptoms, table1_counts};
+use hwdbg_testbed::Symptom;
+
+fn main() {
+    let cat = catalog();
+    println!("Table 1: bug classification ({} bugs studied)", cat.len());
+    println!(
+        "{:<16} {:<28} {:>5}   {:<30}",
+        "Bug Class", "Bug Subclass", "Bugs", "Common Symptoms"
+    );
+    println!("{}", "-".repeat(84));
+    let mut last_class = None;
+    for (sub, n) in table1_counts() {
+        let class = sub.class();
+        let class_label = if last_class == Some(class) {
+            String::new()
+        } else {
+            class.to_string()
+        };
+        last_class = Some(class);
+        let symptoms = common_symptoms(sub)
+            .iter()
+            .map(Symptom::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("{class_label:<16} {:<28} {n:>5}   {symptoms:<30}", sub.name());
+    }
+    println!("{}", "-".repeat(84));
+    for (class, n) in class_totals() {
+        println!("{class:<45} {n:>5}");
+    }
+}

@@ -1,0 +1,407 @@
+//! Arbitrary-width two-state bit vectors.
+//!
+//! [`Bits`] is the value type used throughout `hwdbg` for RTL constants,
+//! simulation state, and analysis results. It models Verilog's two-state
+//! (0/1) value semantics the way Verilator does: there is no `x`/`z`;
+//! uninitialized state is supplied by the simulator's init policy instead.
+//!
+//! A `Bits` has a fixed `width` (at least 1) and stores its payload in
+//! little-endian `u64` limbs. All bits above `width` are kept at zero
+//! (a crate invariant maintained by every operation).
+//!
+//! # Examples
+//!
+//! ```
+//! use hwdbg_bits::Bits;
+//!
+//! let a = Bits::from_u64(8, 0xF0);
+//! let b = Bits::from_u64(8, 0x0F);
+//! assert_eq!((&a | &b).to_u64(), 0xFF);
+//! assert_eq!(a.add(&b).to_u64(), 0xFF);
+//! assert_eq!(Bits::parse_literal("8'hff").unwrap().to_u64(), 0xFF);
+//! ```
+
+#![warn(missing_docs)]
+
+mod literal;
+mod ops;
+
+pub use literal::LiteralError;
+
+use std::fmt;
+
+/// A fixed-width, two-state bit vector.
+///
+/// Widths are at least 1. Arithmetic wraps modulo `2^width`, matching
+/// synthesizable Verilog semantics for unsigned operands.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: u32,
+    limbs: Vec<u64>,
+}
+
+#[inline]
+fn limbs_for(width: u32) -> usize {
+    (width as usize).div_ceil(64)
+}
+
+impl Bits {
+    /// Creates an all-zero vector of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn zero(width: u32) -> Self {
+        assert!(width > 0, "Bits width must be at least 1");
+        Bits {
+            width,
+            limbs: vec![0; limbs_for(width)],
+        }
+    }
+
+    /// Creates an all-ones vector of `width` bits.
+    pub fn ones(width: u32) -> Self {
+        let mut b = Bits::zero(width);
+        for l in &mut b.limbs {
+            *l = u64::MAX;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a vector holding `value` truncated to `width` bits.
+    pub fn from_u64(width: u32, value: u64) -> Self {
+        let mut b = Bits::zero(width);
+        b.limbs[0] = value;
+        b.mask_top();
+        b
+    }
+
+    /// Creates a vector holding `value` truncated to `width` bits.
+    pub fn from_u128(width: u32, value: u128) -> Self {
+        let mut b = Bits::zero(width);
+        b.limbs[0] = value as u64;
+        if b.limbs.len() > 1 {
+            b.limbs[1] = (value >> 64) as u64;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a 1-bit vector from a boolean.
+    pub fn from_bool(v: bool) -> Self {
+        Bits::from_u64(1, v as u64)
+    }
+
+    /// The width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Raw little-endian limbs (bits above `width` are zero).
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Zeroes any bits above `width` in the top limb.
+    fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Returns bit `i` (false if `i >= width`).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= self.width {
+            return false;
+        }
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `v`. Out-of-range indices are ignored, mirroring the
+    /// hardware behaviour of writes past a vector's end.
+    pub fn set_bit(&mut self, i: u32, v: bool) {
+        if i >= self.width {
+            return;
+        }
+        let limb = &mut self.limbs[(i / 64) as usize];
+        if v {
+            *limb |= 1 << (i % 64);
+        } else {
+            *limb &= !(1 << (i % 64));
+        }
+    }
+
+    /// True iff every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// True iff the value is exactly 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs[0] == 1 && self.limbs[1..].iter().all(|&l| l == 0)
+    }
+
+    /// The value truncated to 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+
+    /// The value truncated to 128 bits.
+    pub fn to_u128(&self) -> u128 {
+        let lo = self.limbs[0] as u128;
+        let hi = if self.limbs.len() > 1 {
+            self.limbs[1] as u128
+        } else {
+            0
+        };
+        (hi << 64) | lo
+    }
+
+    /// The value as `bool`: true iff nonzero (Verilog truthiness).
+    pub fn to_bool(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// Returns a copy resized to `width`, zero-extending or truncating.
+    pub fn resize(&self, width: u32) -> Bits {
+        assert!(width > 0, "Bits width must be at least 1");
+        let mut out = Bits::zero(width);
+        let n = out.limbs.len().min(self.limbs.len());
+        out.limbs[..n].copy_from_slice(&self.limbs[..n]);
+        out.mask_top();
+        out
+    }
+
+    /// Returns a copy resized to `width`, sign-extending from the current
+    /// top bit when growing.
+    pub fn resize_signed(&self, width: u32) -> Bits {
+        let mut out = self.resize(width);
+        if width > self.width && self.bit(self.width - 1) {
+            for i in self.width..width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Extracts `width` bits starting at bit `lo` (bits past the end read
+    /// as zero).
+    pub fn slice(&self, lo: u32, width: u32) -> Bits {
+        let mut out = Bits::zero(width.max(1));
+        for i in 0..width {
+            out.set_bit(i, self.bit(lo + i));
+        }
+        out
+    }
+
+    /// Writes `value` into bits `[lo +: value.width]` of `self`; bits past
+    /// the end of `self` are dropped.
+    pub fn splice(&mut self, lo: u32, value: &Bits) {
+        for i in 0..value.width {
+            self.set_bit(lo + i, value.bit(i));
+        }
+    }
+
+    /// Concatenates `{ self, low }` — `self` occupies the high bits, as in
+    /// a Verilog concatenation written `{self, low}`.
+    pub fn concat(&self, low: &Bits) -> Bits {
+        let mut out = Bits::zero(self.width + low.width);
+        out.splice(0, low);
+        out.splice(low.width, self);
+        out
+    }
+
+    /// Repeats the vector `n` times (Verilog replication `{n{v}}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn repeat(&self, n: u32) -> Bits {
+        assert!(n > 0, "replication count must be positive");
+        let mut out = Bits::zero(self.width * n);
+        for k in 0..n {
+            out.splice(k * self.width, self);
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Divides in place by a small divisor, returning the remainder.
+    /// Used by decimal formatting.
+    fn divmod_small(&mut self, div: u64) -> u64 {
+        debug_assert!(div != 0);
+        let mut rem: u128 = 0;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | (*limb as u128);
+            *limb = (cur / div as u128) as u64;
+            rem = cur % div as u128;
+        }
+        rem as u64
+    }
+
+    /// Formats as an unsigned decimal string.
+    pub fn to_dec_string(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut tmp = self.clone();
+        let mut digits = Vec::new();
+        while !tmp.is_zero() {
+            digits.push(b'0' + tmp.divmod_small(10) as u8);
+        }
+        digits.reverse();
+        String::from_utf8(digits).expect("decimal digits are ASCII")
+    }
+
+    /// Formats as lowercase hex, `ceil(width/4)` digits, no prefix.
+    pub fn to_hex_string(&self) -> String {
+        let digits = self.width.div_ceil(4) as usize;
+        let mut s = String::with_capacity(digits);
+        for d in (0..digits).rev() {
+            let nib = self.slice(d as u32 * 4, 4).to_u64();
+            s.push(char::from_digit(nib as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+
+    /// Formats as binary, exactly `width` digits, no prefix.
+    pub fn to_bin_string(&self) -> String {
+        (0..self.width)
+            .rev()
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{}", self.width, self.to_hex_string())
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dec_string())
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex_string())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_bin_string())
+    }
+}
+
+impl Default for Bits {
+    /// A single zero bit.
+    fn default() -> Self {
+        Bits::zero(1)
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Self {
+        Bits::from_bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        let z = Bits::zero(65);
+        assert!(z.is_zero());
+        assert_eq!(z.width(), 65);
+        let o = Bits::ones(65);
+        assert_eq!(o.count_ones(), 65);
+        assert!(o.bit(64));
+        assert!(!o.bit(65));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_panics() {
+        let _ = Bits::zero(0);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let b = Bits::from_u64(4, 0xFF);
+        assert_eq!(b.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn from_u128_roundtrip() {
+        let v = 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210u128;
+        let b = Bits::from_u128(128, v);
+        assert_eq!(b.to_u128(), v);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut b = Bits::zero(70);
+        b.set_bit(69, true);
+        assert!(b.bit(69));
+        b.set_bit(69, false);
+        assert!(b.is_zero());
+        b.set_bit(200, true); // ignored
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    fn slice_and_splice() {
+        let b = Bits::from_u64(16, 0xABCD);
+        assert_eq!(b.slice(4, 8).to_u64(), 0xBC);
+        assert_eq!(b.slice(12, 8).to_u64(), 0x0A); // reads past end as zero
+        let mut c = Bits::zero(16);
+        c.splice(8, &Bits::from_u64(8, 0xAB));
+        assert_eq!(c.to_u64(), 0xAB00);
+    }
+
+    #[test]
+    fn concat_and_repeat() {
+        let hi = Bits::from_u64(4, 0xA);
+        let lo = Bits::from_u64(4, 0x5);
+        assert_eq!(hi.concat(&lo).to_u64(), 0xA5);
+        assert_eq!(Bits::from_u64(2, 0b10).repeat(3).to_u64(), 0b101010);
+    }
+
+    #[test]
+    fn resize_signed_extends() {
+        let b = Bits::from_u64(4, 0b1000);
+        assert_eq!(b.resize_signed(8).to_u64(), 0xF8);
+        assert_eq!(b.resize(8).to_u64(), 0x08);
+        assert_eq!(Bits::from_u64(4, 0b0100).resize_signed(8).to_u64(), 0x04);
+    }
+
+    #[test]
+    fn dec_string_multi_limb() {
+        let b = Bits::from_u128(128, 340_282_366_920_938_463_463_374_607_431_768_211_455u128);
+        assert_eq!(b.to_dec_string(), "340282366920938463463374607431768211455");
+        assert_eq!(Bits::zero(8).to_dec_string(), "0");
+    }
+
+    #[test]
+    fn hex_bin_strings() {
+        let b = Bits::from_u64(12, 0xabc);
+        assert_eq!(b.to_hex_string(), "abc");
+        assert_eq!(b.to_bin_string(), "101010111100");
+        assert_eq!(format!("{b:?}"), "12'habc");
+    }
+}

@@ -1,0 +1,380 @@
+//! Arithmetic, logical, shift, and comparison operations on [`Bits`].
+//!
+//! Binary operations require equal widths (the elaborator is responsible for
+//! width-extending operands per Verilog's context rules); mixing widths is a
+//! programming error and panics in debug and release alike, because silently
+//! truncating here would mask exactly the class of bugs this toolkit hunts.
+
+use crate::{Bits, limbs_for};
+use std::cmp::Ordering;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+impl Bits {
+    #[track_caller]
+    fn check_same_width(&self, rhs: &Bits, op: &str) {
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch in Bits::{op}: {} vs {}",
+            self.width, rhs.width
+        );
+    }
+
+    /// Wrapping addition modulo `2^width`.
+    #[track_caller]
+    #[allow(clippy::should_implement_trait)] // width-checked domain API, not std::ops
+    pub fn add(&self, rhs: &Bits) -> Bits {
+        self.check_same_width(rhs, "add");
+        let mut out = Bits::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Wrapping subtraction modulo `2^width`.
+    #[track_caller]
+    pub fn sub(&self, rhs: &Bits) -> Bits {
+        self.check_same_width(rhs, "sub");
+        self.add(&rhs.neg())
+    }
+
+    /// Two's-complement negation modulo `2^width`.
+    pub fn neg(&self) -> Bits {
+        let mut out = !self;
+        let one = Bits::from_u64(self.width, 1);
+        out = out.add(&one);
+        out
+    }
+
+    /// Wrapping multiplication modulo `2^width` (schoolbook over limbs).
+    #[track_caller]
+    pub fn mul(&self, rhs: &Bits) -> Bits {
+        self.check_same_width(rhs, "mul");
+        let n = self.limbs.len();
+        let mut acc = vec![0u128; n + 1];
+        for i in 0..n {
+            if self.limbs[i] == 0 {
+                continue;
+            }
+            for j in 0..n {
+                if i + j >= n {
+                    break; // contributions beyond the width are discarded
+                }
+                let p = (self.limbs[i] as u128) * (rhs.limbs[j] as u128);
+                let lo = p as u64 as u128;
+                let hi = p >> 64;
+                acc[i + j] += lo;
+                acc[i + j + 1] += hi;
+            }
+        }
+        let mut out = Bits::zero(self.width);
+        let mut carry: u128 = 0;
+        for (limb, a) in out.limbs.iter_mut().zip(&acc) {
+            let v = a + carry;
+            *limb = v as u64;
+            carry = v >> 64;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Unsigned division. Division by zero yields all-zeros (the two-state
+    /// convention used by Verilator for `/ 0`).
+    #[track_caller]
+    pub fn div(&self, rhs: &Bits) -> Bits {
+        self.check_same_width(rhs, "div");
+        if rhs.is_zero() {
+            return Bits::zero(self.width);
+        }
+        self.divmod(rhs).0
+    }
+
+    /// Unsigned remainder. Remainder by zero yields all-zeros.
+    #[track_caller]
+    pub fn rem(&self, rhs: &Bits) -> Bits {
+        self.check_same_width(rhs, "rem");
+        if rhs.is_zero() {
+            return Bits::zero(self.width);
+        }
+        self.divmod(rhs).1
+    }
+
+    /// Long division: `(quotient, remainder)`. Caller ensures `rhs != 0`.
+    fn divmod(&self, rhs: &Bits) -> (Bits, Bits) {
+        // Fast path: both fit in u128.
+        if self.width <= 128 {
+            let a = self.to_u128();
+            let b = rhs.to_u128();
+            return (
+                Bits::from_u128(self.width, a / b),
+                Bits::from_u128(self.width, a % b),
+            );
+        }
+        // Bitwise restoring division for wide values.
+        let mut quo = Bits::zero(self.width);
+        let mut rem = Bits::zero(self.width);
+        for i in (0..self.width).rev() {
+            rem = rem.shl(1);
+            rem.set_bit(0, self.bit(i));
+            if rem.cmp_unsigned(rhs) != Ordering::Less {
+                rem = rem.sub(rhs);
+                quo.set_bit(i, true);
+            }
+        }
+        (quo, rem)
+    }
+
+    /// Logical shift left by `n` (bits shifted past the top are lost).
+    pub fn shl(&self, n: u32) -> Bits {
+        let mut out = Bits::zero(self.width);
+        if n >= self.width {
+            return out;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        for i in (0..out.limbs.len()).rev() {
+            if i < limb_shift {
+                continue;
+            }
+            let mut v = self.limbs[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Logical shift right by `n` (zero fill).
+    pub fn shr(&self, n: u32) -> Bits {
+        let mut out = Bits::zero(self.width);
+        if n >= self.width {
+            return out;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        for i in 0..out.limbs.len() {
+            if i + limb_shift >= self.limbs.len() {
+                break;
+            }
+            let mut v = self.limbs[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < self.limbs.len() {
+                v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out
+    }
+
+    /// Arithmetic shift right by `n` (sign fill from the current top bit).
+    pub fn shr_arith(&self, n: u32) -> Bits {
+        let mut out = self.shr(n);
+        if self.bit(self.width - 1) {
+            let n = n.min(self.width);
+            for i in (self.width - n)..self.width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Unsigned comparison.
+    #[track_caller]
+    pub fn cmp_unsigned(&self, rhs: &Bits) -> Ordering {
+        self.check_same_width(rhs, "cmp_unsigned");
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed (two's-complement) comparison.
+    #[track_caller]
+    pub fn cmp_signed(&self, rhs: &Bits) -> Ordering {
+        self.check_same_width(rhs, "cmp_signed");
+        let sa = self.bit(self.width - 1);
+        let sb = rhs.bit(self.width - 1);
+        match (sa, sb) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.cmp_unsigned(rhs),
+        }
+    }
+
+    /// Reduction AND: 1 iff all bits set.
+    pub fn reduce_and(&self) -> bool {
+        self.count_ones() == self.width
+    }
+
+    /// Reduction OR: 1 iff any bit set.
+    pub fn reduce_or(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// Reduction XOR: parity of set bits.
+    pub fn reduce_xor(&self) -> bool {
+        self.count_ones() % 2 == 1
+    }
+}
+
+macro_rules! bitwise_impl {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &Bits {
+            type Output = Bits;
+            #[track_caller]
+            fn $method(self, rhs: &Bits) -> Bits {
+                self.check_same_width(rhs, stringify!($method));
+                let mut out = Bits::zero(self.width);
+                for i in 0..self.limbs.len() {
+                    out.limbs[i] = self.limbs[i] $op rhs.limbs[i];
+                }
+                out.mask_top();
+                out
+            }
+        }
+        impl $trait for Bits {
+            type Output = Bits;
+            #[track_caller]
+            fn $method(self, rhs: Bits) -> Bits {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+bitwise_impl!(BitAnd, bitand, &);
+bitwise_impl!(BitOr, bitor, |);
+bitwise_impl!(BitXor, bitxor, ^);
+
+impl Not for &Bits {
+    type Output = Bits;
+    fn not(self) -> Bits {
+        let mut out = Bits {
+            width: self.width,
+            limbs: self.limbs.iter().map(|&l| !l).collect(),
+        };
+        out.mask_top();
+        out
+    }
+}
+
+impl Not for Bits {
+    type Output = Bits;
+    fn not(self) -> Bits {
+        !&self
+    }
+}
+
+// `limbs_for` is used by the parent module; re-reference to silence the
+// unused-import lint when building without debug assertions.
+#[allow(dead_code)]
+fn _touch() {
+    let _ = limbs_for(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(w: u32, v: u128) -> Bits {
+        Bits::from_u128(w, v)
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(b(8, 0xFF).add(&b(8, 1)).to_u64(), 0);
+        assert_eq!(b(8, 100).add(&b(8, 55)).to_u64(), 155);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = b(128, u64::MAX as u128);
+        let one = b(128, 1);
+        assert_eq!(a.add(&one).to_u128(), (u64::MAX as u128) + 1);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(b(8, 5).sub(&b(8, 7)).to_u64(), 0xFE);
+        assert_eq!(b(8, 1).neg().to_u64(), 0xFF);
+        assert_eq!(b(8, 0).neg().to_u64(), 0);
+    }
+
+    #[test]
+    fn mul_wraps() {
+        assert_eq!(b(8, 16).mul(&b(8, 16)).to_u64(), 0);
+        assert_eq!(b(8, 12).mul(&b(8, 12)).to_u64(), 144);
+        let a = b(128, 1u128 << 100);
+        assert_eq!(a.mul(&b(128, 2)).to_u128(), 1u128 << 101);
+    }
+
+    #[test]
+    fn div_rem() {
+        assert_eq!(b(16, 1000).div(&b(16, 7)).to_u64(), 142);
+        assert_eq!(b(16, 1000).rem(&b(16, 7)).to_u64(), 6);
+        assert_eq!(b(16, 1000).div(&b(16, 0)).to_u64(), 0);
+        assert_eq!(b(16, 1000).rem(&b(16, 0)).to_u64(), 0);
+    }
+
+    #[test]
+    fn wide_divmod() {
+        // > 128-bit path exercises the restoring divider.
+        let a = Bits::from_u64(200, 999_999_937).shl(64);
+        let d = Bits::from_u64(200, 1 << 32);
+        let q = a.div(&d);
+        assert_eq!(q.to_u128(), (999_999_937u128 << 64) >> 32);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(b(8, 0b0001_0110).shl(2).to_u64(), 0b0101_1000);
+        assert_eq!(b(8, 0b0001_0110).shr(2).to_u64(), 0b0000_0101);
+        assert_eq!(b(8, 0x96).shr_arith(4).to_u64(), 0xF9);
+        assert_eq!(b(8, 0x16).shr_arith(4).to_u64(), 0x01);
+        assert_eq!(b(8, 0xFF).shl(8).to_u64(), 0);
+        assert_eq!(b(8, 0xFF).shr(200).to_u64(), 0);
+        let wide = b(128, 1).shl(100);
+        assert_eq!(wide.shr(99).to_u64(), 2);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(b(8, 5).cmp_unsigned(&b(8, 7)), Ordering::Less);
+        assert_eq!(b(8, 0xFE).cmp_signed(&b(8, 1)), Ordering::Less); // -2 < 1
+        assert_eq!(b(8, 0xFE).cmp_unsigned(&b(8, 1)), Ordering::Greater);
+        assert_eq!(b(8, 0x80).cmp_signed(&b(8, 0x7F)), Ordering::Less);
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(b(4, 0xF).reduce_and());
+        assert!(!b(4, 0xE).reduce_and());
+        assert!(b(4, 0x2).reduce_or());
+        assert!(!b(4, 0).reduce_or());
+        assert!(b(4, 0b0111).reduce_xor());
+        assert!(!b(4, 0b0110).reduce_xor());
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!((&b(8, 0xF0) & &b(8, 0x3C)).to_u64(), 0x30);
+        assert_eq!((&b(8, 0xF0) | &b(8, 0x3C)).to_u64(), 0xFC);
+        assert_eq!((&b(8, 0xF0) ^ &b(8, 0x3C)).to_u64(), 0xCC);
+        assert_eq!((!&b(8, 0xF0)).to_u64(), 0x0F);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mixed_width_panics() {
+        let _ = b(8, 1).add(&b(9, 1));
+    }
+}

@@ -1,0 +1,150 @@
+//! Static descriptions of blackbox IP blocks.
+//!
+//! The paper's Dependency Monitor and LossCheck traverse closed-source IPs
+//! (`scfifo`, `altsyncram`, …) through developer-provided *IP models* that
+//! describe which inputs influence which outputs, under which condition,
+//! and with how many cycles of latency. This module defines the model types;
+//! `hwdbg-ip` supplies the concrete models next to the behavioral
+//! implementations the simulator uses.
+
+use hwdbg_bits::Bits;
+use std::collections::BTreeMap;
+
+/// Direction of a blackbox port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbDir {
+    /// Consumed by the IP.
+    Input,
+    /// Driven by the IP.
+    Output,
+}
+
+/// How a port's width is derived from the instance parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WidthSpec {
+    /// A fixed width.
+    Const(u32),
+    /// The value of a parameter, e.g. `WIDTH`.
+    Param(String),
+    /// `ceil(log2(param))`, e.g. the `usedw` port of a FIFO of depth N.
+    Clog2Param(String),
+}
+
+impl WidthSpec {
+    /// Resolves the width given the instance's parameter bindings;
+    /// `None` if a referenced parameter is missing.
+    pub fn resolve(&self, params: &BTreeMap<String, Bits>) -> Option<u32> {
+        match self {
+            WidthSpec::Const(w) => Some(*w),
+            WidthSpec::Param(p) => Some(params.get(p)?.to_u64() as u32),
+            WidthSpec::Clog2Param(p) => Some(clog2(params.get(p)?.to_u64())),
+        }
+    }
+}
+
+/// `ceil(log2(v))`, with `clog2(0) = clog2(1) = 1` (an address needs at
+/// least one bit).
+pub fn clog2(v: u64) -> u32 {
+    if v <= 2 {
+        1
+    } else {
+        64 - (v - 1).leading_zeros()
+    }
+}
+
+/// A blackbox port.
+#[derive(Debug, Clone)]
+pub struct BbPort {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: BbDir,
+    /// Width rule.
+    pub width: WidthSpec,
+    /// True if this port is a clock; a posedge on the connected signal
+    /// ticks the behavioral model.
+    pub is_clock: bool,
+}
+
+/// One dependency edge of an IP model: data/control flows from `src` port
+/// to `dst` port when `cond` (another input port) is high.
+#[derive(Debug, Clone)]
+pub struct IpRelation {
+    /// Source port name (an input).
+    pub src: String,
+    /// Destination port name (an output, or an input that names internal
+    /// state reached later — we only model port-to-port edges).
+    pub dst: String,
+    /// Gating input port, if any; `None` means unconditional.
+    pub cond: Option<String>,
+    /// Cycles of latency through the IP (0 = combinational).
+    pub latency: u32,
+}
+
+/// The static interface of a blackbox: ports plus the dependency model.
+#[derive(Debug, Clone)]
+pub struct BlackboxSpec {
+    /// Module name as written in the HDL (e.g. `scfifo`).
+    pub name: String,
+    /// Ports.
+    pub ports: Vec<BbPort>,
+    /// Dependency/propagation model for the static analyses.
+    pub relations: Vec<IpRelation>,
+}
+
+impl BlackboxSpec {
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&BbPort> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+}
+
+/// A provider of blackbox specifications, injected into elaboration.
+pub trait BlackboxLib {
+    /// Returns the spec for `module`, or `None` if it is not a known IP.
+    fn spec(&self, module: &str) -> Option<&BlackboxSpec>;
+}
+
+/// A library with no blackboxes (pure-RTL designs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBlackboxes;
+
+impl BlackboxLib for NoBlackboxes {
+    fn spec(&self, _module: &str) -> Option<&BlackboxSpec> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(0), 1);
+        assert_eq!(clog2(1), 1);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(5), 3);
+        assert_eq!(clog2(1024), 10);
+        assert_eq!(clog2(1025), 11);
+    }
+
+    #[test]
+    fn width_spec_resolution() {
+        let mut params = BTreeMap::new();
+        params.insert("WIDTH".to_string(), Bits::from_u64(32, 16));
+        params.insert("DEPTH".to_string(), Bits::from_u64(32, 24));
+        assert_eq!(WidthSpec::Const(8).resolve(&params), Some(8));
+        assert_eq!(
+            WidthSpec::Param("WIDTH".into()).resolve(&params),
+            Some(16)
+        );
+        assert_eq!(
+            WidthSpec::Clog2Param("DEPTH".into()).resolve(&params),
+            Some(5)
+        );
+        assert_eq!(WidthSpec::Param("NOPE".into()).resolve(&params), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Constant evaluation of AST expressions over a parameter environment.
+//!
+//! Used to resolve parameter values, net widths, memory depths, replication
+//! counts, and case labels at elaboration time.
+
+use crate::DataflowError;
+use hwdbg_bits::Bits;
+use hwdbg_rtl::{BinaryOp, Expr, UnaryOp};
+use std::collections::BTreeMap;
+
+/// A compile-time environment: parameter/localparam name → value.
+pub type ConstEnv = BTreeMap<String, Bits>;
+
+/// Evaluates `expr` to a constant.
+///
+/// # Errors
+///
+/// Returns [`DataflowError::NotConstant`] if the expression references a
+/// name outside `env` or uses a construct that has no constant meaning
+/// (indexing, part selects of non-constants, …).
+pub fn eval_const(expr: &Expr, env: &ConstEnv) -> Result<Bits, DataflowError> {
+    match expr {
+        Expr::Literal { value, .. } => Ok(value.clone()),
+        Expr::Ident(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DataflowError::NotConstant(name.clone())),
+        Expr::Unary(op, inner) => {
+            let v = eval_const(inner, env)?;
+            Ok(match op {
+                UnaryOp::Not => !&v,
+                UnaryOp::LogNot => Bits::from_bool(v.is_zero()),
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::RedAnd => Bits::from_bool(v.reduce_and()),
+                UnaryOp::RedOr => Bits::from_bool(v.reduce_or()),
+                UnaryOp::RedXor => Bits::from_bool(v.reduce_xor()),
+                UnaryOp::RedXnor => Bits::from_bool(!v.reduce_xor()),
+            })
+        }
+        Expr::Binary(op, l, r) => {
+            let a = eval_const(l, env)?;
+            let b = eval_const(r, env)?;
+            Ok(apply_binary(*op, &a, &b))
+        }
+        Expr::Ternary(c, t, f) => {
+            // Both arms are evaluated so the result carries the unified
+            // width max(|t|, |f|), matching the simulator's semantics.
+            let cond = eval_const(c, env)?;
+            let tv = eval_const(t, env)?;
+            let fv = eval_const(f, env)?;
+            let w = tv.width().max(fv.width());
+            Ok(if cond.to_bool() { tv.resize(w) } else { fv.resize(w) })
+        }
+        Expr::WidthCast(w, inner) => Ok(eval_const(inner, env)?.resize(*w)),
+        Expr::SignCast(_, inner) => eval_const(inner, env),
+        Expr::Concat(parts) => {
+            let mut acc: Option<Bits> = None;
+            for p in parts {
+                let v = eval_const(p, env)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(hi) => hi.concat(&v),
+                });
+            }
+            acc.ok_or_else(|| DataflowError::NotConstant("empty concat".into()))
+        }
+        Expr::Repeat(n, body) => {
+            let count = eval_const(n, env)?.to_u64() as u32;
+            if count == 0 {
+                return Err(DataflowError::NotConstant("zero replication".into()));
+            }
+            Ok(eval_const(body, env)?.repeat(count))
+        }
+        Expr::Index(..) | Expr::Range(..) => Err(DataflowError::NotConstant(
+            "select on non-constant".into(),
+        )),
+    }
+}
+
+/// Applies a binary operator with Verilog width-extension semantics:
+/// operands are zero-extended to the wider of the two, comparisons and
+/// logical operators produce one bit, shifts keep the left operand's width.
+pub fn apply_binary(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
+    use BinaryOp::*;
+    let w = a.width().max(b.width());
+    let wide = |x: &Bits| x.resize(w);
+    match op {
+        Add => wide(a).add(&wide(b)),
+        Sub => wide(a).sub(&wide(b)),
+        Mul => wide(a).mul(&wide(b)),
+        Div => wide(a).div(&wide(b)),
+        Mod => wide(a).rem(&wide(b)),
+        Shl => a.shl(shift_amount(b)),
+        Shr => a.shr(shift_amount(b)),
+        AShr => a.shr_arith(shift_amount(b)),
+        Lt => Bits::from_bool(wide(a).cmp_unsigned(&wide(b)).is_lt()),
+        Le => Bits::from_bool(wide(a).cmp_unsigned(&wide(b)).is_le()),
+        Gt => Bits::from_bool(wide(a).cmp_unsigned(&wide(b)).is_gt()),
+        Ge => Bits::from_bool(wide(a).cmp_unsigned(&wide(b)).is_ge()),
+        Eq => Bits::from_bool(wide(a) == wide(b)),
+        Ne => Bits::from_bool(wide(a) != wide(b)),
+        LogAnd => Bits::from_bool(a.to_bool() && b.to_bool()),
+        LogOr => Bits::from_bool(a.to_bool() || b.to_bool()),
+        And => &wide(a) & &wide(b),
+        Or => &wide(a) | &wide(b),
+        Xor => &wide(a) ^ &wide(b),
+        Xnor => !(&wide(a) ^ &wide(b)),
+    }
+}
+
+/// Clamps a shift amount to something sane (a shift by ≥ width clears the
+/// value anyway; `Bits::shl`/`shr` handle that).
+fn shift_amount(b: &Bits) -> u32 {
+    b.to_u64().min(u32::MAX as u64) as u32
+}
+
+/// Evaluates a `[msb:lsb]` range to a width, requiring `msb >= lsb`.
+///
+/// # Errors
+///
+/// Propagates [`DataflowError::NotConstant`] and rejects descending ranges.
+pub fn range_width(range: &Option<(Expr, Expr)>, env: &ConstEnv) -> Result<u32, DataflowError> {
+    match range {
+        None => Ok(1),
+        Some((msb, lsb)) => {
+            let m = eval_const(msb, env)?.to_u64();
+            let l = eval_const(lsb, env)?.to_u64();
+            if l > m {
+                return Err(DataflowError::BadRange(format!("[{m}:{l}]")));
+            }
+            Ok((m - l + 1) as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwdbg_rtl::parse_expr;
+
+    fn env(pairs: &[(&str, u64)]) -> ConstEnv {
+        pairs
+            .iter()
+            .map(|(n, v)| (n.to_string(), Bits::from_u64(32, *v)))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_with_params() {
+        let e = parse_expr("W * 2 + 1").unwrap();
+        assert_eq!(eval_const(&e, &env(&[("W", 8)])).unwrap().to_u64(), 17);
+    }
+
+    #[test]
+    fn ternary_selects() {
+        let e = parse_expr("W > 4 ? 10 : 20").unwrap();
+        assert_eq!(eval_const(&e, &env(&[("W", 8)])).unwrap().to_u64(), 10);
+        assert_eq!(eval_const(&e, &env(&[("W", 2)])).unwrap().to_u64(), 20);
+    }
+
+    #[test]
+    fn unknown_ident_errors() {
+        let e = parse_expr("MISSING + 1").unwrap();
+        assert!(matches!(
+            eval_const(&e, &env(&[])),
+            Err(DataflowError::NotConstant(_))
+        ));
+    }
+
+    #[test]
+    fn concat_and_repeat() {
+        let e = parse_expr("{2'b10, 2'b01}").unwrap();
+        assert_eq!(eval_const(&e, &env(&[])).unwrap().to_u64(), 0b1001);
+        let e = parse_expr("{3{2'b01}}").unwrap();
+        assert_eq!(eval_const(&e, &env(&[])).unwrap().to_u64(), 0b010101);
+    }
+
+    #[test]
+    fn range_width_checks() {
+        let r = Some((
+            parse_expr("W - 1").unwrap(),
+            parse_expr("0").unwrap(),
+        ));
+        assert_eq!(range_width(&r, &env(&[("W", 8)])).unwrap(), 8);
+        assert_eq!(range_width(&None, &env(&[])).unwrap(), 1);
+        let bad = Some((parse_expr("0").unwrap(), parse_expr("7").unwrap()));
+        assert!(range_width(&bad, &env(&[])).is_err());
+    }
+
+    #[test]
+    fn width_extension_rules() {
+        // 4'hF + 8'h01 extends to 8 bits: 0x10, no wrap at 4 bits.
+        let a = Bits::from_u64(4, 0xF);
+        let b = Bits::from_u64(8, 1);
+        assert_eq!(apply_binary(BinaryOp::Add, &a, &b).to_u64(), 0x10);
+        // Comparison yields one bit.
+        assert_eq!(apply_binary(BinaryOp::Lt, &a, &b).width(), 1);
+        // Shift keeps left width.
+        assert_eq!(apply_binary(BinaryOp::Shl, &a, &b).width(), 4);
+    }
+}

@@ -1,0 +1,675 @@
+//! Resolution of a flat module into a [`Design`]: the analyzed form shared
+//! by the simulator, the resource estimator, and the debugging tools.
+
+use crate::blackbox::{BbDir, BlackboxLib};
+use crate::consteval::{eval_const, range_width, ConstEnv};
+use crate::flatten::{expr_to_lvalue, flatten};
+use crate::DataflowError;
+use hwdbg_bits::Bits;
+use hwdbg_rtl::{Dir, Edge, EventControl, Expr, Item, LValue, Module, SourceFile, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Role of a signal in the resolved design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigKind {
+    /// Top-level input (driven by the testbench).
+    Input,
+    /// Top-level output.
+    Output,
+    /// Internal signal driven combinationally (by `assign`, an `always @(*)`
+    /// block, or a blackbox output).
+    Comb,
+    /// A state register: written under a clock edge.
+    Reg,
+    /// Declared but never driven (kept for diagnostics).
+    Undriven,
+}
+
+/// Static information about one signal.
+#[derive(Debug, Clone)]
+pub struct SigInfo {
+    /// Flat (hierarchical) name.
+    pub name: String,
+    /// Bit width of one element.
+    pub width: u32,
+    /// Resolved role.
+    pub kind: SigKind,
+    /// Declared `signed`.
+    pub signed: bool,
+    /// `Some(depth)` for memories (`reg [w-1:0] m [0:depth-1]`).
+    pub mem_depth: Option<u64>,
+}
+
+impl SigInfo {
+    /// True if this signal holds clocked state (register or memory written
+    /// under a clock).
+    pub fn is_state(&self) -> bool {
+        self.kind == SigKind::Reg
+    }
+}
+
+/// A combinational driver: one `assign` or one `always @(*)` block.
+#[derive(Debug, Clone)]
+pub struct CombDriver {
+    /// Statements (a single assignment for `assign` items).
+    pub body: Stmt,
+    /// Signals read.
+    pub reads: BTreeSet<String>,
+    /// Signals written.
+    pub writes: BTreeSet<String>,
+}
+
+/// A clocked process: one `always @(posedge …)` block.
+#[derive(Debug, Clone)]
+pub struct ClockedProc {
+    /// Sensitivity edges.
+    pub edges: Vec<Edge>,
+    /// Body statement.
+    pub body: Stmt,
+    /// Signals read.
+    pub reads: BTreeSet<String>,
+    /// Signals written.
+    pub writes: BTreeSet<String>,
+}
+
+/// A blackbox IP instance in the resolved design.
+#[derive(Debug, Clone)]
+pub struct BbInst {
+    /// IP module name (e.g. `scfifo`).
+    pub module: String,
+    /// Flat instance name.
+    pub name: String,
+    /// Folded parameter values.
+    pub params: BTreeMap<String, Bits>,
+    /// Input port → connected expression.
+    pub in_conns: BTreeMap<String, Expr>,
+    /// Output port → driven lvalue.
+    pub out_conns: BTreeMap<String, LValue>,
+    /// Resolved width of each connected port.
+    pub port_widths: BTreeMap<String, u32>,
+    /// Ports that are clocks (posedge of the connected signal ticks the
+    /// behavioral model).
+    pub clock_ports: Vec<String>,
+}
+
+/// A fully resolved flat design.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Top module name.
+    pub name: String,
+    /// The flat module AST (tools instrument this and re-elaborate).
+    pub flat: Module,
+    /// All signals by flat name.
+    pub signals: BTreeMap<String, SigInfo>,
+    /// Parameter/localparam constants by name.
+    pub consts: ConstEnv,
+    /// Combinational drivers in declaration order.
+    pub combs: Vec<CombDriver>,
+    /// Clocked processes in declaration order.
+    pub procs: Vec<ClockedProc>,
+    /// Blackbox instances.
+    pub blackboxes: Vec<BbInst>,
+}
+
+impl Design {
+    /// Looks up a signal.
+    pub fn signal(&self, name: &str) -> Option<&SigInfo> {
+        self.signals.get(name)
+    }
+
+    /// Iterates over state-holding signals (registers and clocked memories).
+    pub fn state_signals(&self) -> impl Iterator<Item = &SigInfo> {
+        self.signals.values().filter(|s| s.is_state())
+    }
+
+    /// Computes the static width of an expression in this design, following
+    /// Verilog's pragmatic rules: binary arithmetic/bitwise take the wider
+    /// operand, comparisons and logical operators are 1 bit, shifts keep the
+    /// left width. Returns `None` for unknown names or non-constant bounds.
+    pub fn expr_width(&self, e: &Expr) -> Option<u32> {
+        use hwdbg_rtl::{BinaryOp, UnaryOp};
+        Some(match e {
+            Expr::Literal { value, .. } => value.width(),
+            Expr::Ident(n) => {
+                if let Some(sig) = self.signals.get(n) {
+                    sig.width
+                } else {
+                    self.consts.get(n)?.width()
+                }
+            }
+            Expr::Unary(op, inner) => match op {
+                UnaryOp::Not | UnaryOp::Neg => self.expr_width(inner)?,
+                _ => 1,
+            },
+            Expr::Binary(op, l, r) => {
+                if op.is_boolean() {
+                    1
+                } else if matches!(op, BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr) {
+                    self.expr_width(l)?
+                } else {
+                    self.expr_width(l)?.max(self.expr_width(r)?)
+                }
+            }
+            Expr::Ternary(_, t, f) => self.expr_width(t)?.max(self.expr_width(f)?),
+            Expr::Index(n, _) => {
+                let sig = self.signals.get(n)?;
+                if sig.mem_depth.is_some() {
+                    sig.width
+                } else {
+                    1
+                }
+            }
+            Expr::Range(_, msb, lsb) => {
+                let m = eval_const(msb, &self.consts).ok()?.to_u64();
+                let l = eval_const(lsb, &self.consts).ok()?.to_u64();
+                if l > m {
+                    return None;
+                }
+                (m - l + 1) as u32
+            }
+            Expr::Concat(parts) => {
+                let mut sum = 0;
+                for p in parts {
+                    sum += self.expr_width(p)?;
+                }
+                sum
+            }
+            Expr::Repeat(n, body) => {
+                let count = eval_const(n, &self.consts).ok()?.to_u64() as u32;
+                count * self.expr_width(body)?
+            }
+            Expr::WidthCast(w, _) => *w,
+            Expr::SignCast(_, inner) => self.expr_width(inner)?,
+        })
+    }
+
+    /// Width of an lvalue (sum of part widths for concatenations).
+    pub fn lvalue_width(&self, lv: &LValue) -> Option<u32> {
+        Some(match lv {
+            LValue::Id(n) => self.signals.get(n)?.width,
+            LValue::Index(n, _) => {
+                let sig = self.signals.get(n)?;
+                if sig.mem_depth.is_some() {
+                    sig.width
+                } else {
+                    1
+                }
+            }
+            LValue::Range(_, msb, lsb) => {
+                let m = eval_const(msb, &self.consts).ok()?.to_u64();
+                let l = eval_const(lsb, &self.consts).ok()?.to_u64();
+                (m - l + 1) as u32
+            }
+            LValue::Concat(parts) => {
+                let mut sum = 0;
+                for p in parts {
+                    sum += self.lvalue_width(p)?;
+                }
+                sum
+            }
+        })
+    }
+
+    /// All distinct clock signal names (from process sensitivity lists and
+    /// blackbox clock ports).
+    pub fn clocks(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for p in &self.procs {
+            for e in &p.edges {
+                out.insert(e.signal.clone());
+            }
+        }
+        for bb in &self.blackboxes {
+            for cp in &bb.clock_ports {
+                if let Some(Expr::Ident(n)) = bb.in_conns.get(cp) {
+                    out.insert(n.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Flattens and resolves `top` in one step.
+///
+/// # Errors
+///
+/// Propagates flattening errors and [`resolve`] errors.
+pub fn elaborate(
+    file: &SourceFile,
+    top: &str,
+    lib: &dyn BlackboxLib,
+) -> Result<Design, DataflowError> {
+    let flat = flatten(file, top, lib)?;
+    resolve(flat, lib)
+}
+
+/// Resolves an already-flat module into a [`Design`].
+///
+/// # Errors
+///
+/// Fails on duplicate/unknown signals, non-constant widths, signals driven
+/// both combinationally and under a clock, or unknown blackbox ports.
+pub fn resolve(flat: Module, lib: &dyn BlackboxLib) -> Result<Design, DataflowError> {
+    let mut consts = ConstEnv::new();
+    for item in &flat.items {
+        if let Item::Param(p) | Item::Localparam(p) = item {
+            let mut v = eval_const(&p.value, &consts)?;
+            if p.range.is_some() {
+                v = v.resize(range_width(&p.range, &consts)?);
+            }
+            consts.insert(p.name.clone(), v);
+        }
+    }
+
+    let mut signals: BTreeMap<String, SigInfo> = BTreeMap::new();
+    let mut declare = |name: &str,
+                       width: u32,
+                       kind: SigKind,
+                       signed: bool,
+                       mem_depth: Option<u64>|
+     -> Result<(), DataflowError> {
+        if signals
+            .insert(
+                name.to_owned(),
+                SigInfo {
+                    name: name.to_owned(),
+                    width,
+                    kind,
+                    signed,
+                    mem_depth,
+                },
+            )
+            .is_some()
+        {
+            return Err(DataflowError::DuplicateName(name.to_owned()));
+        }
+        Ok(())
+    };
+
+    for port in &flat.ports {
+        let width = range_width(&port.net.range, &consts)?;
+        let kind = match port.dir {
+            Dir::Input => SigKind::Input,
+            Dir::Output => SigKind::Output,
+            Dir::Inout => {
+                return Err(DataflowError::Unsupported("inout ports".into()));
+            }
+        };
+        declare(&port.net.name, width, kind, port.net.signed, None)?;
+    }
+    for item in &flat.items {
+        if let Item::Net(n) = item {
+            let width = range_width(&n.range, &consts)?;
+            let mem_depth = match &n.mem_dim {
+                None => None,
+                Some((lo, hi)) => {
+                    let lo_v = eval_const(lo, &consts)?.to_u64();
+                    let hi_v = eval_const(hi, &consts)?.to_u64();
+                    if lo_v != 0 || hi_v < lo_v {
+                        return Err(DataflowError::BadRange(format!("[{lo_v}:{hi_v}]")));
+                    }
+                    Some(hi_v + 1)
+                }
+            };
+            declare(&n.name, width, SigKind::Undriven, n.signed, mem_depth)?;
+        }
+    }
+
+    // Partition items into drivers.
+    let mut combs = Vec::new();
+    let mut procs = Vec::new();
+    let mut blackboxes = Vec::new();
+    for item in &flat.items {
+        match item {
+            Item::Net(_) | Item::Param(_) | Item::Localparam(_) => {}
+            Item::Assign { lhs, rhs, span } => {
+                let body = Stmt::Assign {
+                    lhs: lhs.clone(),
+                    nonblocking: false,
+                    rhs: rhs.clone(),
+                    span: *span,
+                };
+                let mut reads = BTreeSet::new();
+                let mut writes = BTreeSet::new();
+                stmt_reads_writes(&body, &mut reads, &mut writes);
+                reads.retain(|n| !consts.contains_key(n));
+                combs.push(CombDriver { body, reads, writes });
+            }
+            Item::Always { event, body, .. } => {
+                let mut reads = BTreeSet::new();
+                let mut writes = BTreeSet::new();
+                stmt_reads_writes(body, &mut reads, &mut writes);
+                reads.retain(|n| !consts.contains_key(n));
+                match event {
+                    EventControl::Comb => combs.push(CombDriver {
+                        body: body.clone(),
+                        reads,
+                        writes,
+                    }),
+                    EventControl::Edges(edges) => procs.push(ClockedProc {
+                        edges: edges.clone(),
+                        body: body.clone(),
+                        reads,
+                        writes,
+                    }),
+                }
+            }
+            Item::Instance(inst) => {
+                let spec = lib
+                    .spec(&inst.module)
+                    .ok_or_else(|| DataflowError::UnknownModule(inst.module.clone()))?;
+                let mut params = BTreeMap::new();
+                for (n, e) in &inst.params {
+                    params.insert(n.clone(), eval_const(e, &consts)?);
+                }
+                let mut in_conns = BTreeMap::new();
+                let mut out_conns = BTreeMap::new();
+                let mut port_widths = BTreeMap::new();
+                for (pname, conn) in &inst.conns {
+                    let port = spec
+                        .port(pname)
+                        .ok_or_else(|| {
+                            DataflowError::UnknownPort(inst.module.clone(), pname.clone())
+                        })?;
+                    let Some(conn) = conn else { continue };
+                    let width = port.width.resolve(&params).ok_or_else(|| {
+                        DataflowError::UnknownParam(inst.module.clone(), pname.clone())
+                    })?;
+                    port_widths.insert(pname.clone(), width);
+                    match port.dir {
+                        BbDir::Input => {
+                            in_conns.insert(pname.clone(), conn.clone());
+                        }
+                        BbDir::Output => {
+                            let lv = expr_to_lvalue(conn).ok_or_else(|| {
+                                DataflowError::BadOutputConnection(
+                                    inst.name.clone(),
+                                    pname.clone(),
+                                )
+                            })?;
+                            out_conns.insert(pname.clone(), lv);
+                        }
+                    }
+                }
+                let clock_ports = spec
+                    .ports
+                    .iter()
+                    .filter(|p| p.is_clock)
+                    .map(|p| p.name.clone())
+                    .collect();
+                blackboxes.push(BbInst {
+                    module: inst.module.clone(),
+                    name: inst.name.clone(),
+                    params,
+                    in_conns,
+                    out_conns,
+                    port_widths,
+                    clock_ports,
+                });
+            }
+        }
+    }
+
+    // Classify drivers and detect conflicts.
+    let mut comb_written: BTreeSet<String> = BTreeSet::new();
+    let mut clocked_written: BTreeSet<String> = BTreeSet::new();
+    for c in &combs {
+        for w in &c.writes {
+            comb_written.insert(w.clone());
+        }
+    }
+    for p in &procs {
+        for w in &p.writes {
+            clocked_written.insert(w.clone());
+        }
+    }
+    for bb in &blackboxes {
+        for lv in bb.out_conns.values() {
+            for t in lv.target_names() {
+                comb_written.insert(t.to_owned());
+            }
+        }
+    }
+    for name in comb_written.intersection(&clocked_written) {
+        return Err(DataflowError::ConflictingDrivers(name.clone()));
+    }
+    for (name, info) in signals.iter_mut() {
+        if clocked_written.contains(name) {
+            info.kind = SigKind::Reg;
+        } else if comb_written.contains(name) && info.kind != SigKind::Output {
+            info.kind = SigKind::Comb;
+        }
+    }
+
+    // Every referenced identifier must be a signal or a constant.
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for c in &combs {
+        referenced.extend(c.reads.iter().cloned());
+        referenced.extend(c.writes.iter().cloned());
+    }
+    for p in &procs {
+        referenced.extend(p.reads.iter().cloned());
+        referenced.extend(p.writes.iter().cloned());
+        for e in &p.edges {
+            referenced.insert(e.signal.clone());
+        }
+    }
+    for bb in &blackboxes {
+        for e in bb.in_conns.values() {
+            referenced.extend(e.idents().into_iter().map(|s| s.to_owned()));
+        }
+        for lv in bb.out_conns.values() {
+            referenced.extend(lv.target_names().into_iter().map(|s| s.to_owned()));
+        }
+    }
+    for name in &referenced {
+        if !signals.contains_key(name) && !consts.contains_key(name) {
+            return Err(DataflowError::UnknownSignal(name.clone()));
+        }
+    }
+
+    Ok(Design {
+        name: flat.name.clone(),
+        signals,
+        consts,
+        combs,
+        procs,
+        blackboxes,
+        flat,
+    })
+}
+
+/// Collects the signal names read and written by a statement tree.
+/// Constants are not filtered here; the caller removes params.
+pub fn stmt_reads_writes(
+    stmt: &Stmt,
+    reads: &mut BTreeSet<String>,
+    writes: &mut BTreeSet<String>,
+) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                stmt_reads_writes(s, reads, writes);
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            add_expr_reads(cond, reads);
+            stmt_reads_writes(then, reads, writes);
+            if let Some(e) = els {
+                stmt_reads_writes(e, reads, writes);
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            add_expr_reads(expr, reads);
+            for arm in arms {
+                for l in &arm.labels {
+                    add_expr_reads(l, reads);
+                }
+                stmt_reads_writes(&arm.body, reads, writes);
+            }
+            if let Some(d) = default {
+                stmt_reads_writes(d, reads, writes);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            add_expr_reads(rhs, reads);
+            add_lvalue_writes(lhs, reads, writes);
+        }
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            writes.insert(var.clone());
+            add_expr_reads(init, reads);
+            add_expr_reads(cond, reads);
+            add_expr_reads(step, reads);
+            stmt_reads_writes(body, reads, writes);
+        }
+        Stmt::Display { args, .. } => {
+            for a in args {
+                add_expr_reads(a, reads);
+            }
+        }
+        Stmt::Finish | Stmt::Empty => {}
+    }
+}
+
+fn add_expr_reads(e: &Expr, reads: &mut BTreeSet<String>) {
+    for n in e.idents() {
+        reads.insert(n.to_owned());
+    }
+}
+
+fn add_lvalue_writes(lv: &LValue, reads: &mut BTreeSet<String>, writes: &mut BTreeSet<String>) {
+    match lv {
+        LValue::Id(n) => {
+            writes.insert(n.clone());
+        }
+        LValue::Index(n, i) => {
+            writes.insert(n.clone());
+            add_expr_reads(i, reads);
+        }
+        LValue::Range(n, a, b) => {
+            writes.insert(n.clone());
+            add_expr_reads(a, reads);
+            add_expr_reads(b, reads);
+        }
+        LValue::Concat(parts) => {
+            for p in parts {
+                add_lvalue_writes(p, reads, writes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::NoBlackboxes;
+    use hwdbg_rtl::parse;
+
+    fn design(src: &str, top: &str) -> Design {
+        elaborate(&parse(src).unwrap(), top, &NoBlackboxes).unwrap()
+    }
+
+    #[test]
+    fn classify_signals() {
+        let d = design(
+            "module m(input clk, input d, output q);
+                reg state;
+                wire next;
+                assign next = ~state;
+                assign q = state;
+                always @(posedge clk) state <= next & d;
+             endmodule",
+            "m",
+        );
+        assert_eq!(d.signal("state").unwrap().kind, SigKind::Reg);
+        assert_eq!(d.signal("next").unwrap().kind, SigKind::Comb);
+        assert_eq!(d.signal("clk").unwrap().kind, SigKind::Input);
+        assert_eq!(d.signal("q").unwrap().kind, SigKind::Output);
+        assert_eq!(d.combs.len(), 2);
+        assert_eq!(d.procs.len(), 1);
+        assert_eq!(d.clocks().len(), 1);
+    }
+
+    #[test]
+    fn memory_depth_resolved() {
+        let d = design(
+            "module m(input clk, input [7:0] din, input [3:0] wa);
+                reg [7:0] mem [0:9];
+                always @(posedge clk) mem[wa] <= din;
+             endmodule",
+            "m",
+        );
+        let mem = d.signal("mem").unwrap();
+        assert_eq!(mem.mem_depth, Some(10));
+        assert_eq!(mem.width, 8);
+        assert!(mem.is_state());
+    }
+
+    #[test]
+    fn conflicting_drivers_rejected() {
+        let src = "module m(input clk, input a);
+            reg x;
+            assign x = a;
+            always @(posedge clk) x <= a;
+         endmodule";
+        // `assign` to a reg is already odd; the conflict check catches it.
+        let err = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap_err();
+        assert!(matches!(err, DataflowError::ConflictingDrivers(_)));
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let src = "module m(input clk);
+            reg x;
+            always @(posedge clk) x <= ghost;
+         endmodule";
+        let err = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap_err();
+        assert!(matches!(err, DataflowError::UnknownSignal(n) if n == "ghost"));
+    }
+
+    #[test]
+    fn reads_writes_cover_statements() {
+        let d = design(
+            "module m(input clk, input [1:0] sel, input [7:0] a, output reg [7:0] y);
+                always @(posedge clk) begin
+                    case (sel)
+                        2'd0: y <= a;
+                        default: y <= 8'd0;
+                    endcase
+                end
+             endmodule",
+            "m",
+        );
+        let p = &d.procs[0];
+        assert!(p.reads.contains("sel"));
+        assert!(p.reads.contains("a"));
+        assert!(p.writes.contains("y"));
+    }
+
+    #[test]
+    fn hierarchical_design_resolves() {
+        let d = design(
+            "module count #(parameter W = 4)(input clk, output reg [W-1:0] q);
+                always @(posedge clk) q <= q + 1'b1;
+             endmodule
+             module top(input clk, output [7:0] v);
+                count #(.W(8)) c0 (.clk(clk), .q(v));
+             endmodule",
+            "top",
+        );
+        assert_eq!(d.signal("c0__q").unwrap().width, 8);
+        assert_eq!(d.signal("c0__q").unwrap().kind, SigKind::Reg);
+    }
+}

@@ -1,0 +1,532 @@
+//! Hierarchy flattening: inline every RTL instance into a single module.
+//!
+//! The paper runs its analyses after Verilator's inline expansion produces
+//! one flat module; this pass plays that role. Child signals are renamed
+//! `inst__signal`, parameters are folded to constants, localparams are kept
+//! (renamed) so the FSM monitor can still recover state names, and blackbox
+//! IP instances are preserved as instances.
+
+use crate::blackbox::BlackboxLib;
+use crate::consteval::{eval_const, ConstEnv};
+use crate::rewrite::{rewrite_expr, rewrite_lvalue, rewrite_stmt, Repl};
+use crate::DataflowError;
+use hwdbg_bits::Bits;
+use hwdbg_rtl::{
+    Dir, Expr, Instance, Item, LValue, Module, NetDecl, Param, SourceFile,
+};
+use std::collections::BTreeSet;
+
+const MAX_DEPTH: usize = 64;
+
+/// Flattens the hierarchy rooted at `top` into a single module.
+///
+/// # Errors
+///
+/// Fails on unknown modules (neither RTL nor blackbox), unconnected or
+/// non-lvalue-connected ports, non-constant parameters, or excessive
+/// recursion depth.
+pub fn flatten(
+    file: &SourceFile,
+    top: &str,
+    lib: &dyn BlackboxLib,
+) -> Result<Module, DataflowError> {
+    let top_mod = file
+        .module(top)
+        .ok_or_else(|| DataflowError::UnknownModule(top.to_owned()))?;
+    let mut ctx = Flattener {
+        file,
+        lib,
+        out_items: Vec::new(),
+        used_names: BTreeSet::new(),
+    };
+    // Top parameters keep their default values and are preserved as
+    // localparams of the flat module.
+    let mut env = ConstEnv::new();
+    for p in &top_mod.params {
+        let v = eval_const(&p.value, &env)?;
+        env.insert(p.name.clone(), v);
+    }
+    let ports = top_mod
+        .ports
+        .iter()
+        .map(|port| {
+            let net = NetDecl {
+                range: fold_range(&port.net.range, &env)?,
+                ..port.net.clone()
+            };
+            Ok(hwdbg_rtl::Port {
+                dir: port.dir,
+                net,
+            })
+        })
+        .collect::<Result<Vec<_>, DataflowError>>()?;
+    for port in &ports {
+        ctx.used_names.insert(port.net.name.clone());
+    }
+    for p in &top_mod.params {
+        ctx.out_items.push(Item::Localparam(Param {
+            name: p.name.clone(),
+            value: const_expr(&env[&p.name]),
+            range: None,
+            span: p.span,
+        }));
+        ctx.used_names.insert(p.name.clone());
+    }
+    ctx.inline(top_mod, "", &env, 0)?;
+    Ok(Module {
+        name: top_mod.name.clone(),
+        params: Vec::new(),
+        ports,
+        items: ctx.out_items,
+        span: top_mod.span,
+    })
+}
+
+fn const_expr(v: &Bits) -> Expr {
+    Expr::Literal {
+        value: v.clone(),
+        sized: true,
+    }
+}
+
+fn fold_range(
+    range: &Option<(Expr, Expr)>,
+    env: &ConstEnv,
+) -> Result<Option<(Expr, Expr)>, DataflowError> {
+    match range {
+        None => Ok(None),
+        Some((msb, lsb)) => Ok(Some((
+            const_expr(&eval_const(msb, env)?),
+            const_expr(&eval_const(lsb, env)?),
+        ))),
+    }
+}
+
+struct Flattener<'a> {
+    file: &'a SourceFile,
+    lib: &'a dyn BlackboxLib,
+    out_items: Vec<Item>,
+    used_names: BTreeSet<String>,
+}
+
+impl<'a> Flattener<'a> {
+    /// Inlines `module`'s body into the output with signal prefix `prefix`,
+    /// where `env` binds the module's parameters (and, progressively, its
+    /// localparams) to constants.
+    fn inline(
+        &mut self,
+        module: &Module,
+        prefix: &str,
+        env: &ConstEnv,
+        depth: usize,
+    ) -> Result<(), DataflowError> {
+        if depth > MAX_DEPTH {
+            return Err(DataflowError::RecursionLimit(module.name.clone()));
+        }
+        let mut env = env.clone();
+        // Names that get the prefix: every net and localparam declared here.
+        let mut local: BTreeSet<String> = BTreeSet::new();
+        for n in module.nets() {
+            local.insert(n.name.clone());
+        }
+        for item in &module.items {
+            if let Item::Localparam(p) | Item::Param(p) = item {
+                local.insert(p.name.clone());
+            }
+        }
+        // Snapshot parameter values so the rename closure does not hold a
+        // borrow of `env` while localparams are being folded into it below.
+        let param_vals: std::collections::BTreeMap<String, Bits> = module
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), env[&p.name].clone()))
+            .collect();
+        let rename = |n: &str| -> Repl {
+            if let Some(v) = param_vals.get(n) {
+                // Parameter: substitute folded constant.
+                Repl::Expr(const_expr(v))
+            } else if local.contains(n) {
+                Repl::Name(format!("{prefix}{n}"))
+            } else {
+                // Unknown here (e.g. a tool-introduced global); leave as is.
+                Repl::Name(n.to_owned())
+            }
+        };
+
+        for item in &module.items {
+            match item {
+                Item::Param(p) | Item::Localparam(p) => {
+                    let v = eval_const(&rewrite_expr(&p.value, &|n| rename(n))?, &{
+                        // localparams may reference earlier (renamed)
+                        // localparams of this module: build a view with
+                        // prefixed keys.
+                        let mut view = ConstEnv::new();
+                        for (k, val) in &env {
+                            view.insert(k.clone(), val.clone());
+                            view.insert(format!("{prefix}{k}"), val.clone());
+                        }
+                        view
+                    })?;
+                    let v = match &p.range {
+                        Some(_) => {
+                            let w = crate::consteval::range_width(&p.range, &env)?;
+                            v.resize(w)
+                        }
+                        None => v,
+                    };
+                    env.insert(p.name.clone(), v.clone());
+                    let flat_name = format!("{prefix}{}", p.name);
+                    if self.used_names.insert(flat_name.clone()) {
+                        self.out_items.push(Item::Localparam(Param {
+                            name: flat_name,
+                            value: const_expr(&v),
+                            range: None,
+                            span: p.span,
+                        }));
+                    }
+                }
+                Item::Net(n) => {
+                    let flat = NetDecl {
+                        kind: n.kind,
+                        signed: n.signed,
+                        range: fold_range(&n.range, &merged_env(prefix, &env))?,
+                        name: format!("{prefix}{}", n.name),
+                        mem_dim: match &n.mem_dim {
+                            None => None,
+                            Some((lo, hi)) => Some((
+                                const_expr(&eval_const(
+                                    &rewrite_expr(lo, &|x| rename(x))?,
+                                    &merged_env(prefix, &env),
+                                )?),
+                                const_expr(&eval_const(
+                                    &rewrite_expr(hi, &|x| rename(x))?,
+                                    &merged_env(prefix, &env),
+                                )?),
+                            )),
+                        },
+                        span: n.span,
+                    };
+                    if !self.used_names.insert(flat.name.clone()) {
+                        return Err(DataflowError::DuplicateName(flat.name));
+                    }
+                    self.out_items.push(Item::Net(flat));
+                }
+                Item::Assign { lhs, rhs, span } => {
+                    self.out_items.push(Item::Assign {
+                        lhs: rewrite_lvalue(lhs, &|n| rename(n))?,
+                        rhs: rewrite_expr(rhs, &|n| rename(n))?,
+                        span: *span,
+                    });
+                }
+                Item::Always { event, body, span } => {
+                    let event = match event {
+                        hwdbg_rtl::EventControl::Comb => hwdbg_rtl::EventControl::Comb,
+                        hwdbg_rtl::EventControl::Edges(edges) => hwdbg_rtl::EventControl::Edges(
+                            edges
+                                .iter()
+                                .map(|e| hwdbg_rtl::Edge {
+                                    posedge: e.posedge,
+                                    signal: match rename(&e.signal) {
+                                        Repl::Name(n) => n,
+                                        Repl::Expr(_) => e.signal.clone(),
+                                    },
+                                })
+                                .collect(),
+                        ),
+                    };
+                    self.out_items.push(Item::Always {
+                        event,
+                        body: rewrite_stmt(body, &|n| rename(n))?,
+                        span: *span,
+                    });
+                }
+                Item::Instance(inst) => {
+                    self.inline_instance(inst, prefix, &env, &rename, depth)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn inline_instance(
+        &mut self,
+        inst: &Instance,
+        prefix: &str,
+        env: &ConstEnv,
+        rename: &dyn Fn(&str) -> Repl,
+        depth: usize,
+    ) -> Result<(), DataflowError> {
+        let child_prefix = format!("{prefix}{}__", inst.name);
+        // Evaluate parameter overrides in the parent scope.
+        let mut overrides = ConstEnv::new();
+        for (name, value) in &inst.params {
+            let folded = eval_const(&rewrite_expr(value, rename)?, &merged_env(prefix, env))?;
+            overrides.insert(name.clone(), folded);
+        }
+        if let Some(child) = self.file.module(&inst.module) {
+            // RTL child: bind parameters (override or default), then recurse.
+            let mut child_env = ConstEnv::new();
+            for p in &child.params {
+                let v = match overrides.remove(&p.name) {
+                    Some(v) => v,
+                    None => eval_const(&p.value, &child_env)?,
+                };
+                let v = match &p.range {
+                    Some(_) => {
+                        let w = crate::consteval::range_width(&p.range, &child_env)?;
+                        v.resize(w)
+                    }
+                    None => v,
+                };
+                child_env.insert(p.name.clone(), v);
+            }
+            if let Some((name, _)) = overrides.into_iter().next() {
+                return Err(DataflowError::UnknownParam(inst.module.clone(), name));
+            }
+            // Declare nets for the child's ports and wire them up.
+            for port in &child.ports {
+                let flat_name = format!("{child_prefix}{}", port.net.name);
+                let decl = NetDecl {
+                    kind: port.net.kind,
+                    signed: port.net.signed,
+                    range: fold_range(&port.net.range, &child_env)?,
+                    name: flat_name.clone(),
+                    mem_dim: None,
+                    span: port.net.span,
+                };
+                if !self.used_names.insert(flat_name.clone()) {
+                    return Err(DataflowError::DuplicateName(flat_name));
+                }
+                self.out_items.push(Item::Net(decl));
+                let conn = inst
+                    .conns
+                    .iter()
+                    .find(|(n, _)| n == &port.net.name)
+                    .and_then(|(_, e)| e.as_ref());
+                match (port.dir, conn) {
+                    (Dir::Input, Some(e)) => {
+                        self.out_items.push(Item::Assign {
+                            lhs: LValue::Id(flat_name),
+                            rhs: rewrite_expr(e, rename)?,
+                            span: inst.span,
+                        });
+                    }
+                    (Dir::Input, None) => {
+                        return Err(DataflowError::UnconnectedInput(
+                            inst.name.clone(),
+                            port.net.name.clone(),
+                        ));
+                    }
+                    (Dir::Output, Some(e)) => {
+                        let target = expr_to_lvalue(&rewrite_expr(e, rename)?).ok_or_else(
+                            || {
+                                DataflowError::BadOutputConnection(
+                                    inst.name.clone(),
+                                    port.net.name.clone(),
+                                )
+                            },
+                        )?;
+                        self.out_items.push(Item::Assign {
+                            lhs: target,
+                            rhs: Expr::Ident(flat_name),
+                            span: inst.span,
+                        });
+                    }
+                    (Dir::Output, None) => {} // unconnected output: fine
+                    (Dir::Inout, _) => {
+                        return Err(DataflowError::Unsupported(
+                            "inout ports cannot be flattened".into(),
+                        ));
+                    }
+                }
+            }
+            // Unknown connection names are configuration bugs; catch them.
+            for (n, _) in &inst.conns {
+                if !child.ports.iter().any(|p| &p.net.name == n) {
+                    return Err(DataflowError::UnknownPort(inst.module.clone(), n.clone()));
+                }
+            }
+            self.inline(child, &child_prefix, &child_env, depth + 1)
+        } else if let Some(spec) = self.lib.spec(&inst.module) {
+            // Blackbox: keep the instance, with folded params and rewritten
+            // connection expressions.
+            for (n, _) in &inst.conns {
+                if spec.port(n).is_none() {
+                    return Err(DataflowError::UnknownPort(inst.module.clone(), n.clone()));
+                }
+            }
+            let inst_name = format!("{prefix}{}", inst.name);
+            if !self.used_names.insert(format!("{inst_name}!inst")) {
+                return Err(DataflowError::DuplicateName(inst_name));
+            }
+            self.out_items.push(Item::Instance(Instance {
+                module: inst.module.clone(),
+                name: inst_name,
+                params: inst
+                    .params
+                    .iter()
+                    .map(|(n, _)| {
+                        let v = overrides.get(n).expect("just folded");
+                        (n.clone(), const_expr(v))
+                    })
+                    .collect(),
+                conns: inst
+                    .conns
+                    .iter()
+                    .map(|(n, e)| {
+                        Ok((
+                            n.clone(),
+                            match e {
+                                Some(e) => Some(rewrite_expr(e, rename)?),
+                                None => None,
+                            },
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, DataflowError>>()?,
+                span: inst.span,
+            }));
+            Ok(())
+        } else {
+            Err(DataflowError::UnknownModule(inst.module.clone()))
+        }
+    }
+}
+
+/// Builds a const env that also resolves this scope's renamed localparams.
+fn merged_env(prefix: &str, env: &ConstEnv) -> ConstEnv {
+    let mut out = ConstEnv::new();
+    for (k, v) in env {
+        out.insert(k.clone(), v.clone());
+        if !prefix.is_empty() {
+            out.insert(format!("{prefix}{k}"), v.clone());
+        }
+    }
+    out
+}
+
+/// Converts a connection expression into an lvalue, if it has lvalue shape.
+pub fn expr_to_lvalue(e: &Expr) -> Option<LValue> {
+    match e {
+        Expr::Ident(n) => Some(LValue::Id(n.clone())),
+        Expr::Index(n, i) => Some(LValue::Index(n.clone(), (**i).clone())),
+        Expr::Range(n, a, b) => Some(LValue::Range(n.clone(), (**a).clone(), (**b).clone())),
+        Expr::Concat(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.push(expr_to_lvalue(p)?);
+            }
+            Some(LValue::Concat(out))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::NoBlackboxes;
+    use hwdbg_rtl::parse;
+
+    #[test]
+    fn flatten_single_module_is_identity_shaped() {
+        let src = "module top(input clk, output reg [7:0] q);
+            localparam STEP = 8'd3;
+            always @(posedge clk) q <= q + STEP;
+        endmodule";
+        let f = parse(src).unwrap();
+        let flat = flatten(&f, "top", &NoBlackboxes).unwrap();
+        assert_eq!(flat.ports.len(), 2);
+        assert!(flat.param("STEP").is_some());
+    }
+
+    #[test]
+    fn flatten_inlines_child_with_params() {
+        let src = "
+        module adder #(parameter W = 4)(input [W-1:0] a, input [W-1:0] b, output [W-1:0] s);
+            assign s = a + b;
+        endmodule
+        module top(input [7:0] x, output [7:0] y);
+            adder #(.W(8)) u0 (.a(x), .b(8'd1), .s(y));
+        endmodule";
+        let f = parse(src).unwrap();
+        let flat = flatten(&f, "top", &NoBlackboxes).unwrap();
+        let names: Vec<_> = flat.nets().map(|n| n.name.clone()).collect();
+        assert!(names.contains(&"u0__a".to_string()), "{names:?}");
+        assert!(names.contains(&"u0__s".to_string()));
+        // The child's W-1 range folded to 7.
+        let a = flat.net("u0__a").unwrap();
+        let Some((msb, _)) = &a.range else { panic!() };
+        assert_eq!(hwdbg_rtl::print_expr(msb), "32'h00000007");
+    }
+
+    #[test]
+    fn flatten_two_levels() {
+        let src = "
+        module leaf(input i, output o);
+            assign o = ~i;
+        endmodule
+        module mid(input i, output o);
+            leaf l0 (.i(i), .o(o));
+        endmodule
+        module top(input a, output b);
+            mid m0 (.i(a), .o(b));
+        endmodule";
+        let f = parse(src).unwrap();
+        let flat = flatten(&f, "top", &NoBlackboxes).unwrap();
+        let names: Vec<_> = flat.nets().map(|n| n.name.clone()).collect();
+        assert!(names.contains(&"m0__l0__i".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn unconnected_input_rejected() {
+        let src = "
+        module leaf(input i, output o); assign o = i; endmodule
+        module top(output b);
+            leaf l0 (.o(b));
+        endmodule";
+        let f = parse(src).unwrap();
+        let err = flatten(&f, "top", &NoBlackboxes).unwrap_err();
+        assert!(matches!(err, DataflowError::UnconnectedInput(_, _)));
+    }
+
+    #[test]
+    fn unknown_module_rejected() {
+        let src = "module top(input a); mystery m0 (.x(a)); endmodule";
+        let f = parse(src).unwrap();
+        assert!(matches!(
+            flatten(&f, "top", &NoBlackboxes).unwrap_err(),
+            DataflowError::UnknownModule(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let src = "
+        module leaf(input i, output o); assign o = i; endmodule
+        module top(input a, output b);
+            leaf l0 (.i(a), .o(b), .bogus(a));
+        endmodule";
+        let f = parse(src).unwrap();
+        assert!(matches!(
+            flatten(&f, "top", &NoBlackboxes).unwrap_err(),
+            DataflowError::UnknownPort(_, _)
+        ));
+    }
+
+    #[test]
+    fn localparam_names_survive_with_prefix() {
+        let src = "
+        module child(input clk, output reg s);
+            localparam IDLE = 1'd0;
+            always @(posedge clk) s <= IDLE;
+        endmodule
+        module top(input clk, output w);
+            child c0 (.clk(clk), .s(w));
+        endmodule";
+        let f = parse(src).unwrap();
+        let flat = flatten(&f, "top", &NoBlackboxes).unwrap();
+        assert!(flat.param("c0__IDLE").is_some());
+        let printed = hwdbg_rtl::print_module(&flat);
+        assert!(printed.contains("c0__s <= c0__IDLE"), "{printed}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Elaboration and dataflow analysis for RTL designs.
+//!
+//! This crate turns a parsed multi-module design into the flat, analyzed
+//! [`Design`] form that the simulator, the resource estimator, and the
+//! debugging tools all consume:
+//!
+//! 1. [`flatten`] inlines the module hierarchy (the role Verilator's inline
+//!    expansion plays in the paper), folding parameters and keeping
+//!    localparams so state names survive for the FSM monitor;
+//! 2. [`resolve`] classifies every signal (input/output/comb/reg/memory),
+//!    partitions drivers into combinational and clocked, and checks the
+//!    design for conflicting or dangling drivers;
+//! 3. [`PropGraph`] extracts the propagation-relation table `X ⇝σ Y` that
+//!    powers Dependency Monitor and LossCheck (§4.5.1 of the paper),
+//!    traversing closed-source IPs through [`BlackboxSpec`] models.
+//!
+//! # Examples
+//!
+//! ```
+//! use hwdbg_dataflow::{elaborate, NoBlackboxes, PropGraph, DepKind};
+//!
+//! let file = hwdbg_rtl::parse(
+//!     "module m(input clk, input d, output reg q);
+//!        always @(posedge clk) q <= d;
+//!      endmodule",
+//! )?;
+//! let design = elaborate(&file, "m", &NoBlackboxes)?;
+//! let graph = PropGraph::build(&design, &NoBlackboxes)?;
+//! let slice = graph.back_slice("q", 1, &[DepKind::Data]);
+//! assert!(slice.contains_key("d"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blackbox;
+pub mod consteval;
+pub mod design;
+pub mod flatten;
+pub mod prop;
+pub mod rewrite;
+
+pub use blackbox::{BbDir, BbPort, BlackboxLib, BlackboxSpec, IpRelation, NoBlackboxes, WidthSpec, clog2};
+pub use consteval::{apply_binary, eval_const, range_width, ConstEnv};
+pub use design::{elaborate, resolve, BbInst, ClockedProc, CombDriver, Design, SigInfo, SigKind};
+pub use flatten::{expr_to_lvalue, flatten};
+pub use prop::{DepKind, PropGraph, Relation};
+pub use rewrite::{rewrite_expr, rewrite_lvalue, rewrite_stmt, Repl};
+
+use std::fmt;
+
+/// Errors produced by elaboration and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataflowError {
+    /// An expression required at compile time references a runtime signal.
+    NotConstant(String),
+    /// A `[msb:lsb]` range with `lsb > msb`, or a memory not based at 0.
+    BadRange(String),
+    /// Instantiated module is neither RTL source nor a known blackbox.
+    UnknownModule(String),
+    /// A connection names a port the module does not have.
+    UnknownPort(String, String),
+    /// A parameter override names an unknown parameter.
+    UnknownParam(String, String),
+    /// Two declarations share a flat name.
+    DuplicateName(String),
+    /// An expression references an undeclared signal.
+    UnknownSignal(String),
+    /// An input port was left unconnected.
+    UnconnectedInput(String, String),
+    /// An output port is connected to a non-lvalue expression.
+    BadOutputConnection(String, String),
+    /// A signal is driven both combinationally and under a clock.
+    ConflictingDrivers(String),
+    /// Selecting into something that is not a signal (e.g. a parameter).
+    BadSelect(String),
+    /// Instantiation recursion exceeded the depth limit.
+    RecursionLimit(String),
+    /// A construct outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use DataflowError::*;
+        match self {
+            NotConstant(n) => write!(f, "expression is not constant: `{n}`"),
+            BadRange(r) => write!(f, "invalid range {r}"),
+            UnknownModule(m) => write!(f, "unknown module `{m}`"),
+            UnknownPort(m, p) => write!(f, "module `{m}` has no port `{p}`"),
+            UnknownParam(m, p) => write!(f, "module `{m}` has no parameter `{p}`"),
+            DuplicateName(n) => write!(f, "duplicate declaration of `{n}`"),
+            UnknownSignal(n) => write!(f, "reference to undeclared signal `{n}`"),
+            UnconnectedInput(i, p) => write!(f, "instance `{i}` leaves input `{p}` unconnected"),
+            BadOutputConnection(i, p) => {
+                write!(f, "instance `{i}` output `{p}` is not connected to an lvalue")
+            }
+            ConflictingDrivers(n) => {
+                write!(f, "signal `{n}` is driven both combinationally and under a clock")
+            }
+            BadSelect(n) => write!(f, "cannot select into non-signal `{n}`"),
+            RecursionLimit(m) => write!(f, "instantiation recursion limit reached in `{m}`"),
+            Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}

@@ -1,0 +1,507 @@
+//! Propagation relations and dependency graphs.
+//!
+//! This module implements the paper's core static analysis (§4.5.1): a
+//! table of *propagation relations* `X ⇝σ Y`, meaning the value of `X` at
+//! cycle `k` influences `Y` at cycle `k + latency` when the condition `σ`
+//! holds at cycle `k`. Dependency Monitor consumes the same table for
+//! k-cycle backward slicing, and LossCheck uses it to synthesize shadow
+//! logic.
+
+use crate::blackbox::BlackboxLib;
+use crate::design::Design;
+use crate::DataflowError;
+use hwdbg_rtl::{Expr, LValue, Stmt};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Whether an edge is a data flow or a control influence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// `src` appears on the right-hand side of the assignment to `dst`.
+    Data,
+    /// `src` appears in the path condition (or index) guarding the
+    /// assignment to `dst`.
+    Control,
+}
+
+/// One propagation relation `src ⇝cond dst`.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// The influencing signal.
+    pub src: String,
+    /// The influenced signal.
+    pub dst: String,
+    /// Condition under which the propagation happens (`1'b1` if always).
+    pub cond: Expr,
+    /// Data or control dependency.
+    pub kind: DepKind,
+    /// Cycles of delay: 1 for clocked assignments, 0 for combinational.
+    pub latency: u32,
+}
+
+/// The full propagation-relation table of a design.
+#[derive(Debug, Clone, Default)]
+pub struct PropGraph {
+    /// All relations, in extraction order.
+    pub relations: Vec<Relation>,
+}
+
+impl PropGraph {
+    /// Builds the table from a resolved design. Blackbox instances
+    /// contribute relations through their IP models (§5 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a blackbox instance references an IP the library does not
+    /// know (cannot happen for designs elaborated with the same library).
+    pub fn build(design: &Design, lib: &dyn BlackboxLib) -> Result<PropGraph, DataflowError> {
+        let mut g = PropGraph::default();
+        let consts: BTreeSet<&String> = design.consts.keys().collect();
+        let is_signal = |n: &str| !consts.contains(&n.to_owned());
+        for c in &design.combs {
+            walk_stmt(&c.body, &mut vec![], 0, &is_signal, &mut g.relations);
+        }
+        for p in &design.procs {
+            walk_stmt(&p.body, &mut vec![], 1, &is_signal, &mut g.relations);
+        }
+        for bb in &design.blackboxes {
+            let spec = lib
+                .spec(&bb.module)
+                .ok_or_else(|| DataflowError::UnknownModule(bb.module.clone()))?;
+            for rel in &spec.relations {
+                let Some(src_expr) = bb.in_conns.get(&rel.src) else {
+                    continue;
+                };
+                let Some(dst_lv) = bb.out_conns.get(&rel.dst) else {
+                    continue;
+                };
+                let cond = rel
+                    .cond
+                    .as_ref()
+                    .and_then(|cp| bb.in_conns.get(cp))
+                    .cloned()
+                    .unwrap_or_else(|| Expr::sized(1, 1));
+                for src in src_expr.idents() {
+                    if !is_signal(src) {
+                        continue;
+                    }
+                    for dst in dst_lv.target_names() {
+                        g.relations.push(Relation {
+                            src: src.to_owned(),
+                            dst: dst.to_owned(),
+                            cond: cond.clone(),
+                            kind: DepKind::Data,
+                            latency: rel.latency,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Relations whose destination is `dst`.
+    pub fn incoming<'a>(&'a self, dst: &'a str) -> impl Iterator<Item = &'a Relation> + 'a {
+        self.relations.iter().filter(move |r| r.dst == dst)
+    }
+
+    /// Relations whose source is `src`.
+    pub fn outgoing<'a>(&'a self, src: &'a str) -> impl Iterator<Item = &'a Relation> + 'a {
+        self.relations.iter().filter(move |r| r.src == src)
+    }
+
+    /// Backward slice: all signals that can influence `target` within `k`
+    /// cycles, mapped to their minimum cycle distance. Includes `target`
+    /// itself at distance 0. `kinds` filters which dependency kinds to
+    /// follow.
+    pub fn back_slice(
+        &self,
+        target: &str,
+        k: u32,
+        kinds: &[DepKind],
+    ) -> BTreeMap<String, u32> {
+        let mut dist: BTreeMap<String, u32> = BTreeMap::new();
+        dist.insert(target.to_owned(), 0);
+        let mut queue: VecDeque<String> = VecDeque::new();
+        queue.push_back(target.to_owned());
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            for rel in self.incoming(&cur) {
+                if !kinds.contains(&rel.kind) {
+                    continue;
+                }
+                let nd = d + rel.latency;
+                if nd > k {
+                    continue;
+                }
+                let better = dist.get(&rel.src).is_none_or(|&old| nd < old);
+                if better {
+                    dist.insert(rel.src.clone(), nd);
+                    queue.push_back(rel.src.clone());
+                }
+            }
+        }
+        dist
+    }
+
+    /// Signals reachable forward from `src` along data relations
+    /// (unbounded), including `src`.
+    pub fn forward_reachable(&self, src: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        seen.insert(src.to_owned());
+        let mut queue = VecDeque::new();
+        queue.push_back(src.to_owned());
+        while let Some(cur) = queue.pop_front() {
+            for rel in self.outgoing(&cur) {
+                if rel.kind == DepKind::Data && seen.insert(rel.dst.clone()) {
+                    queue.push_back(rel.dst.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Signals that lie on some data-propagation path from `source` to
+    /// `sink` (inclusive): the intersection of forward reachability from
+    /// the source and backward reachability from the sink.
+    pub fn propagation_sequence(&self, source: &str, sink: &str) -> BTreeSet<String> {
+        let fwd = self.forward_reachable(source);
+        // Backward reachability along data edges, unbounded.
+        let mut back = BTreeSet::new();
+        back.insert(sink.to_owned());
+        let mut queue = VecDeque::new();
+        queue.push_back(sink.to_owned());
+        while let Some(cur) = queue.pop_front() {
+            for rel in self.incoming(&cur) {
+                if rel.kind == DepKind::Data && back.insert(rel.src.clone()) {
+                    queue.push_back(rel.src.clone());
+                }
+            }
+        }
+        fwd.intersection(&back).cloned().collect()
+    }
+}
+
+/// Conjunction of a condition stack (`1'b1` when empty).
+fn conj(conds: &[Expr]) -> Expr {
+    let mut it = conds.iter().cloned();
+    match it.next() {
+        None => Expr::sized(1, 1),
+        Some(first) => it.fold(first, |acc, c| {
+            Expr::Binary(
+                hwdbg_rtl::BinaryOp::LogAnd,
+                Box::new(acc),
+                Box::new(c),
+            )
+        }),
+    }
+}
+
+fn negate(e: &Expr) -> Expr {
+    Expr::Unary(hwdbg_rtl::UnaryOp::LogNot, Box::new(e.clone()))
+}
+
+fn walk_stmt(
+    stmt: &Stmt,
+    conds: &mut Vec<Expr>,
+    latency: u32,
+    is_signal: &dyn Fn(&str) -> bool,
+    out: &mut Vec<Relation>,
+) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                walk_stmt(s, conds, latency, is_signal, out);
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            conds.push(cond.clone());
+            walk_stmt(then, conds, latency, is_signal, out);
+            conds.pop();
+            if let Some(els) = els {
+                conds.push(negate(cond));
+                walk_stmt(els, conds, latency, is_signal, out);
+                conds.pop();
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            let mut not_prior: Vec<Expr> = Vec::new();
+            for arm in arms {
+                let mut label_eq = Vec::new();
+                for l in &arm.labels {
+                    label_eq.push(Expr::eq(expr.clone(), l.clone()));
+                }
+                let arm_cond = Expr::any(label_eq);
+                let mut full = not_prior.clone();
+                full.push(arm_cond.clone());
+                let n = full.len();
+                conds.extend(full);
+                walk_stmt(&arm.body, conds, latency, is_signal, out);
+                conds.truncate(conds.len() - n);
+                not_prior.push(negate(&arm_cond));
+            }
+            if let Some(d) = default {
+                let n = not_prior.len();
+                conds.extend(not_prior);
+                walk_stmt(d, conds, latency, is_signal, out);
+                conds.truncate(conds.len() - n);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            emit_assign(lhs, rhs, conds, latency, is_signal, out);
+        }
+        Stmt::For { body, .. } => {
+            // Loop structure itself is compile-time; relations inside the
+            // body hold under the enclosing conditions.
+            walk_stmt(body, conds, latency, is_signal, out);
+        }
+        Stmt::Display { .. } | Stmt::Finish | Stmt::Empty => {}
+    }
+}
+
+/// Splits a right-hand side into `(extra conditions, leaf value)` cases by
+/// decomposing top-level ternaries, per the paper's running example where
+/// `out <= cond_a ? a : b` yields `a ⇝cond_a out` and `b ⇝¬cond_a out`.
+fn rhs_cases(rhs: &Expr) -> Vec<(Vec<Expr>, Expr)> {
+    match rhs {
+        Expr::Ternary(c, t, f) => {
+            let mut out = Vec::new();
+            for (mut extra, leaf) in rhs_cases(t) {
+                extra.insert(0, (**c).clone());
+                out.push((extra, leaf));
+            }
+            for (mut extra, leaf) in rhs_cases(f) {
+                extra.insert(0, negate(c));
+                out.push((extra, leaf));
+            }
+            out
+        }
+        other => vec![(Vec::new(), other.clone())],
+    }
+}
+
+fn emit_assign(
+    lhs: &LValue,
+    rhs: &Expr,
+    conds: &[Expr],
+    latency: u32,
+    is_signal: &dyn Fn(&str) -> bool,
+    out: &mut Vec<Relation>,
+) {
+    let mut control_idents: BTreeSet<String> = BTreeSet::new();
+    for c in conds {
+        for n in c.idents() {
+            control_idents.insert(n.to_owned());
+        }
+    }
+    // Index expressions on the LHS are control: they steer where data lands.
+    collect_lvalue_index_idents(lhs, &mut control_idents);
+
+    for (extra, leaf) in rhs_cases(rhs) {
+        let mut all = conds.to_vec();
+        all.extend(extra.iter().cloned());
+        let cond = conj(&all);
+        let mut extra_ctrl = control_idents.clone();
+        for e in &extra {
+            for n in e.idents() {
+                extra_ctrl.insert(n.to_owned());
+            }
+        }
+        for dst in lhs.target_names() {
+            for src in leaf.idents() {
+                if is_signal(src) {
+                    out.push(Relation {
+                        src: src.to_owned(),
+                        dst: dst.to_owned(),
+                        cond: cond.clone(),
+                        kind: DepKind::Data,
+                        latency,
+                    });
+                }
+            }
+            for src in &extra_ctrl {
+                if is_signal(src) {
+                    out.push(Relation {
+                        src: src.clone(),
+                        dst: dst.to_owned(),
+                        cond: cond.clone(),
+                        kind: DepKind::Control,
+                        latency,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn collect_lvalue_index_idents(lv: &LValue, out: &mut BTreeSet<String>) {
+    match lv {
+        LValue::Id(_) => {}
+        LValue::Index(_, i) => {
+            for n in i.idents() {
+                out.insert(n.to_owned());
+            }
+        }
+        LValue::Range(_, a, b) => {
+            for n in a.idents().into_iter().chain(b.idents()) {
+                out.insert(n.to_owned());
+            }
+        }
+        LValue::Concat(parts) => {
+            for p in parts {
+                collect_lvalue_index_idents(p, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::NoBlackboxes;
+    use crate::design::elaborate;
+    use hwdbg_rtl::{parse, print_expr};
+
+    fn graph(src: &str, top: &str) -> (Design, PropGraph) {
+        let d = elaborate(&parse(src).unwrap(), top, &NoBlackboxes).unwrap();
+        let g = PropGraph::build(&d, &NoBlackboxes).unwrap();
+        (d, g)
+    }
+
+    /// The paper's §4.5.1 running example must produce exactly its table.
+    #[test]
+    fn paper_running_example_table() {
+        let src = "module m(input clk, input cond_a, input cond_b,
+                            input [7:0] a, input [7:0] in, input in_valid,
+                            output reg [7:0] out);
+            reg [7:0] b;
+            always @(posedge clk) begin
+                if (cond_a) out <= a;
+                else if (cond_b) out <= b;
+                if (in_valid) b <= in;
+            end
+        endmodule";
+        let (_, g) = graph(src, "m");
+        let data: Vec<_> = g
+            .relations
+            .iter()
+            .filter(|r| r.kind == DepKind::Data)
+            .map(|r| (r.src.clone(), r.dst.clone(), print_expr(&r.cond)))
+            .collect();
+        assert!(data.contains(&("a".into(), "out".into(), "cond_a".into())), "{data:?}");
+        assert!(
+            data.contains(&(
+                "b".into(),
+                "out".into(),
+                "(!cond_a) && cond_b".into()
+            )),
+            "{data:?}"
+        );
+        assert!(
+            data.contains(&("in".into(), "b".into(), "in_valid".into())),
+            "{data:?}"
+        );
+        // All clocked: latency 1.
+        assert!(g.relations.iter().all(|r| r.latency == 1));
+    }
+
+    #[test]
+    fn ternary_rhs_decomposed() {
+        let src = "module m(input s, input a, input b, output y);
+            assign y = s ? a : b;
+        endmodule";
+        let (_, g) = graph(src, "m");
+        let conds: Vec<_> = g
+            .relations
+            .iter()
+            .filter(|r| r.kind == DepKind::Data)
+            .map(|r| (r.src.clone(), print_expr(&r.cond)))
+            .collect();
+        assert!(conds.contains(&("a".into(), "s".into())));
+        assert!(conds.contains(&("b".into(), "!s".into())));
+        assert!(g.relations.iter().all(|r| r.latency == 0));
+    }
+
+    #[test]
+    fn case_conditions_and_control() {
+        let src = "module m(input clk, input [1:0] sel, input [3:0] a, output reg [3:0] y);
+            always @(posedge clk)
+                case (sel)
+                    2'd0: y <= a;
+                    default: y <= 4'd0;
+                endcase
+        endmodule";
+        let (_, g) = graph(src, "m");
+        let ctrl: Vec<_> = g
+            .relations
+            .iter()
+            .filter(|r| r.kind == DepKind::Control)
+            .map(|r| (r.src.clone(), r.dst.clone()))
+            .collect();
+        assert!(ctrl.contains(&("sel".into(), "y".into())), "{ctrl:?}");
+    }
+
+    #[test]
+    fn back_slice_counts_cycles() {
+        let src = "module m(input clk, input [7:0] d, output [7:0] q);
+            reg [7:0] s1;
+            reg [7:0] s2;
+            wire [7:0] w;
+            assign w = s1 + 8'd1;
+            assign q = s2;
+            always @(posedge clk) begin
+                s1 <= d;
+                s2 <= w;
+            end
+        endmodule";
+        let (_, g) = graph(src, "m");
+        let slice = g.back_slice("q", 2, &[DepKind::Data]);
+        assert_eq!(slice.get("q"), Some(&0));
+        assert_eq!(slice.get("s2"), Some(&0)); // comb assign, latency 0
+        assert_eq!(slice.get("w"), Some(&1));
+        assert_eq!(slice.get("s1"), Some(&1));
+        assert_eq!(slice.get("d"), Some(&2));
+        let slice1 = g.back_slice("q", 1, &[DepKind::Data]);
+        assert!(!slice1.contains_key("d"));
+    }
+
+    #[test]
+    fn propagation_sequence_between() {
+        let src = "module m(input clk, input [7:0] din, input v, output reg [7:0] dout);
+            reg [7:0] b;
+            reg [7:0] unrelated;
+            always @(posedge clk) begin
+                if (v) b <= din;
+                dout <= b;
+                unrelated <= dout;
+            end
+        endmodule";
+        let (_, g) = graph(src, "m");
+        let seq = g.propagation_sequence("din", "dout");
+        assert!(seq.contains("din"));
+        assert!(seq.contains("b"));
+        assert!(seq.contains("dout"));
+        assert!(!seq.contains("unrelated"));
+    }
+
+    #[test]
+    fn lhs_index_is_control() {
+        let src = "module m(input clk, input [3:0] wa, input [7:0] d);
+            reg [7:0] mem [0:15];
+            always @(posedge clk) mem[wa] <= d;
+        endmodule";
+        let (_, g) = graph(src, "m");
+        assert!(g
+            .relations
+            .iter()
+            .any(|r| r.src == "wa" && r.dst == "mem" && r.kind == DepKind::Control));
+        assert!(g
+            .relations
+            .iter()
+            .any(|r| r.src == "d" && r.dst == "mem" && r.kind == DepKind::Data));
+    }
+}

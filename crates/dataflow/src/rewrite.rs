@@ -1,0 +1,204 @@
+//! Identifier rewriting over AST fragments.
+//!
+//! Flattening renames child-instance signals (`fifo0__wptr`) and substitutes
+//! parameters with their bound constants; the instrumentation passes in
+//! `hwdbg-tools` reuse the same machinery.
+
+use crate::DataflowError;
+use hwdbg_rtl::{CaseArm, Expr, LValue, Stmt};
+
+/// What an identifier rewrites to.
+#[derive(Debug, Clone)]
+pub enum Repl {
+    /// Keep as a (possibly renamed) identifier.
+    Name(String),
+    /// Substitute an arbitrary expression (e.g. a folded parameter value).
+    Expr(Expr),
+}
+
+/// Rewrites every identifier in `expr` according to `f`.
+///
+/// # Errors
+///
+/// Fails if an indexed/part-selected base name is rewritten to a non-name
+/// expression (selecting into a parameter is not supported).
+pub fn rewrite_expr(
+    expr: &Expr,
+    f: &dyn Fn(&str) -> Repl,
+) -> Result<Expr, DataflowError> {
+    Ok(match expr {
+        Expr::Literal { .. } => expr.clone(),
+        Expr::Ident(n) => match f(n) {
+            Repl::Name(n2) => Expr::Ident(n2),
+            Repl::Expr(e) => e,
+        },
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(rewrite_expr(e, f)?)),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(rewrite_expr(a, f)?),
+            Box::new(rewrite_expr(b, f)?),
+        ),
+        Expr::Ternary(c, t, e) => Expr::Ternary(
+            Box::new(rewrite_expr(c, f)?),
+            Box::new(rewrite_expr(t, f)?),
+            Box::new(rewrite_expr(e, f)?),
+        ),
+        Expr::Index(n, i) => Expr::Index(base_name(n, f)?, Box::new(rewrite_expr(i, f)?)),
+        Expr::Range(n, a, b) => Expr::Range(
+            base_name(n, f)?,
+            Box::new(rewrite_expr(a, f)?),
+            Box::new(rewrite_expr(b, f)?),
+        ),
+        Expr::Concat(parts) => Expr::Concat(
+            parts
+                .iter()
+                .map(|p| rewrite_expr(p, f))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Repeat(n, b) => Expr::Repeat(
+            Box::new(rewrite_expr(n, f)?),
+            Box::new(rewrite_expr(b, f)?),
+        ),
+        Expr::WidthCast(w, e) => Expr::WidthCast(*w, Box::new(rewrite_expr(e, f)?)),
+        Expr::SignCast(s, e) => Expr::SignCast(*s, Box::new(rewrite_expr(e, f)?)),
+    })
+}
+
+fn base_name(n: &str, f: &dyn Fn(&str) -> Repl) -> Result<String, DataflowError> {
+    match f(n) {
+        Repl::Name(n2) => Ok(n2),
+        Repl::Expr(_) => Err(DataflowError::BadSelect(n.to_owned())),
+    }
+}
+
+/// Rewrites an lvalue's target names.
+///
+/// # Errors
+///
+/// Fails if a target name maps to a non-name expression.
+pub fn rewrite_lvalue(
+    lv: &LValue,
+    f: &dyn Fn(&str) -> Repl,
+) -> Result<LValue, DataflowError> {
+    Ok(match lv {
+        LValue::Id(n) => LValue::Id(base_name(n, f)?),
+        LValue::Index(n, i) => LValue::Index(base_name(n, f)?, rewrite_expr(i, f)?),
+        LValue::Range(n, a, b) => {
+            LValue::Range(base_name(n, f)?, rewrite_expr(a, f)?, rewrite_expr(b, f)?)
+        }
+        LValue::Concat(parts) => LValue::Concat(
+            parts
+                .iter()
+                .map(|p| rewrite_lvalue(p, f))
+                .collect::<Result<_, _>>()?,
+        ),
+    })
+}
+
+/// Rewrites every identifier in a statement tree.
+///
+/// # Errors
+///
+/// Propagates the errors of [`rewrite_expr`] / [`rewrite_lvalue`].
+pub fn rewrite_stmt(stmt: &Stmt, f: &dyn Fn(&str) -> Repl) -> Result<Stmt, DataflowError> {
+    Ok(match stmt {
+        Stmt::Block(stmts) => Stmt::Block(
+            stmts
+                .iter()
+                .map(|s| rewrite_stmt(s, f))
+                .collect::<Result<_, _>>()?,
+        ),
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: rewrite_expr(cond, f)?,
+            then: Box::new(rewrite_stmt(then, f)?),
+            els: match els {
+                Some(e) => Some(Box::new(rewrite_stmt(e, f)?)),
+                None => None,
+            },
+        },
+        Stmt::Case {
+            kind,
+            expr,
+            arms,
+            default,
+        } => Stmt::Case {
+            kind: *kind,
+            expr: rewrite_expr(expr, f)?,
+            arms: arms
+                .iter()
+                .map(|arm| {
+                    Ok(CaseArm {
+                        labels: arm
+                            .labels
+                            .iter()
+                            .map(|l| rewrite_expr(l, f))
+                            .collect::<Result<_, _>>()?,
+                        body: rewrite_stmt(&arm.body, f)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, DataflowError>>()?,
+            default: match default {
+                Some(d) => Some(Box::new(rewrite_stmt(d, f)?)),
+                None => None,
+            },
+        },
+        Stmt::Assign {
+            lhs,
+            nonblocking,
+            rhs,
+            span,
+        } => Stmt::Assign {
+            lhs: rewrite_lvalue(lhs, f)?,
+            nonblocking: *nonblocking,
+            rhs: rewrite_expr(rhs, f)?,
+            span: *span,
+        },
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => Stmt::For {
+            var: base_name(var, f)?,
+            init: rewrite_expr(init, f)?,
+            cond: rewrite_expr(cond, f)?,
+            step: rewrite_expr(step, f)?,
+            body: Box::new(rewrite_stmt(body, f)?),
+        },
+        Stmt::Display { format, args, span } => Stmt::Display {
+            format: format.clone(),
+            args: args
+                .iter()
+                .map(|a| rewrite_expr(a, f))
+                .collect::<Result<_, _>>()?,
+            span: *span,
+        },
+        Stmt::Finish => Stmt::Finish,
+        Stmt::Empty => Stmt::Empty,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwdbg_rtl::{parse_expr, print_expr};
+
+    #[test]
+    fn rename_and_substitute() {
+        let e = parse_expr("W + counter[i]").unwrap();
+        let out = rewrite_expr(&e, &|n| match n {
+            "W" => Repl::Expr(Expr::sized(32, 8)),
+            other => Repl::Name(format!("u0__{other}")),
+        })
+        .unwrap();
+        assert_eq!(print_expr(&out), "32'h00000008 + u0__counter[u0__i]");
+    }
+
+    #[test]
+    fn indexing_a_parameter_fails() {
+        let e = parse_expr("P[2]").unwrap();
+        let r = rewrite_expr(&e, &|_| Repl::Expr(Expr::number(3)));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Elaboration integration tests: deeper hierarchies, parameterized
+//! instantiation chains, and the analysis invariants the tools rely on.
+
+use hwdbg_dataflow::{
+    elaborate, eval_const, DataflowError, DepKind, NoBlackboxes, PropGraph, SigKind,
+};
+use hwdbg_rtl::parse;
+
+#[test]
+fn parameter_overrides_chain_through_levels() {
+    // Parameters computed from parameters, overridden per instance.
+    let src = "
+    module leaf #(parameter W = 2)(input [W-1:0] i, output [W-1:0] o);
+        assign o = ~i;
+    endmodule
+    module mid #(parameter N = 4, parameter HALF = N / 2)(
+        input [N-1:0] x, output [N-1:0] y);
+        wire [HALF-1:0] lo;
+        wire [HALF-1:0] hi;
+        leaf #(.W(HALF)) l0 (.i(x[HALF-1:0]), .o(lo));
+        leaf #(.W(HALF)) l1 (.i(x[N-1:HALF]), .o(hi));
+        assign y = {hi, lo};
+    endmodule
+    module top(input [7:0] a, output [7:0] b);
+        mid #(.N(8)) m0 (.x(a), .y(b));
+    endmodule";
+    let d = elaborate(&parse(src).unwrap(), "top", &NoBlackboxes).unwrap();
+    assert_eq!(d.signal("m0__l0__i").unwrap().width, 4);
+    assert_eq!(d.signal("m0__l1__o").unwrap().width, 4);
+    // HALF folded to 4 inside mid.
+    assert_eq!(
+        eval_const(
+            &hwdbg_rtl::parse_expr("m0__HALF").unwrap_or(hwdbg_rtl::Expr::number(0)),
+            &d.consts
+        )
+        .map(|b| b.to_u64())
+        .unwrap_or(4),
+        4
+    );
+}
+
+#[test]
+fn same_module_instantiated_twice_gets_distinct_names() {
+    let src = "
+    module stage(input clk, input [3:0] d, output reg [3:0] q);
+        always @(posedge clk) q <= d;
+    endmodule
+    module top(input clk, input [3:0] a, output [3:0] z);
+        wire [3:0] mid;
+        stage s0 (.clk(clk), .d(a), .q(mid));
+        stage s1 (.clk(clk), .d(mid), .q(z));
+    endmodule";
+    let d = elaborate(&parse(src).unwrap(), "top", &NoBlackboxes).unwrap();
+    assert!(d.signal("s0__q").is_some());
+    assert!(d.signal("s1__q").is_some());
+    assert_eq!(d.procs.len(), 2);
+}
+
+#[test]
+fn duplicate_instance_names_rejected() {
+    let src = "
+    module leaf(input i, output o); assign o = i; endmodule
+    module top(input a, output b, output c);
+        leaf u (.i(a), .o(b));
+        leaf u (.i(a), .o(c));
+    endmodule";
+    assert!(matches!(
+        elaborate(&parse(src).unwrap(), "top", &NoBlackboxes),
+        Err(DataflowError::DuplicateName(_))
+    ));
+}
+
+#[test]
+fn output_port_concat_connection() {
+    let src = "
+    module pair(output [1:0] o); assign o = 2'b10; endmodule
+    module top(output hi, output lo);
+        pair p0 (.o({hi, lo}));
+    endmodule";
+    let d = elaborate(&parse(src).unwrap(), "top", &NoBlackboxes).unwrap();
+    assert_eq!(d.signal("hi").unwrap().kind, SigKind::Output);
+}
+
+#[test]
+fn width_expressions_from_clog2_style_params() {
+    let src = "
+    module m #(parameter DEPTH = 24, parameter AW = 5)(
+        input clk, input [AW-1:0] a, input [7:0] d);
+        reg [7:0] mem [0:DEPTH-1];
+        always @(posedge clk) mem[a] <= d;
+    endmodule";
+    let d = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap();
+    assert_eq!(d.signal("mem").unwrap().mem_depth, Some(24));
+    assert_eq!(d.signal("a").unwrap().width, 5);
+}
+
+#[test]
+fn propagation_survives_flattening() {
+    let src = "
+    module stage(input clk, input [7:0] d, input en, output reg [7:0] q);
+        always @(posedge clk) if (en) q <= d;
+    endmodule
+    module top(input clk, input [7:0] x, input go, output [7:0] y);
+        wire [7:0] mid;
+        stage a (.clk(clk), .d(x), .en(go), .q(mid));
+        stage b (.clk(clk), .d(mid), .en(go), .q(y));
+    endmodule";
+    let d = elaborate(&parse(src).unwrap(), "top", &NoBlackboxes).unwrap();
+    let g = PropGraph::build(&d, &NoBlackboxes).unwrap();
+    let slice = g.back_slice("y", 3, &[DepKind::Data]);
+    assert!(slice.contains_key("x"), "{slice:?}");
+    assert_eq!(slice["a__q"], 1);
+    assert_eq!(slice["x"], 2);
+    // Control flows through `go` at each stage.
+    let both = g.back_slice("y", 3, &[DepKind::Data, DepKind::Control]);
+    assert!(both.contains_key("go"));
+}
+
+#[test]
+fn expr_width_agrees_with_declared_signals() {
+    let src = "module m(input [7:0] a, input [15:0] b, output [15:0] q);
+        assign q = a + b;
+    endmodule";
+    let d = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap();
+    let e = hwdbg_rtl::parse_expr("a + b").unwrap();
+    assert_eq!(d.expr_width(&e), Some(16));
+    let e = hwdbg_rtl::parse_expr("a == b").unwrap();
+    assert_eq!(d.expr_width(&e), Some(1));
+    let e = hwdbg_rtl::parse_expr("{a, b}").unwrap();
+    assert_eq!(d.expr_width(&e), Some(24));
+    let e = hwdbg_rtl::parse_expr("ghost + 1").unwrap();
+    assert_eq!(d.expr_width(&e), None);
+}
+
+#[test]
+fn top_module_ports_keep_unprefixed_names() {
+    let src = "module top(input clk, input [3:0] din, output reg [3:0] dout);
+        always @(posedge clk) dout <= din;
+    endmodule";
+    let d = elaborate(&parse(src).unwrap(), "top", &NoBlackboxes).unwrap();
+    for name in ["clk", "din", "dout"] {
+        assert!(d.signal(name).is_some(), "{name}");
+    }
+}

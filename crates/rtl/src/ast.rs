@@ -1,0 +1,646 @@
+//! Abstract syntax tree for the synthesizable Verilog subset.
+//!
+//! The AST is the exchange format between the parser, the elaborator, and
+//! the instrumentation passes of the debugging tools: tools read designs as
+//! ASTs, splice in new declarations/statements, and print the result back to
+//! Verilog text (mirroring the paper's Pyverilog-pass architecture).
+
+use crate::span::Span;
+use hwdbg_bits::Bits;
+
+/// A parsed source file: one or more module definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceFile {
+    /// Modules in source order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Finds a module by name, mutably.
+    pub fn module_mut(&mut self, name: &str) -> Option<&mut Module> {
+        self.modules.iter_mut().find(|m| m.name == name)
+    }
+}
+
+/// A `module ... endmodule` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Header parameters (`#(parameter W = 8, ...)`).
+    pub params: Vec<Param>,
+    /// ANSI-style port list.
+    pub ports: Vec<Port>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+impl Module {
+    /// Iterates over all net declarations, both ports and body items.
+    pub fn nets(&self) -> impl Iterator<Item = &NetDecl> {
+        self.ports
+            .iter()
+            .map(|p| &p.net)
+            .chain(self.items.iter().filter_map(|i| match i {
+                Item::Net(n) => Some(n),
+                _ => None,
+            }))
+    }
+
+    /// Looks up a net declaration (port or body) by name.
+    pub fn net(&self, name: &str) -> Option<&NetDecl> {
+        self.nets().find(|n| n.name == name)
+    }
+
+    /// Looks up a parameter or localparam by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name).or_else(|| {
+            self.items.iter().find_map(|i| match i {
+                Item::Param(p) | Item::Localparam(p) if p.name == name => Some(p),
+                _ => None,
+            })
+        })
+    }
+}
+
+/// A `parameter` or `localparam` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Default / bound value.
+    pub value: Expr,
+    /// Declared width range, if any (`parameter [3:0] S = ...`).
+    pub range: Option<(Expr, Expr)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+impl Dir {
+    /// Textual keyword for the direction.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Dir::Input => "input",
+            Dir::Output => "output",
+            Dir::Inout => "inout",
+        }
+    }
+}
+
+/// A module port: direction plus its net declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Direction.
+    pub dir: Dir,
+    /// Underlying net (name, width, reg-ness).
+    pub net: NetDecl,
+}
+
+/// Net kind: `wire` or `reg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// Driven by `assign` or by an instance output.
+    Wire,
+    /// Assigned in procedural blocks; holds state across cycles when
+    /// assigned under a clock edge.
+    Reg,
+}
+
+/// A single net (wire/reg) declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetDecl {
+    /// `wire` or `reg`.
+    pub kind: NetKind,
+    /// Declared `signed`.
+    pub signed: bool,
+    /// Packed range `[msb:lsb]`, if any; `None` means a 1-bit scalar.
+    pub range: Option<(Expr, Expr)>,
+    /// Net name.
+    pub name: String,
+    /// Unpacked (memory) dimension `[lo:hi]`, if any.
+    pub mem_dim: Option<(Expr, Expr)>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl NetDecl {
+    /// A 1-bit scalar declaration.
+    pub fn scalar(kind: NetKind, name: impl Into<String>) -> Self {
+        NetDecl {
+            kind,
+            signed: false,
+            range: None,
+            name: name.into(),
+            mem_dim: None,
+            span: Span::synthetic(),
+        }
+    }
+
+    /// A `[width-1:0]` vector declaration.
+    pub fn vector(kind: NetKind, name: impl Into<String>, width: u32) -> Self {
+        NetDecl {
+            kind,
+            signed: false,
+            range: Some((Expr::number(width as u64 - 1), Expr::number(0))),
+            name: name.into(),
+            mem_dim: None,
+            span: Span::synthetic(),
+        }
+    }
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A net declaration.
+    Net(NetDecl),
+    /// A `parameter` in the body.
+    Param(Param),
+    /// A `localparam`.
+    Localparam(Param),
+    /// A continuous assignment `assign lhs = rhs;`.
+    Assign {
+        /// Left-hand side.
+        lhs: LValue,
+        /// Right-hand side expression.
+        rhs: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// An `always` block.
+    Always {
+        /// Sensitivity: clock edges or combinational.
+        event: EventControl,
+        /// The body statement (usually a `begin` block).
+        body: Stmt,
+        /// Source location.
+        span: Span,
+    },
+    /// A module instantiation.
+    Instance(Instance),
+}
+
+/// A module instantiation with named connections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Name of the instantiated module (or blackbox IP).
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// Parameter overrides `#(.N(8))`.
+    pub params: Vec<(String, Expr)>,
+    /// Port connections `.port(expr)`; `None` expression means unconnected.
+    pub conns: Vec<(String, Option<Expr>)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Sensitivity control of an `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventControl {
+    /// One or more clock edges: `@(posedge clk)` / `@(posedge a or negedge b)`.
+    Edges(Vec<Edge>),
+    /// Combinational: `@*` or `@(*)`.
+    Comb,
+}
+
+/// A single edge term in a sensitivity list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Rising or falling.
+    pub posedge: bool,
+    /// The triggering signal name.
+    pub signal: String,
+}
+
+/// Kind of case statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    /// Exact match.
+    Case,
+    /// `casez` — `?`/`z` bits are treated as wildcards (we support only
+    /// literal labels, so this degrades to exact matching of the given bits).
+    Casez,
+}
+
+/// Procedural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin ... end`.
+    Block(Vec<Stmt>),
+    /// `if (cond) then else els`.
+    If {
+        /// Condition expression (truthy if nonzero).
+        cond: Expr,
+        /// Taken branch.
+        then: Box<Stmt>,
+        /// Else branch, if present.
+        els: Option<Box<Stmt>>,
+    },
+    /// `case (expr) ... endcase`.
+    Case {
+        /// Case flavor.
+        kind: CaseKind,
+        /// Selector expression.
+        expr: Expr,
+        /// Arms, excluding `default`.
+        arms: Vec<CaseArm>,
+        /// `default:` body, if present.
+        default: Option<Box<Stmt>>,
+    },
+    /// A blocking (`=`) or nonblocking (`<=`) assignment.
+    Assign {
+        /// Destination.
+        lhs: LValue,
+        /// True for nonblocking `<=`.
+        nonblocking: bool,
+        /// Source expression.
+        rhs: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// A bounded `for` loop (unrolled at elaboration).
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Initial value.
+        init: Expr,
+        /// Continuation condition.
+        cond: Expr,
+        /// Step assignment RHS (`var = step`).
+        step: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `$display(fmt, args...)`.
+    Display {
+        /// Format string.
+        format: String,
+        /// Arguments substituted into `%d`/`%h`/`%b` holes.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `$finish;` — stops simulation.
+    Finish,
+    /// An empty statement (`;`).
+    Empty,
+}
+
+impl Stmt {
+    /// Builds a nonblocking assignment `lhs <= rhs;`.
+    pub fn nonblocking(lhs: LValue, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs,
+            nonblocking: true,
+            rhs,
+            span: Span::synthetic(),
+        }
+    }
+
+    /// Builds a blocking assignment `lhs = rhs;`.
+    pub fn blocking(lhs: LValue, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs,
+            nonblocking: false,
+            rhs,
+            span: Span::synthetic(),
+        }
+    }
+
+    /// Builds `if (cond) then` with no else.
+    pub fn if_then(cond: Expr, then: Stmt) -> Stmt {
+        Stmt::If {
+            cond,
+            then: Box::new(then),
+            els: None,
+        }
+    }
+}
+
+/// One arm of a `case` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    /// Match labels (comma-separated constants).
+    pub labels: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+}
+
+/// Assignment destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Whole net: `x`.
+    Id(String),
+    /// Bit or memory element: `x[i]`.
+    Index(String, Expr),
+    /// Constant part select: `x[msb:lsb]`.
+    Range(String, Expr, Expr),
+    /// Concatenation target: `{a, b} = ...`.
+    Concat(Vec<LValue>),
+}
+
+impl LValue {
+    /// Names of all nets written by this lvalue.
+    pub fn target_names(&self) -> Vec<&str> {
+        match self {
+            LValue::Id(n) | LValue::Index(n, _) | LValue::Range(n, _, _) => vec![n],
+            LValue::Concat(parts) => parts.iter().flat_map(|p| p.target_names()).collect(),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    /// Bitwise not `~`.
+    Not,
+    /// Logical not `!`.
+    LogNot,
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Reduction AND `&`.
+    RedAnd,
+    /// Reduction OR `|`.
+    RedOr,
+    /// Reduction XOR `^`.
+    RedXor,
+    /// Reduction XNOR `~^`.
+    RedXnor,
+}
+
+impl UnaryOp {
+    /// Operator spelling.
+    pub fn as_str(self) -> &'static str {
+        use UnaryOp::*;
+        match self {
+            Not => "~",
+            LogNot => "!",
+            Neg => "-",
+            RedAnd => "&",
+            RedOr => "|",
+            RedXor => "^",
+            RedXnor => "~^",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Shl,
+    Shr,
+    AShr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+    And,
+    Or,
+    Xor,
+    Xnor,
+}
+
+impl BinaryOp {
+    /// Operator spelling.
+    pub fn as_str(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Shl => "<<",
+            Shr => ">>",
+            AShr => ">>>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            LogAnd => "&&",
+            LogOr => "||",
+            And => "&",
+            Or => "|",
+            Xor => "^",
+            Xnor => "~^",
+        }
+    }
+
+    /// True for comparison/logical operators whose result is 1 bit.
+    pub fn is_boolean(self) -> bool {
+        use BinaryOp::*;
+        matches!(self, Lt | Le | Gt | Ge | Eq | Ne | LogAnd | LogOr)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A numeric literal. `sized` records whether an explicit width was
+    /// written (`8'hFF`) or the Verilog 32-bit default applied (`42`).
+    Literal {
+        /// The constant value (its `width()` is authoritative).
+        value: Bits,
+        /// Whether the source spelled an explicit width.
+        sized: bool,
+    },
+    /// A net, parameter, or genvar reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Conditional `cond ? t : f`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Bit select or memory read: `x[i]`.
+    Index(String, Box<Expr>),
+    /// Constant part select: `x[msb:lsb]`.
+    Range(String, Box<Expr>, Box<Expr>),
+    /// Concatenation `{a, b, ...}` (first element = most significant).
+    Concat(Vec<Expr>),
+    /// Replication `{n{expr}}`.
+    Repeat(Box<Expr>, Box<Expr>),
+    /// Width cast `W'(expr)` (SystemVerilog-style, used by the paper's
+    /// bit-truncation examples).
+    WidthCast(u32, Box<Expr>),
+    /// `$signed(expr)` / `$unsigned(expr)`.
+    SignCast(bool, Box<Expr>),
+}
+
+impl Expr {
+    /// An unsized decimal literal (32-bit, like a bare `42`).
+    pub fn number(v: u64) -> Expr {
+        Expr::Literal {
+            value: Bits::from_u64(32, v),
+            sized: false,
+        }
+    }
+
+    /// A sized literal of explicit width.
+    pub fn sized(width: u32, v: u64) -> Expr {
+        Expr::Literal {
+            value: Bits::from_u64(width, v),
+            sized: true,
+        }
+    }
+
+    /// An identifier reference.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// `a & b` (bitwise).
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinaryOp::And, Box::new(a), Box::new(b))
+    }
+
+    /// `a | b` (bitwise).
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinaryOp::Or, Box::new(a), Box::new(b))
+    }
+
+    /// `~a`.
+    #[allow(clippy::should_implement_trait)] // constructor for an AST node, not std::ops
+    pub fn not(a: Expr) -> Expr {
+        Expr::Unary(UnaryOp::Not, Box::new(a))
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinaryOp::Eq, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    #[allow(clippy::should_implement_trait)] // constructor for an AST node, not std::ops
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinaryOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// Folds a list of expressions with `|`, or `1'b0` when empty.
+    pub fn any(exprs: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = exprs.into_iter();
+        match it.next() {
+            None => Expr::sized(1, 0),
+            Some(first) => it.fold(first, Self::or),
+        }
+    }
+
+    /// All identifier names read by this expression (including index bases).
+    pub fn idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit_idents(&mut |n| out.push(n));
+        out
+    }
+
+    fn visit_idents<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Expr::Literal { .. } => {}
+            Expr::Ident(n) => f(n),
+            Expr::Unary(_, e) | Expr::WidthCast(_, e) | Expr::SignCast(_, e) => {
+                e.visit_idents(f)
+            }
+            Expr::Binary(_, a, b) | Expr::Repeat(a, b) => {
+                a.visit_idents(f);
+                b.visit_idents(f);
+            }
+            Expr::Ternary(c, t, e) => {
+                c.visit_idents(f);
+                t.visit_idents(f);
+                e.visit_idents(f);
+            }
+            Expr::Index(n, i) => {
+                f(n);
+                i.visit_idents(f);
+            }
+            Expr::Range(n, a, b) => {
+                f(n);
+                a.visit_idents(f);
+                b.visit_idents(f);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.visit_idents(f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::and(Expr::ident("a"), Expr::not(Expr::ident("b")));
+        assert_eq!(e.idents(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn any_of_empty_is_zero() {
+        assert_eq!(Expr::any([]), Expr::sized(1, 0));
+    }
+
+    #[test]
+    fn lvalue_targets() {
+        let lv = LValue::Concat(vec![
+            LValue::Id("a".into()),
+            LValue::Index("b".into(), Expr::number(3)),
+        ]);
+        assert_eq!(lv.target_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn net_decl_helpers() {
+        let v = NetDecl::vector(NetKind::Reg, "x", 8);
+        assert_eq!(
+            v.range,
+            Some((Expr::number(7), Expr::number(0)))
+        );
+    }
+
+    #[test]
+    fn idents_cover_all_nodes() {
+        let e = Expr::Ternary(
+            Box::new(Expr::ident("c")),
+            Box::new(Expr::Index("m".into(), Box::new(Expr::ident("i")))),
+            Box::new(Expr::Concat(vec![
+                Expr::ident("x"),
+                Expr::Repeat(Box::new(Expr::number(2)), Box::new(Expr::ident("y"))),
+            ])),
+        );
+        assert_eq!(e.idents(), vec!["c", "m", "i", "x", "y"]);
+    }
+}

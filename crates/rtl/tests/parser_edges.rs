@@ -1,0 +1,136 @@
+//! Parser edge cases beyond the unit tests: error reporting, tricky token
+//! sequences, and multi-module files.
+
+use hwdbg_rtl::{parse, parse_expr, print, print_expr, CaseKind, Expr, Item, Stmt};
+
+#[test]
+fn multi_module_file_order_preserved() {
+    let f = parse(
+        "module a(input x); endmodule
+         module b(input y); endmodule
+         module c(input z); endmodule",
+    )
+    .unwrap();
+    let names: Vec<_> = f.modules.iter().map(|m| m.name.clone()).collect();
+    assert_eq!(names, vec!["a", "b", "c"]);
+    assert!(f.module("b").is_some());
+    assert!(f.module("d").is_none());
+}
+
+#[test]
+fn casez_parses_and_prints() {
+    let src = "module m(input clk, input [3:0] s, output reg q);
+        always @(posedge clk)
+            casez (s)
+                4'd1: q <= 1'b1;
+                default: q <= 1'b0;
+            endcase
+    endmodule";
+    let f = parse(src).unwrap();
+    let Item::Always { body, .. } = &f.modules[0].items[0] else {
+        panic!()
+    };
+    assert!(matches!(
+        body,
+        Stmt::Case {
+            kind: CaseKind::Casez,
+            ..
+        }
+    ));
+    assert!(print(&f).contains("casez"));
+}
+
+#[test]
+fn deeply_nested_expression() {
+    let mut src = String::from("a");
+    for _ in 0..40 {
+        src = format!("({src} + 1)");
+    }
+    let e = parse_expr(&src).unwrap();
+    assert_eq!(parse_expr(&print_expr(&e)).unwrap(), e);
+}
+
+#[test]
+fn comments_between_any_tokens() {
+    let src = "module /*x*/ m (input /*y*/ clk); // trailing
+        reg /* multi
+        line */ q;
+        always @(posedge clk) q <= /*v*/ ~q;
+    endmodule";
+    assert!(parse(src).is_ok());
+}
+
+#[test]
+fn error_spans_point_into_source() {
+    let src = "module m(input clk);\n  wire w = ;\nendmodule";
+    let err = parse(src).unwrap_err();
+    let rendered = err.render(src);
+    assert!(rendered.contains("line 2"), "{rendered}");
+}
+
+#[test]
+fn reserved_words_rejected_as_identifiers() {
+    assert!(parse("module module(input clk); endmodule").is_err());
+    assert!(parse_expr("case + 1").is_err());
+}
+
+#[test]
+fn unary_chains_and_reductions() {
+    let e = parse_expr("~^x").unwrap();
+    assert!(matches!(e, Expr::Unary(hwdbg_rtl::UnaryOp::RedXnor, _)));
+    let e = parse_expr("!!x").unwrap();
+    assert_eq!(print_expr(&e), "!(!x)");
+    let e = parse_expr("&b | ^c").unwrap();
+    assert!(matches!(e, Expr::Binary(hwdbg_rtl::BinaryOp::Or, _, _)));
+}
+
+#[test]
+fn shift_tower_is_left_associative() {
+    let e = parse_expr("a << 1 << 2").unwrap();
+    assert_eq!(print_expr(&e), "(a << 1) << 2");
+}
+
+#[test]
+fn ternary_is_right_associative() {
+    let e = parse_expr("a ? b : c ? d : e").unwrap();
+    assert_eq!(print_expr(&e), "a ? b : (c ? d : e)");
+}
+
+#[test]
+fn empty_port_list_and_body() {
+    let f = parse("module m(); endmodule module n; endmodule").unwrap();
+    assert_eq!(f.modules.len(), 2);
+    assert!(f.modules[0].ports.is_empty());
+}
+
+#[test]
+fn signed_decls_roundtrip() {
+    let src = "module m(input clk, input signed [7:0] a);
+        reg signed [15:0] acc;
+        always @(posedge clk) acc <= acc + a;
+    endmodule";
+    let f = parse(src).unwrap();
+    assert!(f.modules[0].net("acc").unwrap().signed);
+    let printed = print(&f);
+    assert!(printed.contains("reg signed"));
+    assert_eq!(print(&parse(&printed).unwrap()), printed);
+}
+
+#[test]
+fn display_with_no_args() {
+    let src = r#"module m(input clk);
+        always @(posedge clk) $display("tick");
+    endmodule"#;
+    assert!(parse(src).is_ok());
+}
+
+#[test]
+fn instance_without_params_or_conns() {
+    let src = "module m(input clk); sub s0 (); endmodule";
+    let f = parse(src).unwrap();
+    let Item::Instance(i) = &f.modules[0].items[0] else {
+        panic!()
+    };
+    assert!(i.conns.is_empty());
+    assert!(i.params.is_empty());
+}

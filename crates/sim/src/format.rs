@@ -1,0 +1,144 @@
+//! `$display` format rendering.
+//!
+//! Supports the directives the paper's designs use: `%d`, `%0d`, `%h`/`%x`,
+//! `%b`, `%c`, `%%`, with optional width and zero-pad flags. Unknown
+//! directives are emitted literally.
+
+use hwdbg_bits::Bits;
+
+/// Renders `fmt` with `args` substituted for format directives.
+pub fn render(fmt: &str, args: &[Bits]) -> String {
+    let mut out = String::new();
+    let mut chars = fmt.chars().peekable();
+    let mut next_arg = 0usize;
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        if chars.peek() == Some(&'%') {
+            chars.next();
+            out.push('%');
+            continue;
+        }
+        // Optional zero flag and width digits.
+        let mut zero_pad = false;
+        let mut width = String::new();
+        while let Some(&d) = chars.peek() {
+            if d == '0' && width.is_empty() {
+                zero_pad = true;
+                chars.next();
+            } else if d.is_ascii_digit() {
+                width.push(d);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let width: usize = width.parse().unwrap_or(0);
+        let Some(kind) = chars.next() else {
+            out.push('%');
+            break;
+        };
+        let arg = args.get(next_arg);
+        let rendered = match (kind.to_ascii_lowercase(), arg) {
+            ('d', Some(v)) => {
+                next_arg += 1;
+                let s = v.to_dec_string();
+                pad(&s, default_dec_width(v, width, zero_pad), zero_pad)
+            }
+            ('h' | 'x', Some(v)) => {
+                next_arg += 1;
+                pad(&v.to_hex_string(), width, zero_pad)
+            }
+            ('b', Some(v)) => {
+                next_arg += 1;
+                pad(&v.to_bin_string(), width, zero_pad)
+            }
+            ('c', Some(v)) => {
+                next_arg += 1;
+                char::from_u32(v.to_u64() as u32)
+                    .unwrap_or('?')
+                    .to_string()
+            }
+            ('t', Some(v)) => {
+                next_arg += 1;
+                v.to_dec_string()
+            }
+            (_, _) => {
+                out.push('%');
+                out.push(kind);
+                continue;
+            }
+        };
+        out.push_str(&rendered);
+    }
+    out
+}
+
+/// Verilog pads plain `%d` to the decimal width of the argument's range;
+/// `%0d` suppresses padding. An explicit width wins.
+fn default_dec_width(v: &Bits, explicit: usize, zero_pad: bool) -> usize {
+    if explicit > 0 {
+        return explicit;
+    }
+    if zero_pad {
+        return 0; // %0d
+    }
+    // ceil(width * log10(2)) like real simulators do.
+    ((f64::from(v.width()) * 0.30103).ceil() as usize).max(1)
+}
+
+fn pad(s: &str, width: usize, zero_pad: bool) -> String {
+    if s.len() >= width {
+        return s.to_owned();
+    }
+    let fill = if zero_pad { '0' } else { ' ' };
+    let mut out = String::new();
+    for _ in 0..(width - s.len()) {
+        out.push(fill);
+    }
+    out.push_str(s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(w: u32, v: u64) -> Bits {
+        Bits::from_u64(w, v)
+    }
+
+    #[test]
+    fn decimal_default_padding() {
+        assert_eq!(render("%d", &[b(8, 5)]), "  5");
+        assert_eq!(render("%0d", &[b(8, 5)]), "5");
+        assert_eq!(render("%5d", &[b(8, 5)]), "    5");
+    }
+
+    #[test]
+    fn hex_and_binary() {
+        assert_eq!(render("%h", &[b(16, 0xAB)]), "00ab");
+        assert_eq!(render("%b", &[b(4, 0b101)]), "0101");
+        assert_eq!(render("x=%x!", &[b(8, 0xF)]), "x=0f!");
+    }
+
+    #[test]
+    fn multiple_args_and_escape() {
+        assert_eq!(
+            render("a=%0d b=%h 100%%", &[b(8, 3), b(8, 0x7F)]),
+            "a=3 b=7f 100%"
+        );
+    }
+
+    #[test]
+    fn missing_args_left_literal() {
+        assert_eq!(render("v=%d", &[]), "v=%d");
+    }
+
+    #[test]
+    fn unknown_directive_literal() {
+        assert_eq!(render("%q", &[b(4, 1)]), "%q");
+    }
+}

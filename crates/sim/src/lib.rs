@@ -1,0 +1,148 @@
+//! Cycle-accurate simulator for elaborated RTL designs.
+//!
+//! This crate plays Verilator's role in the paper: it executes the flat
+//! [`Design`](hwdbg_dataflow::Design) produced by `hwdbg-dataflow` with
+//! two-phase synchronous semantics (combinational settle, clocked processes
+//! reading pre-edge state, nonblocking commit), captures `$display` output
+//! as structured [`LogRecord`]s, detects infinite stalls via a watchdog,
+//! and can dump VCD waveforms.
+//!
+//! Blackbox IPs (FIFOs, RAMs, the SignalCat trace buffer) plug in through
+//! the [`Blackbox`] / [`BlackboxFactory`] traits; `hwdbg-ip` provides the
+//! standard library of models.
+//!
+//! # Examples
+//!
+//! ```
+//! use hwdbg_sim::{Simulator, SimConfig, NoModels};
+//! use hwdbg_dataflow::{elaborate, NoBlackboxes};
+//!
+//! let file = hwdbg_rtl::parse(
+//!     "module counter(input clk, output reg [7:0] q);
+//!        always @(posedge clk) q <= q + 8'd1;
+//!      endmodule",
+//! )?;
+//! let design = elaborate(&file, "counter", &NoBlackboxes)?;
+//! let mut sim = Simulator::new(design, &NoModels, SimConfig::default())?;
+//! sim.run("clk", 10)?;
+//! assert_eq!(sim.peek("q")?.to_u64(), 10);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod eval;
+pub mod format;
+mod state;
+pub mod vcd;
+
+pub use engine::{Checkpoint, SimConfig, Simulator};
+pub use eval::{effective_mem_addr, eval_expr, expr_width, is_signed};
+pub use state::{RegInit, SimState};
+pub use vcd::VcdWriter;
+
+use hwdbg_bits::Bits;
+use hwdbg_dataflow::BbInst;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One captured `$display` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Global step counter when the record was produced.
+    pub time: u64,
+    /// Cycle number of the clock whose edge produced it.
+    pub cycle: u64,
+    /// The rendered message.
+    pub message: String,
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>6}] {}", self.cycle, self.message)
+    }
+}
+
+/// A behavioral model of a blackbox IP instance.
+pub trait Blackbox {
+    /// Combinational outputs as a function of internal state and current
+    /// inputs. Called repeatedly while the design settles.
+    fn eval(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits>;
+
+    /// State update on a rising edge of the clock connected to `clock_port`,
+    /// observing the pre-edge `inputs`.
+    fn tick(&mut self, clock_port: &str, inputs: &BTreeMap<String, Bits>);
+
+    /// Downcast hook so post-run tooling (e.g. SignalCat's log
+    /// reconstruction) can read captured state out of a model.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Captures the model's internal state for checkpointing. Models that
+    /// do not support checkpointing return `None` (the default), which
+    /// makes [`Simulator::checkpoint`] fail rather than silently produce
+    /// a partial snapshot.
+    fn snapshot(&self) -> Option<Box<dyn std::any::Any>> {
+        None
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot). Returns
+    /// false when the payload is not recognized.
+    fn restore(&mut self, _state: &dyn std::any::Any) -> bool {
+        false
+    }
+}
+
+/// Creates behavioral models for blackbox instances.
+pub trait BlackboxFactory {
+    /// Returns a model for `inst`, or `None` if the IP is unknown.
+    fn create(&self, inst: &BbInst) -> Option<Box<dyn Blackbox>>;
+}
+
+/// A factory with no models (pure-RTL designs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoModels;
+
+impl BlackboxFactory for NoModels {
+    fn create(&self, _inst: &BbInst) -> Option<Box<dyn Blackbox>> {
+        None
+    }
+}
+
+/// Errors produced by simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Reference to a signal the design does not declare.
+    UnknownSignal(String),
+    /// A part-select or replication whose bounds are not constant.
+    NonConstSelect,
+    /// Combinational logic failed to reach a fixpoint.
+    CombLoop,
+    /// A procedural `for` loop exceeded the iteration cap.
+    LoopCap(String),
+    /// `run_until` hit its cycle budget — the design appears stuck.
+    Watchdog {
+        /// How many cycles were executed before giving up.
+        cycles: u64,
+    },
+    /// A blackbox instance has no behavioral model.
+    NoModel(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
+            SimError::NonConstSelect => write!(f, "non-constant select bounds"),
+            SimError::CombLoop => write!(f, "combinational loop: settle did not converge"),
+            SimError::LoopCap(v) => write!(f, "for-loop over `{v}` exceeded iteration cap"),
+            SimError::Watchdog { cycles } => {
+                write!(f, "watchdog: design stuck after {cycles} cycles")
+            }
+            SimError::NoModel(m) => write!(f, "no behavioral model for blackbox `{m}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,177 @@
+//! Simulation state: current value of every signal and memory.
+
+use hwdbg_bits::Bits;
+use hwdbg_dataflow::Design;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Register/memory initialization policy.
+///
+/// FPGAs power up with deterministic register contents, but a
+/// failure-to-initialize bug shows up only when the "previous contents"
+/// differ from the value the developer assumed; `Random` reproduces that
+/// deterministically from a seed (Verilator's `+verilator+rand+reset`
+/// plays the same role for the paper's testbed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegInit {
+    /// Everything starts at zero.
+    Zero,
+    /// Registers and memories start at seeded-random values.
+    Random(u64),
+}
+
+/// The mutable value store of a running simulation.
+#[derive(Debug, Clone)]
+pub struct SimState {
+    values: BTreeMap<String, Bits>,
+    mems: BTreeMap<String, Vec<Bits>>,
+}
+
+impl SimState {
+    /// Creates state for `design` with the given init policy.
+    pub fn new(design: &Design, init: RegInit) -> Self {
+        let mut rng = match init {
+            RegInit::Zero => None,
+            RegInit::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        };
+        let mut values = BTreeMap::new();
+        let mut mems = BTreeMap::new();
+        for sig in design.signals.values() {
+            let mut make = |width: u32| -> Bits {
+                match (&mut rng, sig.is_state()) {
+                    (Some(rng), true) => {
+                        let mut b = Bits::zero(width);
+                        for i in 0..width {
+                            b.set_bit(i, rng.gen_bool(0.5));
+                        }
+                        b
+                    }
+                    _ => Bits::zero(width),
+                }
+            };
+            if let Some(depth) = sig.mem_depth {
+                let elems = (0..depth).map(|_| make(sig.width)).collect();
+                mems.insert(sig.name.clone(), elems);
+            } else {
+                let v = make(sig.width);
+                values.insert(sig.name.clone(), v);
+            }
+        }
+        SimState { values, mems }
+    }
+
+    /// Current value of a (non-memory) signal.
+    pub fn get(&self, name: &str) -> Option<&Bits> {
+        self.values.get(name)
+    }
+
+    /// Overwrites a signal's value, resizing to the stored width.
+    /// Returns true if the value changed.
+    pub fn set(&mut self, name: &str, value: Bits) -> bool {
+        match self.values.get_mut(name) {
+            Some(slot) => {
+                let resized = value.resize(slot.width());
+                if *slot != resized {
+                    *slot = resized;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a memory element; out-of-range addresses read as zero.
+    pub fn read_mem(&self, name: &str, idx: u64) -> Bits {
+        match self.mems.get(name) {
+            Some(elems) => elems
+                .get(idx as usize)
+                .cloned()
+                .unwrap_or_else(|| Bits::zero(elems.first().map_or(1, |e| e.width()))),
+            None => Bits::zero(1),
+        }
+    }
+
+    /// Writes a memory element at an already-validated address.
+    pub fn write_mem(&mut self, name: &str, idx: u64, value: Bits) {
+        if let Some(elems) = self.mems.get_mut(name) {
+            if let Some(slot) = elems.get_mut(idx as usize) {
+                let w = slot.width();
+                *slot = value.resize(w);
+            }
+        }
+    }
+
+    /// Whole contents of a memory (for testbench assertions).
+    pub fn mem(&self, name: &str) -> Option<&[Bits]> {
+        self.mems.get(name).map(|v| v.as_slice())
+    }
+
+    /// Names and values of all scalar signals (for VCD dumping).
+    pub fn iter_values(&self) -> impl Iterator<Item = (&String, &Bits)> {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwdbg_dataflow::{elaborate, NoBlackboxes};
+    use hwdbg_rtl::parse;
+
+    fn d(src: &str) -> Design {
+        elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap()
+    }
+
+    #[test]
+    fn zero_init() {
+        let design = d("module m(input clk, output reg [7:0] q);
+            reg [7:0] mem [0:3];
+            always @(posedge clk) q <= mem[0];
+        endmodule");
+        let st = SimState::new(&design, RegInit::Zero);
+        assert!(st.get("q").unwrap().is_zero());
+        assert!(st.read_mem("mem", 2).is_zero());
+    }
+
+    #[test]
+    fn random_init_is_deterministic_and_only_for_state() {
+        let design = d("module m(input clk, input [7:0] d, output reg [7:0] q);
+            always @(posedge clk) q <= d;
+        endmodule");
+        let a = SimState::new(&design, RegInit::Random(42));
+        let b = SimState::new(&design, RegInit::Random(42));
+        assert_eq!(a.get("q"), b.get("q"));
+        // Inputs are not state: always zero-initialized.
+        assert!(a.get("d").unwrap().is_zero());
+        let c = SimState::new(&design, RegInit::Random(43));
+        // Seeds differ → (very likely) different register image; if equal,
+        // the 8-bit register collided, which both seeds permit — just check
+        // determinism elsewhere.
+        let _ = c;
+    }
+
+    #[test]
+    fn set_resizes() {
+        let design = d("module m(input clk, output reg [3:0] q);
+            always @(posedge clk) q <= 4'd0;
+        endmodule");
+        let mut st = SimState::new(&design, RegInit::Zero);
+        assert!(st.set("q", Bits::from_u64(8, 0xFF)));
+        assert_eq!(st.get("q").unwrap().to_u64(), 0xF);
+        assert!(!st.set("q", Bits::from_u64(4, 0xF))); // unchanged
+    }
+
+    #[test]
+    fn mem_out_of_range_reads_zero() {
+        let design = d("module m(input clk);
+            reg [7:0] mem [0:3];
+            always @(posedge clk) mem[0] <= 8'd1;
+        endmodule");
+        let st = SimState::new(&design, RegInit::Zero);
+        assert!(st.read_mem("mem", 99).is_zero());
+        assert_eq!(st.read_mem("mem", 99).width(), 8);
+    }
+}

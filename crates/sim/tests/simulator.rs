@@ -1,0 +1,524 @@
+//! End-to-end simulator tests over small designs.
+
+use hwdbg_bits::Bits;
+use hwdbg_dataflow::{elaborate, NoBlackboxes};
+use hwdbg_rtl::parse;
+use hwdbg_sim::{NoModels, RegInit, SimConfig, SimError, Simulator};
+
+fn sim(src: &str, top: &str) -> Simulator {
+    let design = elaborate(&parse(src).unwrap(), top, &NoBlackboxes).unwrap();
+    Simulator::new(design, &NoModels, SimConfig::default()).unwrap()
+}
+
+#[test]
+fn counter_counts() {
+    let mut s = sim(
+        "module m(input clk, input rst, output reg [7:0] q);
+            always @(posedge clk) begin
+                if (rst) q <= 8'd0;
+                else q <= q + 8'd1;
+            end
+         endmodule",
+        "m",
+    );
+    s.poke_u64("rst", 1).unwrap();
+    s.step("clk").unwrap();
+    s.poke_u64("rst", 0).unwrap();
+    s.run("clk", 5).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 5);
+}
+
+#[test]
+fn nonblocking_swap() {
+    // The classic: nonblocking assignments swap; blocking would not.
+    let mut s = sim(
+        "module m(input clk, input load, output reg [3:0] a, output reg [3:0] b);
+            always @(posedge clk) begin
+                if (load) begin
+                    a <= 4'd1;
+                    b <= 4'd2;
+                end else begin
+                    a <= b;
+                    b <= a;
+                end
+            end
+         endmodule",
+        "m",
+    );
+    s.poke_u64("load", 1).unwrap();
+    s.step("clk").unwrap();
+    s.poke_u64("load", 0).unwrap();
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("a").unwrap().to_u64(), 2);
+    assert_eq!(s.peek("b").unwrap().to_u64(), 1);
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("a").unwrap().to_u64(), 1);
+    assert_eq!(s.peek("b").unwrap().to_u64(), 2);
+}
+
+#[test]
+fn blocking_in_clocked_block_is_sequential() {
+    let mut s = sim(
+        "module m(input clk, output reg [3:0] y);
+            reg [3:0] t;
+            always @(posedge clk) begin
+                t = 4'd3;
+                y <= t + 4'd1;
+            end
+         endmodule",
+        "m",
+    );
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("y").unwrap().to_u64(), 4);
+}
+
+#[test]
+fn comb_chain_settles() {
+    let mut s = sim(
+        "module m(input [3:0] a, output [3:0] d);
+            wire [3:0] b;
+            wire [3:0] c;
+            assign b = a + 4'd1;
+            assign c = b + 4'd1;
+            assign d = c + 4'd1;
+         endmodule",
+        "m",
+    );
+    s.poke_u64("a", 2).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("d").unwrap().to_u64(), 5);
+}
+
+#[test]
+fn comb_loop_detected() {
+    let mut s = sim(
+        "module m(input a, output x);
+            wire y;
+            assign x = y ^ a;
+            assign y = ~x;
+         endmodule",
+        "m",
+    );
+    // x = ~x ^ a oscillates for a = 0.
+    s.poke_u64("a", 0).unwrap();
+    assert!(matches!(s.settle(), Err(SimError::CombLoop)));
+}
+
+#[test]
+fn always_comb_block_with_case() {
+    let mut s = sim(
+        "module m(input [1:0] sel, input [7:0] a, input [7:0] b, output reg [7:0] y);
+            always @(*) begin
+                case (sel)
+                    2'd0: y = a;
+                    2'd1: y = b;
+                    default: y = 8'hFF;
+                endcase
+            end
+         endmodule",
+        "m",
+    );
+    s.poke_u64("a", 10).unwrap();
+    s.poke_u64("b", 20).unwrap();
+    s.poke_u64("sel", 1).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("y").unwrap().to_u64(), 20);
+    s.poke_u64("sel", 3).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("y").unwrap().to_u64(), 0xFF);
+}
+
+#[test]
+fn memory_write_read() {
+    let mut s = sim(
+        "module m(input clk, input we, input [3:0] wa, input [3:0] ra,
+                  input [7:0] din, output [7:0] dout);
+            reg [7:0] mem [0:15];
+            assign dout = mem[ra];
+            always @(posedge clk) if (we) mem[wa] <= din;
+         endmodule",
+        "m",
+    );
+    s.poke_u64("we", 1).unwrap();
+    s.poke_u64("wa", 7).unwrap();
+    s.poke_u64("din", 0xAB).unwrap();
+    s.step("clk").unwrap();
+    s.poke_u64("we", 0).unwrap();
+    s.poke_u64("ra", 7).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("dout").unwrap().to_u64(), 0xAB);
+}
+
+#[test]
+fn buffer_overflow_semantics_pow2() {
+    // Power-of-two memory: overflowing index truncates to a wrong slot
+    // (paper §3.2.1 outcome 1).
+    let mut s = sim(
+        "module m(input clk, input [4:0] wa, input [7:0] din);
+            reg [7:0] mem [0:7];
+            always @(posedge clk) mem[wa] <= din;
+         endmodule",
+        "m",
+    );
+    s.poke_u64("wa", 9).unwrap(); // 9 & 7 = 1
+    s.poke_u64("din", 0x55).unwrap();
+    s.step("clk").unwrap();
+    assert_eq!(s.peek_mem("mem", 1).unwrap().to_u64(), 0x55);
+    assert_eq!(s.peek_mem("mem", 9).unwrap().to_u64(), 0);
+}
+
+#[test]
+fn buffer_overflow_semantics_non_pow2() {
+    // Non-power-of-two: out-of-range write is dropped (outcome 2).
+    let mut s = sim(
+        "module m(input clk, input [4:0] wa, input [7:0] din);
+            reg [7:0] mem [0:9];
+            always @(posedge clk) mem[wa] <= din;
+         endmodule",
+        "m",
+    );
+    s.poke_u64("wa", 12).unwrap();
+    s.poke_u64("din", 0x77).unwrap();
+    s.step("clk").unwrap();
+    for i in 0..10 {
+        assert_eq!(s.peek_mem("mem", i).unwrap().to_u64(), 0, "slot {i}");
+    }
+}
+
+#[test]
+fn display_capture_and_finish() {
+    let mut s = sim(
+        r#"module m(input clk, output reg [3:0] n);
+            always @(posedge clk) begin
+                n <= n + 4'd1;
+                $display("n=%0d", n);
+                if (n == 4'd2) $finish;
+            end
+         endmodule"#,
+        "m",
+    );
+    s.run("clk", 100).unwrap();
+    assert!(s.finished());
+    let msgs: Vec<_> = s.logs().iter().map(|l| l.message.clone()).collect();
+    assert_eq!(msgs, vec!["n=0", "n=1", "n=2"]);
+    assert_eq!(s.cycle("clk"), 3);
+}
+
+#[test]
+fn watchdog_detects_stuck() {
+    let mut s = sim(
+        "module m(input clk, output reg done);
+            always @(posedge clk) done <= done; // never completes
+         endmodule",
+        "m",
+    );
+    let err = s
+        .run_until("clk", 50, |s| s.peek("done").unwrap().to_bool())
+        .unwrap_err();
+    assert!(matches!(err, SimError::Watchdog { cycles: 50 }));
+}
+
+#[test]
+fn run_until_succeeds() {
+    let mut s = sim(
+        "module m(input clk, output reg [3:0] q, output done);
+            assign done = q == 4'd9;
+            always @(posedge clk) q <= q + 4'd1;
+         endmodule",
+        "m",
+    );
+    let n = s
+        .run_until("clk", 100, |s| s.peek("done").unwrap().to_bool())
+        .unwrap();
+    assert_eq!(n, 9);
+}
+
+#[test]
+fn random_init_exposes_missing_reset() {
+    // Failure-to-update pattern from §3.2.5: output_counter is never reset.
+    let src = "module m(input clk, input rst,
+                        output reg [7:0] input_counter, output reg [7:0] output_counter);
+        always @(posedge clk) begin
+            input_counter <= input_counter + 8'd1;
+            output_counter <= output_counter + 8'd1;
+            if (rst) input_counter <= 8'd0;
+        end
+     endmodule";
+    let design = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap();
+    let mut s = Simulator::new(
+        design,
+        &NoModels,
+        SimConfig {
+            init: RegInit::Random(7),
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    s.poke_u64("rst", 1).unwrap();
+    s.step("clk").unwrap();
+    s.poke_u64("rst", 0).unwrap();
+    s.run("clk", 3).unwrap();
+    assert_eq!(s.peek("input_counter").unwrap().to_u64(), 3);
+    // With seed 7 the uninitialized register is nonzero, so the counters
+    // disagree — the bug's symptom.
+    assert_ne!(
+        s.peek("output_counter").unwrap().to_u64(),
+        s.peek("input_counter").unwrap().to_u64()
+    );
+}
+
+#[test]
+fn dynamic_bit_write_out_of_range_ignored() {
+    let mut s = sim(
+        "module m(input clk, input [3:0] idx, input v);
+            reg [7:0] bits;
+            always @(posedge clk) bits[idx] <= v;
+         endmodule",
+        "m",
+    );
+    s.poke_u64("idx", 12).unwrap();
+    s.poke_u64("v", 1).unwrap();
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("bits").unwrap().to_u64(), 0);
+    s.poke_u64("idx", 3).unwrap();
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("bits").unwrap().to_u64(), 8);
+}
+
+#[test]
+fn part_select_and_concat_lhs() {
+    let mut s = sim(
+        "module m(input clk, input [7:0] d, output reg [15:0] w, output reg [3:0] hi, output reg [3:0] lo);
+            always @(posedge clk) begin
+                w[7:0] <= d;
+                w[15:8] <= 8'hA5;
+                {hi, lo} <= d;
+            end
+         endmodule",
+        "m",
+    );
+    s.poke_u64("d", 0x3C).unwrap();
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("w").unwrap().to_u64(), 0xA53C);
+    assert_eq!(s.peek("hi").unwrap().to_u64(), 0x3);
+    assert_eq!(s.peek("lo").unwrap().to_u64(), 0xC);
+}
+
+#[test]
+fn for_loop_executes() {
+    let mut s = sim(
+        "module m(input clk, output reg [7:0] sum);
+            integer i;
+            always @(posedge clk) begin
+                sum = 8'd0;
+                for (i = 0; i < 5; i = i + 1) sum = sum + 8'd2;
+            end
+         endmodule",
+        "m",
+    );
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("sum").unwrap().to_u64(), 10);
+}
+
+#[test]
+fn hierarchical_design_simulates() {
+    let mut s = sim(
+        "module stage(input clk, input [7:0] d, output reg [7:0] q);
+            always @(posedge clk) q <= d + 8'd1;
+         endmodule
+         module top(input clk, input [7:0] d, output [7:0] q);
+            wire [7:0] mid;
+            stage s1 (.clk(clk), .d(d), .q(mid));
+            stage s2 (.clk(clk), .d(mid), .q(q));
+         endmodule",
+        "top",
+    );
+    s.poke_u64("d", 10).unwrap();
+    s.run("clk", 3).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 12);
+}
+
+#[test]
+fn two_clock_domains() {
+    let mut s = sim(
+        "module m(input clka, input clkb, output reg [3:0] ca, output reg [3:0] cb);
+            always @(posedge clka) ca <= ca + 4'd1;
+            always @(posedge clkb) cb <= cb + 4'd1;
+         endmodule",
+        "m",
+    );
+    s.step("clka").unwrap();
+    s.step("clka").unwrap();
+    s.step("clkb").unwrap();
+    assert_eq!(s.peek("ca").unwrap().to_u64(), 2);
+    assert_eq!(s.peek("cb").unwrap().to_u64(), 1);
+}
+
+#[test]
+fn signed_comparison() {
+    let mut s = sim(
+        "module m(input clk, input signed [7:0] a, input signed [7:0] b, output reg lt);
+            always @(posedge clk) lt <= a < b;
+         endmodule",
+        "m",
+    );
+    s.poke("a", Bits::from_u64(8, 0xFE)).unwrap(); // -2
+    s.poke_u64("b", 1).unwrap();
+    s.step("clk").unwrap();
+    assert!(s.peek("lt").unwrap().to_bool());
+}
+
+#[test]
+fn width_cast_truncates_like_the_paper() {
+    // §3.2.2: left <= 42'(right) >> 6 loses bits [47:42].
+    let mut s = sim(
+        "module m(input clk, input [63:0] right, output reg [41:0] left);
+            always @(posedge clk) left <= 42'(right) >> 6;
+         endmodule",
+        "m",
+    );
+    // Meaningful data in bits [47:6].
+    let val = 0xFFF0_0000_0040u64; // bits 46..43 set plus bit 6
+    s.poke("right", Bits::from_u64(64, val)).unwrap();
+    s.step("clk").unwrap();
+    let got = s.peek("left").unwrap().to_u64();
+    let correct = (val & ((1u64 << 48) - 1)) >> 6;
+    assert_ne!(got, correct, "truncation must corrupt the value");
+    let truncated = (val & ((1u64 << 42) - 1)) >> 6;
+    assert_eq!(got, truncated);
+}
+
+#[test]
+fn checkpoint_and_restore_rewind_time() {
+    let mut s = sim(
+        "module m(input clk, output reg [7:0] q);
+            always @(posedge clk) begin
+                q <= q + 8'd1;
+                $display(\"q=%0d\", q);
+            end
+         endmodule",
+        "m",
+    );
+    s.run("clk", 5).unwrap();
+    let cp = s.checkpoint().unwrap();
+    let logs_at_cp = s.logs().len();
+    s.run("clk", 5).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 10);
+    s.restore(&cp).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 5);
+    assert_eq!(s.cycle("clk"), 5);
+    assert_eq!(s.logs().len(), logs_at_cp);
+    // Re-execution after restore is deterministic.
+    s.run("clk", 5).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 10);
+}
+
+#[test]
+fn vcd_attachment_captures_waveform() {
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let mut s = sim(
+        "module m(input clk, output reg [3:0] q);
+            always @(posedge clk) q <= q + 4'd1;
+         endmodule",
+        "m",
+    );
+    s.attach_vcd(buf.clone()).unwrap();
+    s.run("clk", 4).unwrap();
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    assert!(text.contains("$enddefinitions"));
+    assert!(text.contains("#1"));
+    assert!(text.contains("b0011"), "{text}");
+}
+
+#[test]
+fn for_loop_cap_is_an_error() {
+    let mut s = sim(
+        "module m(input clk, output reg [7:0] x);
+            integer i;
+            always @(posedge clk) begin
+                for (i = 0; i < 200000; i = i + 1) x = x + 8'd1;
+            end
+         endmodule",
+        "m",
+    );
+    assert!(matches!(s.step("clk"), Err(SimError::LoopCap(_))));
+}
+
+#[test]
+fn log_capacity_drops_oldest() {
+    use hwdbg_sim::SimConfig;
+    let design = elaborate(
+        &parse(
+            r#"module m(input clk, output reg [7:0] n);
+                always @(posedge clk) begin
+                    n <= n + 8'd1;
+                    $display("n=%0d", n);
+                end
+             endmodule"#,
+        )
+        .unwrap(),
+        "m",
+        &NoBlackboxes,
+    )
+    .unwrap();
+    let mut s = Simulator::new(
+        design,
+        &NoModels,
+        SimConfig {
+            log_capacity: 3,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    s.run("clk", 10).unwrap();
+    assert_eq!(s.logs().len(), 3);
+    assert_eq!(s.dropped_logs(), 7);
+    assert_eq!(s.logs()[0].message, "n=7");
+}
+
+#[test]
+fn poke_and_peek_unknown_signal_error() {
+    let mut s = sim(
+        "module m(input clk, output reg q);
+            always @(posedge clk) q <= ~q;
+         endmodule",
+        "m",
+    );
+    assert!(matches!(
+        s.poke_u64("ghost", 1),
+        Err(SimError::UnknownSignal(_))
+    ));
+    assert!(matches!(s.peek("ghost"), Err(SimError::UnknownSignal(_))));
+    assert!(s.peek_mem("q", 0).is_err(), "q is not a memory");
+}
+
+#[test]
+fn step_after_finish_is_a_no_op() {
+    let mut s = sim(
+        "module m(input clk, output reg [3:0] n);
+            always @(posedge clk) begin
+                n <= n + 4'd1;
+                if (n == 4'd1) $finish;
+            end
+         endmodule",
+        "m",
+    );
+    s.run("clk", 10).unwrap();
+    let n = s.peek("n").unwrap().to_u64();
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("n").unwrap().to_u64(), n, "frozen after $finish");
+}

@@ -1,0 +1,46 @@
+//! Resource-estimation and timing model for FPGA platforms.
+//!
+//! The paper measures instrumentation overhead with Quartus 17.0 (Intel
+//! HARP designs) and Vivado 2020.2 (Xilinx KC705 designs). Proprietary
+//! synthesizers cannot ship with this reproduction, so this crate provides
+//! a transparent substitute documented in `DESIGN.md`:
+//!
+//! * [`estimate`] — registers / logic cells / block-RAM bits from a
+//!   width-weighted operator cost model ([`resources`]);
+//! * [`estimate_timing`] — combinational logic levels → achievable MHz
+//!   ([`timing`]), used to reproduce the paper's target-frequency claims;
+//! * [`Platform`] — capacity tables for Intel HARP (Arria 10 GX1150) and
+//!   Xilinx KC705 (Kintex-7 325T) to normalize overheads like Figures 2–3.
+//!
+//! # Examples
+//!
+//! ```
+//! use hwdbg_synth::{estimate, estimate_timing, Platform};
+//! use hwdbg_dataflow::{elaborate, NoBlackboxes};
+//!
+//! let design = elaborate(
+//!     &hwdbg_rtl::parse(
+//!         "module m(input clk, input [15:0] d, output reg [15:0] q);
+//!            always @(posedge clk) q <= q + d;
+//!          endmodule",
+//!     )?,
+//!     "m",
+//!     &NoBlackboxes,
+//! )?;
+//! let report = estimate(&design);
+//! assert_eq!(report.registers, 16);
+//! let timing = estimate_timing(&design);
+//! assert!(timing.meets(200.0));
+//! let (_regs_pct, _logic_pct, _bram_pct) = report.normalized(Platform::IntelHarp);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod platform;
+pub mod resources;
+pub mod timing;
+
+pub use platform::Platform;
+pub use resources::{estimate, expr_cost, ResourceReport, BRAM_DEPTH_THRESHOLD};
+pub use timing::{estimate_timing, expr_depth, TimingReport, FIXED_NS, LEVEL_NS};

@@ -1,0 +1,72 @@
+//! Target platform descriptions used to normalize resource overheads.
+//!
+//! The paper evaluates on two boards: the Intel HARP platform (an Arria 10
+//! GX 1150 next to a Xeon) synthesized with Quartus 17.0, and the Xilinx
+//! KC705 evaluation kit (Kintex-7 325T) synthesized with Vivado 2020.2.
+//! Figures 2 and 3 report overheads relative to these devices' totals, so
+//! we carry their capacity tables.
+
+use std::fmt;
+
+/// An FPGA platform with its device capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Intel HARP: Arria 10 GX 1150 (Quartus target in the paper).
+    IntelHarp,
+    /// Xilinx KC705: Kintex-7 XC7K325T (Vivado target in the paper).
+    XilinxKc705,
+}
+
+impl Platform {
+    /// Total logic cells (ALMs for Intel, LUTs for Xilinx).
+    pub fn logic_cells(self) -> u64 {
+        match self {
+            Platform::IntelHarp => 427_200,
+            Platform::XilinxKc705 => 203_800,
+        }
+    }
+
+    /// Total flip-flops.
+    pub fn registers(self) -> u64 {
+        match self {
+            Platform::IntelHarp => 1_708_800,
+            Platform::XilinxKc705 => 407_600,
+        }
+    }
+
+    /// Total block RAM bits (M20K blocks on Arria 10, BRAM36 on Kintex-7).
+    pub fn bram_bits(self) -> u64 {
+        match self {
+            // 2,713 M20K blocks × 20,480 bits.
+            Platform::IntelHarp => 55_562_240,
+            // 445 BRAM36 blocks × 36,864 bits.
+            Platform::XilinxKc705 => 16_404_480,
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::IntelHarp => "Intel HARP (Arria 10 GX1150)",
+            Platform::XilinxKc705 => "Xilinx KC705 (Kintex-7 325T)",
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_sane() {
+        assert!(Platform::IntelHarp.logic_cells() > Platform::XilinxKc705.logic_cells());
+        assert!(Platform::IntelHarp.bram_bits() > Platform::XilinxKc705.bram_bits());
+        assert_eq!(Platform::IntelHarp.registers(), 4 * Platform::IntelHarp.logic_cells());
+    }
+}

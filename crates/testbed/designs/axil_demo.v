@@ -1,0 +1,74 @@
+// AXI4-Lite register-file endpoint (Xilinx example style).
+//
+// A well-behaved AXI-Lite slave must accept the write address and the
+// write data independently, in either order, and respond once it has both.
+//
+// BUG S1 (protocol violation): this slave only completes a write when
+// AWVALID and WVALID happen to be high in the same cycle, and it never
+// asserts the ready signals otherwise — a master that staggers the two
+// channels hangs forever and an AXI protocol monitor reports the stall.
+module axil_demo (
+  input clk,
+  input rst,
+  input awvalid,
+  input [3:0] awaddr,
+  input wvalid,
+  input [31:0] wdata,
+  output reg awready,
+  output reg wready,
+  output reg bvalid,
+  input bready,
+  input arvalid,
+  input [3:0] araddr,
+  output reg arready,
+  output reg rvalid,
+  output reg [31:0] rdata
+);
+  localparam W_IDLE = 2'd0;
+  localparam W_RESP = 2'd1;
+
+  reg [31:0] regs [0:15];
+  reg [1:0] wr_state;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      wr_state <= W_IDLE;
+      awready <= 1'b0;
+      wready <= 1'b0;
+      bvalid <= 1'b0;
+      arready <= 1'b0;
+      rvalid <= 1'b0;
+    end else begin
+      awready <= 1'b0;
+      wready <= 1'b0;
+      if (bvalid && bready) bvalid <= 1'b0;
+      // BUG: the write is not accepted (and BVALID not produced) until the
+      // master already presents BREADY — but AXI forbids a slave from
+      // making BVALID wait for BREADY. A master that raises BREADY only
+      // after seeing BVALID deadlocks.
+      if (awvalid && wvalid && !bvalid && bready) begin
+        regs[awaddr] <= wdata;
+        awready <= 1'b1;
+        wready <= 1'b1;
+        bvalid <= 1'b1;
+        $display("axil: write [%0d] = %h", awaddr, wdata);
+      end
+      case (wr_state)
+        W_IDLE: if (awvalid && wvalid) wr_state <= W_RESP;
+        W_RESP: if (bready) begin
+          wr_state <= W_IDLE;
+          $display("axil: write response handshake");
+        end
+        default: wr_state <= W_IDLE;
+      endcase
+      arready <= 1'b0;
+      if (rvalid) rvalid <= 1'b0;
+      if (arvalid && !rvalid) begin
+        rdata <= regs[araddr];
+        arready <= 1'b1;
+        rvalid <= 1'b1;
+        $display("axil: read [%0d]", araddr);
+      end
+    end
+  end
+endmodule

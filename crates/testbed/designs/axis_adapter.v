@@ -1,0 +1,52 @@
+// AXI-Stream 16-to-8 bit width adapter (verilog-axis style, generic).
+//
+// Each 16-bit input beat carries a TKEEP pair; an odd-length frame marks
+// its final beat with tkeep = 2'b01 (only the low byte meaningful).
+//
+// BUG S3 (incomplete implementation): the adapter always emits both bytes,
+// ignoring TKEEP — the odd-length corner case was never implemented, so
+// odd frames gain a garbage trailing byte.
+module axis_adapter (
+  input clk,
+  input rst,
+  input [15:0] s_data,
+  input [1:0] s_keep,
+  input s_valid,
+  input s_last,
+  output reg [7:0] m_data,
+  output reg m_valid,
+  output reg m_last
+);
+  // One-hot byte-phase tracker (an FSM the heuristics miss).
+  reg [3:0] byte_phase;
+  reg [7:0] pend;
+  reg pend_v;
+  reg pend_last;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      m_valid <= 1'b0;
+      pend_v <= 1'b0;
+      byte_phase <= 4'b0001;
+    end else begin
+      if (m_valid) byte_phase <= {byte_phase[2:0], byte_phase[3]};
+      m_valid <= 1'b0;
+      m_last <= 1'b0;
+      if (s_valid) begin
+        m_data <= s_data[7:0];
+        m_valid <= 1'b1;
+        // BUG: should check s_keep[1] and, for tkeep == 2'b01, emit the
+        // low byte as the final one with m_last set.
+        pend <= s_data[15:8];
+        pend_v <= 1'b1;
+        pend_last <= s_last;
+        $display("adapter: beat %h keep=%b", s_data, s_keep);
+      end else if (pend_v) begin
+        m_data <= pend;
+        m_valid <= 1'b1;
+        m_last <= pend_last;
+        pend_v <= 1'b0;
+      end
+    end
+  end
+endmodule

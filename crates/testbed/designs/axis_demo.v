@@ -1,0 +1,64 @@
+// AXI-Stream producer demo (Xilinx example style).
+//
+// Streams a counter pattern of FRAME_LEN words per frame. The AXI-Stream
+// rule is that once TVALID is asserted it must stay asserted (with stable
+// data) until TREADY completes the handshake.
+//
+// BUG S2 (protocol violation): on backpressure the producer gives up after
+// one cycle, deasserts TVALID, and advances to the next word anyway — the
+// stalled word is lost and a protocol monitor flags the dropped TVALID.
+module axis_demo (
+  input clk,
+  input rst,
+  input start,
+  input tready,
+  output reg tvalid,
+  output reg [7:0] tdata,
+  output reg tlast,
+  output reg done
+);
+  localparam FRAME_LEN = 8;
+
+  reg running;
+  // One-hot lane-phase tracker: a real FSM the detection heuristics miss,
+  // because its next-state logic rotates through bit selects (rule 5).
+  reg [3:0] tx_phase;
+  reg [7:0] next_word;
+  reg [3:0] sent;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      tx_phase <= 4'b0001;
+      tvalid <= 1'b0;
+      running <= 1'b0;
+      done <= 1'b0;
+      next_word <= 8'd0;
+      sent <= 4'd0;
+    end else begin
+      if (tvalid && tready) tx_phase <= {tx_phase[2:0], tx_phase[3]};
+      if (tx_phase[3] && tvalid) $display("axis_demo: lane wrap");
+      if (start && !running) begin
+        running <= 1'b1;
+        next_word <= 8'd1;
+        sent <= 4'd0;
+        $display("axis_demo: frame start");
+      end
+      if (running && !done) begin
+        // BUG: advances every cycle regardless of the handshake; should
+        // hold tvalid/tdata until (tvalid && tready).
+        tvalid <= 1'b1;
+        tdata <= next_word;
+        tlast <= sent == FRAME_LEN - 1;
+        next_word <= next_word + 8'd1;
+        sent <= sent + 4'd1;
+        if (sent == FRAME_LEN - 1) begin
+          running <= 1'b0;
+          done <= 1'b1;
+          $display("axis_demo: frame done");
+        end
+      end else begin
+        tvalid <= 1'b0;
+      end
+    end
+  end
+endmodule

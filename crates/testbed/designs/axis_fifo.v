@@ -1,0 +1,66 @@
+// AXI-Stream FIFO with an input skid register (verilog-axis style).
+//
+// Incoming words are accepted into the skid register `s_reg` whenever the
+// (registered) `s_ready` said there was room, and drain into the RAM when
+// it is not full. Registering `s_ready` closes timing at 200 MHz.
+//
+// BUG C4 (signal asynchrony): `s_ready` is computed from the RAM occupancy
+// alone, one cycle stale and blind to the word already parked in the skid
+// register. When the RAM fills while the skid is occupied, upstream still
+// sees ready, pushes once more, and the parked word is overwritten — data
+// and its handshake signal are out of sync (§3.3.3).
+module axis_fifo (
+  input clk,
+  input rst,
+  input [7:0] s_data,
+  input s_valid,
+  output s_ready,
+  input m_ready,
+  output reg [7:0] m_data,
+  output reg m_valid
+);
+  reg [7:0] mem [0:15];
+  reg [4:0] wr_ptr;
+  reg [4:0] rd_ptr;
+  reg [7:0] s_reg;
+  reg s_reg_v;
+  reg s_ready_r;
+
+  wire [4:0] count;
+  assign count = wr_ptr - rd_ptr;
+  assign s_ready = s_ready_r;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      wr_ptr <= 5'd0;
+      rd_ptr <= 5'd0;
+      s_reg_v <= 1'b0;
+      s_ready_r <= 1'b0;
+      m_valid <= 1'b0;
+    end else begin
+      // BUG: ignores the skid register; should keep one slot of margin,
+      // e.g. `s_ready_r <= count < 5'd14;`
+      s_ready_r <= count < 5'd16;
+
+      // Drain the skid register into the RAM.
+      if (s_reg_v && count < 5'd16) begin
+        mem[wr_ptr[3:0]] <= s_reg;
+        wr_ptr <= wr_ptr + 5'd1;
+        s_reg_v <= 1'b0;
+      end
+      // Accept a new word (overwrites the skid register!).
+      if (s_valid && s_ready_r) begin
+        s_reg <= s_data;
+        s_reg_v <= 1'b1;
+        $display("axis_fifo: accept %h count=%0d", s_data, count);
+      end
+      // Output side.
+      m_valid <= 1'b0;
+      if (m_ready && count != 5'd0) begin
+        m_data <= mem[rd_ptr[3:0]];
+        m_valid <= 1'b1;
+        rd_ptr <= rd_ptr + 5'd1;
+      end
+    end
+  end
+endmodule

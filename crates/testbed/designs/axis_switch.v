@@ -1,0 +1,64 @@
+// 2-port AXI-Stream switch (verilog-axis style, generic platform).
+//
+// The first word of each frame is a header whose top two bits select the
+// destination port.
+//
+// BUG D8 (misindexing): the destination is extracted from header bits
+// [5:4] instead of [7:6], so frames are routed by payload bits and end up
+// on the wrong port.
+module axis_switch (
+  input clk,
+  input rst,
+  input [7:0] s_data,
+  input s_valid,
+  input s_last,
+  output reg [7:0] m0_data,
+  output reg m0_valid,
+  output reg [7:0] m1_data,
+  output reg m1_valid
+);
+  reg in_frame;
+  reg dest;
+  // One-hot route-phase tracker (an FSM the heuristics miss).
+  reg [3:0] route_phase;
+
+  wire sel;
+  assign sel = s_data[5];   // BUG: should be s_data[7]
+
+  always @(posedge clk) begin
+    if (rst) begin
+      in_frame <= 1'b0;
+      m0_valid <= 1'b0;
+      m1_valid <= 1'b0;
+      route_phase <= 4'b0001;
+    end else begin
+      if (s_valid && route_phase[1]) $display("switch: phase beat");
+      if (s_valid) route_phase <= {route_phase[2:0], route_phase[3]};
+      m0_valid <= 1'b0;
+      m1_valid <= 1'b0;
+      if (s_valid) begin
+        if (!in_frame) begin
+          dest <= sel;
+          in_frame <= !s_last;
+          if (sel) begin
+            m1_data <= s_data;
+            m1_valid <= 1'b1;
+          end else begin
+            m0_data <= s_data;
+            m0_valid <= 1'b1;
+          end
+          $display("switch: frame to port %0d", sel);
+        end else begin
+          in_frame <= !s_last;
+          if (dest) begin
+            m1_data <= s_data;
+            m1_valid <= 1'b1;
+          end else begin
+            m0_data <= s_data;
+            m0_valid <= 1'b1;
+          end
+        end
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,63 @@
+// Single-precision floating point adder (contributed FADD, generic).
+//
+// Handles normalized, same-sign operands: unpack, align by exponent
+// difference, add, renormalize on carry, pack.
+//
+// BUG D7 (misindexing): the fraction is extracted as bits [23:0] instead of
+// [22:0] — exactly the bug reported in §3.2.3 — so the exponent's LSB leaks
+// into the significand and the sum is wrong.
+module fadd (
+  input clk,
+  input rst,
+  input [31:0] a,
+  input [31:0] b,
+  input in_valid,
+  output reg [31:0] sum,
+  output reg out_valid
+);
+  reg [7:0] exp_a;
+  reg [7:0] exp_b;
+  reg [24:0] frac_a;
+  reg [24:0] frac_b;
+  reg sign;
+  reg stage2;
+
+  reg [25:0] mant;
+  reg [7:0] exp_r;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      out_valid <= 1'b0;
+      stage2 <= 1'b0;
+    end else begin
+      out_valid <= 1'b0;
+      if (in_valid) begin
+        exp_a = a[30:23];
+        exp_b = b[30:23];
+        frac_a = {1'b1, a[23:0]};   // BUG: should be {1'b1, a[22:0], 1'b0}
+        frac_b = {1'b1, b[23:0]};   // BUG: should be {1'b1, b[22:0], 1'b0}
+        sign <= a[31];
+        if (exp_a >= exp_b) begin
+          frac_b = frac_b >> (exp_a - exp_b);
+          exp_r <= exp_a;
+        end else begin
+          frac_a = frac_a >> (exp_b - exp_a);
+          exp_r <= exp_b;
+        end
+        mant <= {1'b0, frac_a} + {1'b0, frac_b};
+        stage2 <= 1'b1;
+      end else begin
+        stage2 <= 1'b0;
+      end
+      if (stage2) begin
+        if (mant[25]) begin
+          sum <= {sign, exp_r + 8'd1, mant[24:2]};
+          $display("fadd: carry renormalize");
+        end else begin
+          sum <= {sign, exp_r, mant[23:1]};
+        end
+        out_valid <= 1'b1;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,43 @@
+// One FFT butterfly stage with twiddle scaling (ZipCPU-style, generic).
+//
+// BUG D6 (bit truncation): the scaled product should be computed as
+// `16'(prod >> 4)` but was written `16'(prod) >> 4`, cutting off the
+// meaningful bits [19:16] before the shift — the same shape as the paper's
+// §3.2.2 example `left <= 42'(right) >> 6`.
+module fft_stage (
+  input clk,
+  input rst,
+  input [15:0] ar,
+  input [15:0] br,
+  input [7:0] twiddle,
+  input in_valid,
+  output reg [15:0] yr,
+  output reg [15:0] zr,
+  output reg out_valid
+);
+  reg [23:0] prod;
+  reg [15:0] ar_d;
+  reg stage2;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      out_valid <= 1'b0;
+      stage2 <= 1'b0;
+    end else begin
+      out_valid <= 1'b0;
+      if (in_valid) begin
+        prod <= {8'd0, br} * {16'd0, twiddle};
+        ar_d <= ar;
+        stage2 <= 1'b1;
+      end else begin
+        stage2 <= 1'b0;
+      end
+      if (stage2) begin
+        yr <= ar_d + (16'(prod) >> 4);   // BUG: should be 16'(prod >> 4)
+        zr <= ar_d - (16'(prod) >> 4);
+        out_valid <= 1'b1;
+        $display("fft: butterfly out");
+      end
+    end
+  end
+endmodule

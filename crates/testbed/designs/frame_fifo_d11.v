@@ -1,0 +1,85 @@
+// Store-and-forward frame FIFO with mid-frame drop (generic platform).
+//
+// Every beat is first captured into `in_reg`; if the FIFO fills up while a
+// frame is streaming in, the rest of the frame is intentionally discarded
+// from `in_reg` and the partial frame is rewound (`drop` set).
+//
+// BUG D11 (failure-to-update): `drop` is never cleared when the next frame
+// starts, so once one frame has been dropped every later frame is silently
+// discarded too.
+module frame_fifo_d11 (
+  input clk,
+  input rst,
+  input [7:0] s_data,
+  input s_valid,
+  input s_last,
+  input m_ready,
+  output [7:0] m_data,
+  output m_valid,
+  output full
+);
+  reg [7:0] mem [0:15];
+  reg [4:0] wr_ptr;
+  reg [4:0] frame_start;
+  reg [4:0] rd_ptr;
+  localparam RX_IDLE = 2'd0;
+  localparam RX_BUSY = 2'd1;
+
+  reg [1:0] rx_state;
+  reg [7:0] in_reg;
+  reg in_reg_v;
+  reg in_reg_last;
+  reg drop;
+
+  assign full = (wr_ptr - rd_ptr) >= 5'd16;
+  assign m_valid = frame_start != rd_ptr;
+  assign m_data = mem[rd_ptr[3:0]];
+
+  always @(posedge clk) begin
+    if (rst) begin
+      rx_state <= RX_IDLE;
+      wr_ptr <= 5'd0;
+      frame_start <= 5'd0;
+      rd_ptr <= 5'd0;
+      in_reg_v <= 1'b0;
+      drop <= 1'b0;
+    end else begin
+      if (s_valid) begin
+        in_reg <= s_data;
+        in_reg_v <= 1'b1;
+        in_reg_last <= s_last;
+      end else begin
+        in_reg_v <= 1'b0;
+      end
+      if (in_reg_v) begin
+        if (drop) begin
+          // Intentional discard of the rest of a dropped frame.
+          if (in_reg_last) begin
+            wr_ptr <= frame_start;
+            $display("fifo: frame dropped, rewound to %0d", frame_start);
+            // BUG: missing `drop <= 1'b0;` here.
+          end
+        end else if (full) begin
+          drop <= 1'b1;
+          $display("fifo: full mid-frame, dropping");
+        end else begin
+          mem[wr_ptr[3:0]] <= in_reg;
+          wr_ptr <= wr_ptr + 5'd1;
+          if (in_reg_last) begin
+            frame_start <= wr_ptr + 5'd1;
+            $display("fifo: frame committed at %0d", wr_ptr + 5'd1);
+          end
+        end
+      end
+      case (rx_state)
+        RX_IDLE: if (s_valid) rx_state <= RX_BUSY;
+        RX_BUSY: if (s_valid && s_last) begin
+          rx_state <= RX_IDLE;
+          $display("fifo: frame tail seen");
+        end
+        default: rx_state <= RX_IDLE;
+      endcase
+      if (m_valid && m_ready) rd_ptr <= rd_ptr + 5'd1;
+    end
+  end
+endmodule

@@ -1,0 +1,53 @@
+// Store-and-forward frame FIFO with end-of-frame marker (generic platform).
+//
+// The output side presents `m_last` on the final word of each frame.
+//
+// BUG D12 (failure-to-update): `m_last` is set when a frame boundary is
+// reached but never cleared afterwards, so every subsequent word is also
+// flagged as a frame end and downstream sees a burst of one-word frames.
+module frame_fifo_d12 (
+  input clk,
+  input rst,
+  input [7:0] s_data,
+  input s_valid,
+  input s_last,
+  input m_ready,
+  output reg [7:0] m_data,
+  output reg m_valid,
+  output reg m_last,
+  output full
+);
+  reg [7:0] mem [0:15];
+  reg [15:0] last_flags;
+  reg [4:0] wr_ptr;
+  reg [4:0] rd_ptr;
+
+  assign full = (wr_ptr - rd_ptr) >= 5'd16;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      wr_ptr <= 5'd0;
+      rd_ptr <= 5'd0;
+      m_valid <= 1'b0;
+      m_last <= 1'b0;
+      last_flags <= 16'd0;
+    end else begin
+      if (s_valid && !full) begin
+        mem[wr_ptr[3:0]] <= s_data;
+        last_flags[wr_ptr[3:0]] <= s_last;
+        wr_ptr <= wr_ptr + 5'd1;
+      end
+      m_valid <= 1'b0;
+      if (m_ready && wr_ptr != rd_ptr) begin
+        m_data <= mem[rd_ptr[3:0]];
+        m_valid <= 1'b1;
+        if (last_flags[rd_ptr[3:0]]) begin
+          m_last <= 1'b1;
+          $display("fifo: frame boundary at %0d", rd_ptr);
+        end
+        // BUG: missing `else m_last <= 1'b0;`
+        rd_ptr <= rd_ptr + 5'd1;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,42 @@
+// Store-and-forward frame FIFO (verilog-ethernet style, generic platform).
+//
+// Words stream in and are committed per frame; when the FIFO has no room
+// for a frame it is dropped whole (legitimate drop-on-full behaviour).
+//
+// BUG D4 (buffer overflow): the full test is off by one (`> 16` instead of
+// `>= 16`), so a 17th pending word overwrites the oldest unread slot.
+module frame_fifo_d4 (
+  input clk,
+  input rst,
+  input [7:0] s_data,
+  input s_valid,
+  input m_ready,
+  output [7:0] m_data,
+  output m_valid,
+  output full
+);
+  reg [7:0] mem [0:15];
+  reg [4:0] wr_ptr;
+  reg [4:0] rd_ptr;
+
+  assign full = (wr_ptr - rd_ptr) > 5'd16;  // BUG: should be >= 16
+  assign m_valid = wr_ptr != rd_ptr;
+  assign m_data = mem[rd_ptr[3:0]];
+
+  always @(posedge clk) begin
+    if (rst) begin
+      wr_ptr <= 5'd0;
+      rd_ptr <= 5'd0;
+    end else begin
+      if (s_valid && !full) begin
+        mem[wr_ptr[3:0]] <= s_data;
+        wr_ptr <= wr_ptr + 5'd1;
+        $display("fifo: stored %h depth=%0d", s_data, wr_ptr - rd_ptr);
+      end
+      if (s_valid && full) $display("fifo: frame word dropped (full)");
+      if (m_valid && m_ready) begin
+        rd_ptr <= rd_ptr + 5'd1;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,43 @@
+// Frame length measurer (generic platform).
+//
+// Counts the bytes of each frame between start and end markers and emits
+// the length after the last byte.
+//
+// BUG D13 (failure-to-update): the byte counter is never reset when a new
+// frame starts, so from the second frame on the reported length includes
+// every previous frame.
+module frame_len (
+  input clk,
+  input rst,
+  input [7:0] s_data,
+  input s_valid,
+  input s_sop,
+  input s_eop,
+  output reg [15:0] len,
+  output reg len_valid
+);
+  reg [15:0] count;
+  // One-hot scan-phase tracker (an FSM the heuristics miss).
+  reg [3:0] scan_phase;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 16'd0;
+      len_valid <= 1'b0;
+      scan_phase <= 4'b0001;
+    end else begin
+      if (s_valid) scan_phase <= {scan_phase[2:0], scan_phase[3]};
+      if (scan_phase[2] && s_valid) $display("framelen: phase checkpoint");
+      len_valid <= 1'b0;
+      if (s_valid) begin
+        // BUG: missing `if (s_sop) count <= 16'd1; else ...`
+        count <= count + 16'd1;
+        if (s_eop) begin
+          len <= count + 16'd1;
+          len_valid <= 1'b1;
+          $display("framelen: length %0d", count + 16'd1);
+        end
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,110 @@
+// Grayscale image accelerator (Intel HARP, the paper's §6.3 case study).
+//
+// A read FSM pulls NUM_PIXELS RGB pixels from host memory, converts each to
+// 8-bit gray, and stages results in a 12-entry line buffer; a write FSM
+// drains completed entries back to the host. `out_hold` speculatively
+// prefetches the next result every cycle (intentionally overwritten when
+// the host is not reading).
+//
+// BUG D2 (buffer overflow): the 4-bit `wr_ptr` is allowed to run 0..15 but
+// the line buffer only has 12 entries; the developer forgot the wrap at 11,
+// so 4 of every 16 stores overflow and are dropped. Their `fresh` bits are
+// never set, the write FSM waits forever for them, and the accelerator
+// hangs with the read FSM in RD_FINISH and the write FSM in WR_DATA.
+module grayscale (
+  input clk,
+  input rst,
+  input start,
+  input [23:0] pix_in,     // {r, g, b}
+  input pix_in_valid,
+  input host_rd,
+  output reg [7:0] pix_out,
+  output reg pix_out_valid,
+  output [1:0] rd_state_dbg,
+  output [1:0] wr_state_dbg,
+  output reg done
+);
+  localparam NUM_PIXELS = 24;
+  localparam LINE = 12;
+
+  localparam RD_IDLE = 2'd0;
+  localparam RD_DATA = 2'd1;
+  localparam RD_FINISH = 2'd2;
+  localparam WR_IDLE = 2'd0;
+  localparam WR_DATA = 2'd1;
+  localparam WR_FINISH = 2'd2;
+
+  reg [1:0] rd_state;
+  reg [1:0] wr_state;
+  reg [7:0] linebuf [0:11];
+  reg [11:0] fresh;
+  reg [3:0] wr_ptr;
+  reg [3:0] rd_ptr;
+  reg [5:0] in_count;
+  reg [5:0] out_count;
+  reg [7:0] out_hold;
+
+  wire [7:0] gray;
+  assign gray = (pix_in[23:16] >> 2) + (pix_in[15:8] >> 1) + (pix_in[7:0] >> 2);
+  assign rd_state_dbg = rd_state;
+  assign wr_state_dbg = wr_state;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      rd_state <= RD_IDLE;
+      wr_state <= WR_IDLE;
+      fresh <= 12'd0;
+      wr_ptr <= 4'd0;
+      rd_ptr <= 4'd0;
+      in_count <= 6'd0;
+      out_count <= 6'd0;
+      pix_out_valid <= 1'b0;
+      done <= 1'b0;
+    end else begin
+      pix_out_valid <= 1'b0;
+
+      // Read FSM: accept pixels from the host.
+      case (rd_state)
+        RD_IDLE: if (start) begin
+          rd_state <= RD_DATA;
+          $display("grayscale: read FSM starts");
+        end
+        RD_DATA: if (pix_in_valid) begin
+          linebuf[wr_ptr] <= gray;
+          fresh[wr_ptr] <= 1'b1;
+          wr_ptr <= wr_ptr + 4'd1;   // BUG: missing wrap at LINE-1
+          in_count <= in_count + 6'd1;
+          if (in_count == NUM_PIXELS - 1) begin
+            rd_state <= RD_FINISH;
+            $display("grayscale: read FSM finished after %0d pixels", in_count + 6'd1);
+          end
+        end
+        default: rd_state <= rd_state;
+      endcase
+
+      // Speculative prefetch of the next result (intentional overwrite).
+      out_hold <= linebuf[rd_ptr];
+
+      // Write FSM: return gray pixels to the host.
+      case (wr_state)
+        WR_IDLE: if (in_count != 6'd0) wr_state <= WR_DATA;
+        WR_DATA: begin
+          if (host_rd && fresh[rd_ptr]) begin
+            pix_out <= out_hold;
+            pix_out_valid <= 1'b1;
+            fresh[rd_ptr] <= 1'b0;
+            if (rd_ptr == LINE - 1) rd_ptr <= 4'd0;
+            else rd_ptr <= rd_ptr + 4'd1;
+            out_count <= out_count + 6'd1;
+            if (out_count == NUM_PIXELS - 1) begin
+              wr_state <= WR_FINISH;
+              $display("grayscale: write FSM finished");
+            end
+          end
+        end
+        WR_FINISH: done <= 1'b1;
+        default: wr_state <= WR_IDLE;
+      endcase
+    end
+  end
+endmodule

@@ -1,0 +1,88 @@
+// Optimus-style FPGA hypervisor response arbiter (Intel HARP, 400 MHz).
+//
+// Each virtual function completes requests on its own channel; completions
+// are parked in per-VM registers and an arbiter multiplexes the parked
+// responses onto the single physical channel back to the guests.
+//
+// BUG C2 (producer-consumer mismatch): the arbiter gives VM0 absolute
+// priority and never back-pressures the VM0 completion stream
+// (`vm0_stall` is hardwired low). While VM0 keeps completing, VM1's
+// parking register is never drained and each new VM1 completion
+// overwrites the unsent one — the bounded-buffer race of §3.3.2. The
+// guest waiting for a lost response hangs forever.
+module optimus_c2 (
+  input clk,
+  input rst,
+  input [15:0] vm0_resp,
+  input vm0_valid,
+  input [15:0] vm1_resp,
+  input vm1_valid,
+  input resp_ready,
+  output reg [16:0] resp,      // {vm, payload}
+  output reg resp_valid,
+  output reg [7:0] vm0_sent,
+  output reg [7:0] vm1_sent,
+  output vm0_stall
+);
+  localparam ARB_IDLE = 2'd0;
+  localparam ARB_BUSY = 2'd1;
+
+  reg [1:0] arb_state;
+  reg [15:0] vm0_r;
+  reg vm0_rv;
+  reg [15:0] vm1_r;
+  reg vm1_rv;
+
+  // BUG: no backpressure toward the VM0 completion stream, so the arbiter
+  // can never catch up on VM1's parked response.
+  assign vm0_stall = 1'b0;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      arb_state <= ARB_IDLE;
+      resp_valid <= 1'b0;
+      vm0_rv <= 1'b0;
+      vm1_rv <= 1'b0;
+      vm0_sent <= 8'd0;
+      vm1_sent <= 8'd0;
+    end else begin
+      resp_valid <= 1'b0;
+      if (vm0_valid) begin
+        vm0_r <= vm0_resp;
+        vm0_rv <= 1'b1;
+        $display("optimus: vm0 completion %h", vm0_resp);
+      end
+      if (vm1_valid) begin
+        vm1_r <= vm1_resp;
+        vm1_rv <= 1'b1;
+        $display("optimus: vm1 completion %h", vm1_resp);
+      end
+      if (vm0_valid && vm1_valid) $display("optimus: simultaneous completions");
+      if (resp_ready) begin
+        if (vm0_rv) begin
+          resp <= {1'b0, vm0_r};
+          resp_valid <= 1'b1;
+          vm0_rv <= vm0_valid;
+          vm0_sent <= vm0_sent + 8'd1;
+          $display("optimus: forwarded vm0 response %h", vm0_r);
+        end else if (vm1_rv) begin
+          resp <= {1'b1, vm1_r};
+          resp_valid <= 1'b1;
+          vm1_rv <= vm1_valid;
+          vm1_sent <= vm1_sent + 8'd1;
+          $display("optimus: forwarded vm1 response %h", vm1_r);
+        end
+      end else begin
+        if (vm0_rv || vm1_rv) $display("optimus: backpressured responses");
+      end
+      case (arb_state)
+        ARB_IDLE: if (vm0_rv || vm1_rv) arb_state <= ARB_BUSY;
+        ARB_BUSY: if (!vm0_rv && !vm1_rv) arb_state <= ARB_IDLE;
+        default: arb_state <= ARB_IDLE;
+      endcase
+      if (vm1_sent + 8'd8 < vm0_sent) begin
+        $display("optimus: vm1 starvation suspected (%0d vs %0d)", vm0_sent, vm1_sent);
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,57 @@
+// Optimus-style FPGA hypervisor MMIO mailbox (Intel HARP, 400 MHz target).
+//
+// Two virtual machines share one physical mailbox RAM. Each VM owns six
+// slots; the hypervisor muxes guest writes into the RAM and serves guest
+// reads back. Rich debug `$display`s cover the datapath (the hypervisor is
+// the most heavily instrumented design in the testbed, like the paper's
+// Optimus).
+//
+// BUG D3 (buffer overflow): the slot address is formed as {vm_id, offset}
+// (a stride of 8) but the RAM only has 12 entries; VM1's offsets 4 and 5
+// map to addresses 12 and 13, overflow the RAM, and the writes vanish.
+module optimus_d3 (
+  input clk,
+  input rst,
+  input vm_id,
+  input [2:0] offset,
+  input wr_valid,
+  input [31:0] wdata,
+  input rd_valid,
+  output reg [31:0] rdata,
+  output reg rdata_valid,
+  output reg [7:0] wr_count,
+  output reg [7:0] rd_count
+);
+  reg [31:0] mbox [0:11];
+
+  wire [3:0] slot;
+  assign slot = {vm_id, offset};   // BUG: should be vm_id ? offset + 6 : offset
+
+  always @(posedge clk) begin
+    if (rst) begin
+      rdata_valid <= 1'b0;
+      wr_count <= 8'd0;
+      rd_count <= 8'd0;
+    end else begin
+      rdata_valid <= 1'b0;
+      if (wr_valid) begin
+        mbox[slot] <= wdata;
+        wr_count <= wr_count + 8'd1;
+        if (vm_id) begin
+          $display("optimus: vm1 write slot %0d = %h", offset, wdata);
+        end else begin
+          $display("optimus: vm0 write slot %0d = %h", offset, wdata);
+        end
+        if (wdata == 32'hdead_beef) $display("optimus: poison value written");
+      end
+      if (rd_valid) begin
+        rdata <= mbox[slot];
+        rdata_valid <= 1'b1;
+        rd_count <= rd_count + 8'd1;
+        if (vm_id && offset > 3'd3) $display("optimus: vm1 high-slot read");
+        if (rd_count == wr_count) $display("optimus: mailbox drained");
+      end
+      if (wr_count - rd_count > 8'd8) $display("optimus: backlog %0d", wr_count - rd_count);
+    end
+  end
+endmodule

@@ -1,0 +1,68 @@
+// Reed-Solomon decoder front-end (Intel HARP accelerator style).
+//
+// Symbols stream in ({corrupt flag, data}); good symbols are staged in
+// `hold`, accumulated into the block syndrome, and stored into the output
+// buffer; corrupt symbols are intentionally discarded from `hold`. The host
+// drains the corrected block through `dout`.
+//
+// BUG D1 (buffer overflow): `obuf` is sized for 10 symbols but a block
+// carries BLOCK = 12; writes at indexes 10 and 11 overflow the buffer and
+// are silently dropped, so two symbols of every block are lost.
+module rsd (
+  input clk,
+  input rst,
+  input [8:0] din,        // bit 8: corrupt flag, bits [7:0]: symbol
+  input din_valid,
+  input rd_en,
+  output reg [7:0] dout,
+  output reg dout_valid,
+  output reg [7:0] syndrome,
+  output reg block_done
+);
+  localparam BLOCK = 12;
+
+  reg [7:0] obuf [0:9];   // BUG: should hold BLOCK = 12 symbols
+  reg [3:0] wr_idx;
+  reg [3:0] rd_idx;
+  reg [7:0] hold;         // staging; corrupt symbols dropped from here
+  reg hold_v;
+  reg hold_ok;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      wr_idx <= 4'd0;
+      rd_idx <= 4'd0;
+      syndrome <= 8'd0;
+      block_done <= 1'b0;
+      dout_valid <= 1'b0;
+      hold_v <= 1'b0;
+    end else begin
+      dout_valid <= 1'b0;
+      if (din_valid) begin
+        hold <= din[7:0];
+        hold_ok <= !din[8];
+        hold_v <= 1'b1;
+        if (din[8]) $display("rsd: corrupt symbol %h discarded", din);
+      end else begin
+        hold_v <= 1'b0;
+      end
+      if (hold_v && hold_ok) begin
+        obuf[wr_idx] <= hold;
+        syndrome <= syndrome ^ hold;
+        if (wr_idx == BLOCK - 1) begin
+          wr_idx <= 4'd0;
+          block_done <= 1'b1;
+          $display("rsd: block complete, syndrome=%h", syndrome ^ hold);
+        end else begin
+          wr_idx <= wr_idx + 4'd1;
+        end
+      end
+      if (rd_en) begin
+        dout <= obuf[rd_idx];
+        dout_valid <= 1'b1;
+        if (rd_idx == BLOCK - 1) rd_idx <= 4'd0;
+        else rd_idx <= rd_idx + 4'd1;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,62 @@
+// SD-card SPI controller, transmit/receive handshake (ZipCPU SDSPI style).
+//
+// The transmit and receive halves synchronize through a pair of ready
+// flags before a transfer starts.
+//
+// BUG C1 (deadlock): `tx_ready` is only set once `rx_ready` is set and vice
+// versa, and both reset to 0 — the circular control dependency of §3.3.1.
+// The FSM waits on both forever.
+module sdspi_c1 (
+  input clk,
+  input rst,
+  input go,
+  output reg busy,
+  output reg done,
+  output [1:0] state_dbg
+);
+  localparam IDLE = 2'd0;
+  localparam WAIT = 2'd1;
+  localparam XFER = 2'd2;
+
+  reg [1:0] state;
+  reg tx_ready;
+  reg rx_ready;
+  reg [3:0] cnt;
+
+  assign state_dbg = state;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      tx_ready <= 1'b0;   // BUG: one side must power up ready (1'b1)
+      rx_ready <= 1'b0;
+      busy <= 1'b0;
+      done <= 1'b0;
+      cnt <= 4'd0;
+    end else begin
+      if (rx_ready) tx_ready <= 1'b1;
+      if (tx_ready) rx_ready <= 1'b1;
+      case (state)
+        IDLE: if (go) begin
+          state <= WAIT;
+          busy <= 1'b1;
+          $display("sdspi: waiting for ready handshake");
+        end
+        WAIT: if (tx_ready && rx_ready) begin
+          state <= XFER;
+          cnt <= 4'd0;
+        end
+        XFER: begin
+          cnt <= cnt + 4'd1;
+          if (cnt == 4'd7) begin
+            state <= IDLE;
+            busy <= 1'b0;
+            done <= 1'b1;
+            $display("sdspi: transfer complete");
+          end
+        end
+        default: state <= IDLE;
+      endcase
+    end
+  end
+endmodule

@@ -1,0 +1,40 @@
+// SD-card SPI controller, delayed response path (ZipCPU SDSPI style).
+//
+// The protocol requires two cycles between request and response, so the
+// computed response is buffered for an extra cycle (§3.3.3's example).
+//
+// BUG C3 (signal asynchrony): `final_response_valid` is raised immediately
+// on the request instead of being delayed with the data, so the consumer
+// samples the response one cycle before it is actually there.
+module sdspi_c3 (
+  input clk,
+  input rst,
+  input request,
+  input [7:0] input_data,
+  output reg [7:0] final_response,
+  output reg final_response_valid
+);
+  reg [7:0] buffered_response;
+  reg delayed_valid;
+  // One-hot response-phase tracker (an FSM the heuristics miss: rotated
+  // through bit selects).
+  reg [3:0] resp_phase;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      final_response_valid <= 1'b0;
+      delayed_valid <= 1'b0;
+      resp_phase <= 4'b0001;
+    end else begin
+      if (request || !resp_phase[0]) resp_phase <= {resp_phase[2:0], resp_phase[3]};
+      if (request) buffered_response <= input_data + 8'd1;
+      final_response <= buffered_response;
+      // BUG: should be
+      //   if (request) delayed_valid <= 1'b1; else delayed_valid <= 1'b0;
+      //   final_response_valid <= delayed_valid;
+      if (request) final_response_valid <= 1'b1;
+      else final_response_valid <= 1'b0;
+      if (request) $display("sdspi: request for %0d", input_data);
+    end
+  end
+endmodule

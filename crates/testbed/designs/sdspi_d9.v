@@ -1,0 +1,58 @@
+// SD-card SPI controller, response path (ZipCPU SDSPI style, generic).
+//
+// A command FSM shifts a 16-bit response in from `miso`, MSB first, one bit
+// per cycle, then presents it to the host.
+//
+// BUG D9 (endianness mismatch): the two response bytes are stored swapped —
+// the first (most significant) byte lands in resp[7:0] — the little/big
+// endian confusion of §3.2.4.
+module sdspi_d9 (
+  input clk,
+  input rst,
+  input go,
+  input miso,
+  output reg [15:0] resp,
+  output reg resp_valid,
+  output [1:0] state_dbg
+);
+  localparam IDLE = 2'd0;
+  localparam RECV = 2'd1;
+  localparam DONE = 2'd2;
+
+  reg [1:0] state;
+  reg [15:0] shift;
+  reg [4:0] bitcnt;
+
+  assign state_dbg = state;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      resp_valid <= 1'b0;
+      bitcnt <= 5'd0;
+    end else begin
+      resp_valid <= 1'b0;
+      case (state)
+        IDLE: if (go) begin
+          state <= RECV;
+          bitcnt <= 5'd0;
+          $display("sdspi: receive start");
+        end
+        RECV: begin
+          shift <= {shift[14:0], miso};
+          bitcnt <= bitcnt + 5'd1;
+          if (bitcnt == 5'd15) state <= DONE;
+        end
+        DONE: begin
+          // BUG: bytes swapped; should be {shift[15:8], shift[7:0]}.
+          resp[7:0] <= shift[15:8];
+          resp[15:8] <= shift[7:0];
+          resp_valid <= 1'b1;
+          state <= IDLE;
+          $display("sdspi: response ready");
+        end
+        default: state <= IDLE;
+      endcase
+    end
+  end
+endmodule

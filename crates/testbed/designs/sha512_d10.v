@@ -1,0 +1,51 @@
+// SHA-512 style accumulator core, multi-message variant (Intel HARP).
+//
+// `start` begins a new message; working variables must be re-seeded with
+// the initialization vectors each time.
+//
+// BUG D10 (failure-to-update): `b` is not re-initialized on `start`, so
+// every message after the first hashes against the previous message's
+// residue and produces a wrong digest.
+module sha512_d10 (
+  input clk,
+  input rst,
+  input start,
+  input [63:0] w,
+  input w_valid,
+  output reg [63:0] digest,
+  output reg done,
+  output reg [4:0] round
+);
+  localparam ROUNDS = 8;
+  localparam IV_A = 64'h6a09e667f3bcc908;
+  localparam IV_B = 64'hbb67ae8584caa73b;
+
+  reg [63:0] a;
+  reg [63:0] b;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      a <= IV_A;
+      b <= IV_B;
+      round <= 5'd0;
+      done <= 1'b0;
+    end else begin
+      if (start) begin
+        a <= IV_A;
+        // BUG: missing `b <= IV_B;`
+        round <= 5'd0;
+        done <= 1'b0;
+        $display("sha512: new message");
+      end else if (w_valid && !done) begin
+        a <= a + (w ^ b);
+        b <= b ^ (a >> 7);
+        round <= round + 5'd1;
+        if (round == ROUNDS - 1) begin
+          done <= 1'b1;
+          digest <= (a + (w ^ b)) ^ (b ^ (a >> 7));
+          $display("sha512: digest ready");
+        end
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,45 @@
+// SHA-512 style accumulator core (Intel HARP, 400 MHz target).
+//
+// Sixteen 64-bit message words are absorbed per block; two working
+// variables are updated per round and the digest is their final mix.
+//
+// BUG D5 (bit truncation): the round temporary `t1` was declared 32 bits
+// wide, silently truncating the upper half of every round contribution.
+module sha512_d5 (
+  input clk,
+  input rst,
+  input [63:0] w,
+  input w_valid,
+  output reg [63:0] digest,
+  output reg done,
+  output reg [4:0] round
+);
+  localparam ROUNDS = 16;
+  localparam IV_A = 64'h6a09e667f3bcc908;
+  localparam IV_B = 64'hbb67ae8584caa73b;
+
+  reg [63:0] a;
+  reg [63:0] b;
+  reg [31:0] t1;   // BUG: should be [63:0]
+
+  always @(posedge clk) begin
+    if (rst) begin
+      a <= IV_A;
+      b <= IV_B;
+      round <= 5'd0;
+      done <= 1'b0;
+    end else begin
+      if (w_valid && !done) begin
+        t1 = w ^ b;
+        a <= a + t1;
+        b <= b ^ (a >> 7);
+        round <= round + 5'd1;
+        if (round == ROUNDS - 1) begin
+          done <= 1'b1;
+          digest <= (a + (w ^ b)) ^ (b ^ (a >> 7));
+          $display("sha512: block done after %0d rounds", round + 5'd1);
+        end
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,68 @@
+//! Resource and timing report for an instrumented design: what Figure 2's
+//! data points look like for one design, across recording-buffer sizes.
+//!
+//! Run with `cargo run --example resource_report`.
+
+use hwdbg::dataflow::resolve;
+use hwdbg::ip::StdIpLib;
+use hwdbg::synth::{estimate, estimate_timing, Platform};
+use hwdbg::testbed::{buggy_design, metadata, BugId};
+use hwdbg::tools::signalcat::SignalCatConfig;
+use hwdbg::tools::SignalCat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let id = BugId::D3; // the Optimus hypervisor, a 400 MHz HARP design
+    let meta = metadata(id);
+    let lib = StdIpLib::new();
+    let design = buggy_design(id)?;
+    let base = estimate(&design);
+    let base_t = estimate_timing(&design);
+    println!(
+        "{} baseline: {} registers, {} logic cells, {} BRAM bits, Fmax {:.0} MHz (target {} MHz)",
+        meta.app, base.registers, base.logic_cells, base.bram_bits, base_t.fmax_mhz, meta.target_mhz
+    );
+
+    println!("\nSignalCat instrumentation sweep (recording-buffer depth):");
+    println!(
+        "{:>7} {:>12} {:>10} {:>8} {:>9} {:>7}",
+        "depth", "BRAM bits", "registers", "logic", "Fmax MHz", "meets?"
+    );
+    for depth in [1024u64, 2048, 4096, 8192] {
+        let cfg = SignalCatConfig {
+            buffer_depth: depth,
+            ..Default::default()
+        };
+        let sc = SignalCat::instrument(&design, &cfg)?;
+        let d2 = resolve(sc.module, &lib)?;
+        let r = estimate(&d2) - base;
+        let t = estimate_timing(&d2);
+        println!(
+            "{depth:>7} {:>12} {:>10} {:>8} {:>9.0} {:>7}",
+            r.bram_bits,
+            r.registers,
+            r.logic_cells,
+            t.fmax_mhz,
+            t.meets(meta.target_mhz)
+        );
+    }
+
+    let (regs_pct, logic_pct, bram_pct) = {
+        let cfg = SignalCatConfig {
+            buffer_depth: 8192,
+            ..Default::default()
+        };
+        let sc = SignalCat::instrument(&design, &cfg)?;
+        let d2 = resolve(sc.module, &lib)?;
+        (estimate(&d2) - base).normalized(Platform::IntelHarp)
+    };
+    println!(
+        "\nat 8K entries the overhead is {regs_pct:.3}% of registers, {logic_pct:.3}% of \
+         logic, and {bram_pct:.3}% of BRAM on {}",
+        Platform::IntelHarp
+    );
+    println!(
+        "note the paper's shape: BRAM grows linearly with the buffer, registers/logic stay flat,\n\
+         and the 400 MHz Optimus design no longer meets timing once instrumented (§6.4)."
+    );
+    Ok(())
+}

@@ -1,0 +1,292 @@
+//! `hwdbg` — command-line front end for the toolkit.
+//!
+//! ```text
+//! hwdbg parse <file.v> [--top NAME]                 check + print the flat module
+//! hwdbg sim <file.v> [--top NAME] [--cycles N] [--clock clk] [--vcd out.vcd]
+//! hwdbg fsm <file.v> [--top NAME]                   detect FSMs (§4.2 heuristics)
+//! hwdbg deps <file.v> --var SIGNAL [--cycles K]     dependency chain (§4.3)
+//! hwdbg signalcat <file.v> [--top NAME] [--depth N] emit instrumented Verilog (§4.1)
+//! hwdbg losscheck <file.v> --source S --sink K --valid V
+//!                                                   emit instrumented Verilog (§4.5)
+//! hwdbg resources <file.v> [--top NAME] [--platform harp|kc705]
+//! hwdbg testbed [BUG_ID|all]                        reproduce testbed bugs (§6.1)
+//! ```
+
+use hwdbg::dataflow::{elaborate, DepKind, Design, PropGraph};
+use hwdbg::ip::{StdIpLib, StdModels};
+use hwdbg::sim::{SimConfig, Simulator};
+use hwdbg::synth::{estimate, estimate_timing, Platform};
+use hwdbg::testbed::{reproduce, BugId};
+use hwdbg::tools::losscheck::LossCheckConfig;
+use hwdbg::tools::signalcat::SignalCatConfig;
+use hwdbg::tools::{DependencyMonitor, FsmMonitor, LossCheck, SignalCat};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hwdbg: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Anyhow = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), Anyhow> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "parse" => cmd_parse(rest),
+        "sim" => cmd_sim(rest),
+        "fsm" => cmd_fsm(rest),
+        "deps" => cmd_deps(rest),
+        "signalcat" => cmd_signalcat(rest),
+        "losscheck" => cmd_losscheck(rest),
+        "resources" => cmd_resources(rest),
+        "testbed" => cmd_testbed(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `hwdbg help`)").into()),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "hwdbg — software-style bug localization for reconfigurable hardware\n\n\
+         usage:\n  \
+         hwdbg parse <file.v> [--top NAME]\n  \
+         hwdbg sim <file.v> [--top NAME] [--cycles N] [--clock CLK] [--vcd OUT]\n  \
+         hwdbg fsm <file.v> [--top NAME]\n  \
+         hwdbg deps <file.v> --var SIGNAL [--cycles K] [--top NAME]\n  \
+         hwdbg signalcat <file.v> [--top NAME] [--depth N]\n  \
+         hwdbg losscheck <file.v> --source S --sink K --valid V [--top NAME]\n  \
+         hwdbg resources <file.v> [--top NAME] [--platform harp|kc705]\n  \
+         hwdbg testbed [BUG_ID|all]"
+    );
+}
+
+/// Minimal flag parser: positional file plus `--key value` options.
+struct Opts {
+    file: Option<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, Anyhow> {
+        let mut file = None;
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.push((key.to_owned(), value.clone()));
+            } else if file.is_none() {
+                file = Some(a.clone());
+            } else {
+                return Err(format!("unexpected argument `{a}`").into());
+            }
+        }
+        Ok(Opts { file, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn file(&self) -> Result<&str, Anyhow> {
+        self.file.as_deref().ok_or_else(|| "missing <file.v>".into())
+    }
+}
+
+fn load(opts: &Opts) -> Result<Design, Anyhow> {
+    let path = opts.file()?;
+    let src = std::fs::read_to_string(path)?;
+    let file = hwdbg::rtl::parse(&src).map_err(|e| e.render(&src))?;
+    let top = match opts.get("top") {
+        Some(t) => t.to_owned(),
+        None => {
+            file.modules
+                .last()
+                .ok_or("file contains no modules")?
+                .name
+                .clone()
+        }
+    };
+    Ok(elaborate(&file, &top, &StdIpLib::new())?)
+}
+
+fn cmd_parse(args: &[String]) -> Result<(), Anyhow> {
+    let opts = Opts::parse(args)?;
+    let design = load(&opts)?;
+    println!("{}", hwdbg::rtl::print_module(&design.flat));
+    eprintln!(
+        "ok: {} signals, {} comb drivers, {} clocked processes, {} blackboxes",
+        design.signals.len(),
+        design.combs.len(),
+        design.procs.len(),
+        design.blackboxes.len()
+    );
+    Ok(())
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), Anyhow> {
+    let opts = Opts::parse(args)?;
+    let design = load(&opts)?;
+    let clock = opts.get("clock").unwrap_or("clk").to_owned();
+    let cycles: u64 = opts.get("cycles").unwrap_or("100").parse()?;
+    let mut sim = Simulator::new(design, &StdModels, SimConfig::default())?;
+    if let Some(vcd_path) = opts.get("vcd") {
+        sim.attach_vcd(std::fs::File::create(vcd_path)?)?;
+    }
+    sim.run(&clock, cycles)?;
+    for rec in sim.logs() {
+        println!("{rec}");
+    }
+    eprintln!(
+        "ran {} cycles of `{clock}`; {} log records{}",
+        sim.cycle(&clock),
+        sim.logs().len(),
+        if sim.finished() { "; $finish reached" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_fsm(args: &[String]) -> Result<(), Anyhow> {
+    let opts = Opts::parse(args)?;
+    let design = load(&opts)?;
+    let fsms = FsmMonitor::detect(&design);
+    if fsms.is_empty() {
+        println!("no FSMs detected");
+        return Ok(());
+    }
+    for f in fsms {
+        let states: Vec<String> = f
+            .states
+            .iter()
+            .map(|(v, n)| format!("{n}={v}"))
+            .collect();
+        println!("{} ({} bits): {}", f.signal, f.width, states.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_deps(args: &[String]) -> Result<(), Anyhow> {
+    let opts = Opts::parse(args)?;
+    let design = load(&opts)?;
+    let var = opts.get("var").ok_or("missing --var SIGNAL")?;
+    let k: u32 = opts.get("cycles").unwrap_or("3").parse()?;
+    let graph = PropGraph::build(&design, &StdIpLib::new())?;
+    let chain = DependencyMonitor::analyze(
+        &design,
+        &graph,
+        var,
+        k,
+        &[DepKind::Data, DepKind::Control],
+    )?;
+    println!("dependencies of `{var}` within {k} cycles:");
+    for (sig, dist) in &chain.deps {
+        if sig != var {
+            println!("  {dist} cycle(s): {sig}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_signalcat(args: &[String]) -> Result<(), Anyhow> {
+    let opts = Opts::parse(args)?;
+    let design = load(&opts)?;
+    let cfg = SignalCatConfig {
+        buffer_depth: opts.get("depth").unwrap_or("8192").parse()?,
+        ..Default::default()
+    };
+    let info = SignalCat::instrument(&design, &cfg)?;
+    println!("{}", hwdbg::rtl::print_module(&info.module));
+    eprintln!(
+        "instrumented {} $display statement(s); generated {} lines",
+        info.statements.len(),
+        info.generated_lines
+    );
+    Ok(())
+}
+
+fn cmd_losscheck(args: &[String]) -> Result<(), Anyhow> {
+    let opts = Opts::parse(args)?;
+    let design = load(&opts)?;
+    let cfg = LossCheckConfig {
+        source: opts.get("source").ok_or("missing --source")?.to_owned(),
+        sink: opts.get("sink").ok_or("missing --sink")?.to_owned(),
+        source_valid: opts.get("valid").ok_or("missing --valid")?.to_owned(),
+    };
+    let graph = PropGraph::build(&design, &StdIpLib::new())?;
+    let info = LossCheck::instrument(&design, &graph, &cfg)?;
+    println!("{}", hwdbg::rtl::print_module(&info.module));
+    eprintln!(
+        "tracking {:?} on the {} -> {} path; generated {} lines",
+        info.tracked, cfg.source, cfg.sink, info.generated_lines
+    );
+    Ok(())
+}
+
+fn cmd_resources(args: &[String]) -> Result<(), Anyhow> {
+    let opts = Opts::parse(args)?;
+    let design = load(&opts)?;
+    let platform = match opts.get("platform").unwrap_or("harp") {
+        "harp" => Platform::IntelHarp,
+        "kc705" => Platform::XilinxKc705,
+        other => return Err(format!("unknown platform `{other}`").into()),
+    };
+    let r = estimate(&design);
+    let t = estimate_timing(&design);
+    let (regs, logic, bram) = r.normalized(platform);
+    println!("platform: {platform}");
+    println!("registers : {:>10}  ({regs:.4}%)", r.registers);
+    println!("logic     : {:>10}  ({logic:.4}%)", r.logic_cells);
+    println!("bram bits : {:>10}  ({bram:.4}%)", r.bram_bits);
+    println!(
+        "timing    : {} logic levels, Fmax ≈ {:.0} MHz",
+        t.critical_levels, t.fmax_mhz
+    );
+    Ok(())
+}
+
+fn cmd_testbed(args: &[String]) -> Result<(), Anyhow> {
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let ids: Vec<BugId> = if which == "all" {
+        BugId::ALL.to_vec()
+    } else {
+        let found = BugId::ALL
+            .into_iter()
+            .find(|id| id.to_string().eq_ignore_ascii_case(which));
+        vec![found.ok_or_else(|| format!("unknown bug id `{which}`"))?]
+    };
+    let mut failures = 0;
+    for id in ids {
+        let r = reproduce(id)?;
+        let ok = r.symptom_observed && r.fixed_passes;
+        failures += (!ok) as usize;
+        println!(
+            "{id:<4} {} symptom={} | {}",
+            if ok { "ok  " } else { "FAIL" },
+            r.symptom.map_or("-".into(), |s| s.to_string()),
+            r.detail
+        );
+    }
+    if failures > 0 {
+        return Err(format!("{failures} bug(s) failed to reproduce").into());
+    }
+    Ok(())
+}

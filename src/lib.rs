@@ -1,0 +1,36 @@
+//! # hwdbg — software-style bug localization for reconfigurable hardware
+//!
+//! A Rust reproduction of *"Debugging in the Brave New World of
+//! Reconfigurable Hardware"* (ASPLOS 2022). This facade crate re-exports the
+//! whole workspace so applications can depend on a single crate:
+//!
+//! * [`bits`] — arbitrary-width two-state bit vectors
+//! * [`rtl`] — Verilog-subset lexer, parser, AST, and pretty-printer
+//! * [`dataflow`] — elaboration and propagation/dependency analysis
+//! * [`sim`] — cycle-accurate simulator with `$display` capture and VCD
+//! * [`ip`] — behavioral blackbox IP models (FIFOs, RAM, trace buffer)
+//! * [`synth`] — FPGA resource-estimation and timing model
+//! * [`tools`] — SignalCat, FSM Monitor, Dependency Monitor, Statistics
+//!   Monitor, and LossCheck
+//! * [`testbed`] — 20 reproducible FPGA bugs plus the 68-bug study catalog
+//!
+//! # Example
+//!
+//! ```
+//! use hwdbg::testbed::{BugId, reproduce};
+//!
+//! let report = reproduce(BugId::D4)?;
+//! assert!(report.symptom_observed);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hwdbg_bits as bits;
+pub use hwdbg_dataflow as dataflow;
+pub use hwdbg_ip as ip;
+pub use hwdbg_rtl as rtl;
+pub use hwdbg_sim as sim;
+pub use hwdbg_synth as synth;
+pub use hwdbg_testbed as testbed;
+pub use hwdbg_tools as tools;
