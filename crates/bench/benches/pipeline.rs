@@ -1,8 +1,13 @@
-//! Criterion benchmarks over the full pipeline: parsing, elaboration,
-//! simulation, analysis, and instrumentation — plus the ablations called
-//! out in DESIGN.md §6 (trigger encoding sweep, comb-scheduling cost).
+//! Benchmarks over the full pipeline: parsing, elaboration, simulation,
+//! analysis, and instrumentation — plus the ablations called out in
+//! DESIGN.md §6 (trigger encoding sweep, comb-scheduling cost).
+//!
+//! Uses the registry-free harness in `hwdbg_bench::harness` (see there for
+//! why criterion is not an option in this build environment). Run with
+//! `cargo bench -p hwdbg-bench`; for the machine-readable simulation suite
+//! use the `perfsuite` binary instead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwdbg_bench::harness::bench;
 use hwdbg_dataflow::{elaborate, PropGraph};
 use hwdbg_ip::{StdIpLib, StdModels};
 use hwdbg_sim::{SimConfig, Simulator};
@@ -11,129 +16,112 @@ use hwdbg_tools::losscheck::LossCheckConfig;
 use hwdbg_tools::signalcat::SignalCatConfig;
 use hwdbg_tools::{FsmMonitor, LossCheck, SignalCat};
 
-fn bench_frontend(c: &mut Criterion) {
-    let src = metadata(BugId::D2).source;
-    c.bench_function("parse_grayscale", |b| {
-        b.iter(|| hwdbg_rtl::parse(std::hint::black_box(src)).unwrap())
-    });
-    let file = hwdbg_rtl::parse(src).unwrap();
-    let lib = StdIpLib::new();
-    c.bench_function("elaborate_grayscale", |b| {
-        b.iter(|| elaborate(std::hint::black_box(&file), "grayscale", &lib).unwrap())
-    });
-    c.bench_function("print_grayscale", |b| {
-        b.iter(|| hwdbg_rtl::print(std::hint::black_box(&file)))
-    });
+/// Elaborated design for an n-deep chain of `+1` comb stages.
+fn comb_chain(n: usize) -> hwdbg_dataflow::Design {
+    let mut src = String::from("module m(input clk, input [31:0] d, output [31:0] q);\n");
+    for i in 0..n {
+        let prev = if i == 0 { "d".into() } else { format!("w{}", i - 1) };
+        src.push_str(&format!("wire [31:0] w{i}; assign w{i} = {prev} + 32'd1;\n"));
+    }
+    src.push_str(&format!("assign q = w{};\nendmodule", n - 1));
+    elaborate(
+        &hwdbg_rtl::parse(&src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap()
 }
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_frontend() {
+    let src = metadata(BugId::D2).source;
+    bench("parse_grayscale", || hwdbg_rtl::parse(std::hint::black_box(src)).unwrap());
+    let file = hwdbg_rtl::parse(src).unwrap();
+    let lib = StdIpLib::new();
+    bench("elaborate_grayscale", || {
+        elaborate(std::hint::black_box(&file), "grayscale", &lib).unwrap()
+    });
+    bench("print_grayscale", || hwdbg_rtl::print(std::hint::black_box(&file)));
+}
+
+fn bench_simulation() {
     let design = buggy_design(BugId::D2).unwrap();
-    c.bench_function("sim_grayscale_100_cycles", |b| {
-        b.iter(|| {
-            let mut sim =
-                Simulator::new(design.clone(), &StdModels, SimConfig::default()).unwrap();
-            sim.poke_u64("pix_in_valid", 1).unwrap();
-            for i in 0..100u64 {
-                sim.poke_u64("pix_in", i).unwrap();
-                sim.step("clk").unwrap();
-            }
-            sim.cycle("clk")
-        })
+    bench("sim_grayscale_100_cycles", || {
+        let mut sim = Simulator::new(design.clone(), &StdModels, SimConfig::default()).unwrap();
+        sim.poke_u64("pix_in_valid", 1).unwrap();
+        for i in 0..100u64 {
+            sim.poke_u64("pix_in", i).unwrap();
+            sim.step("clk").unwrap();
+        }
+        sim.cycle("clk")
     });
 
     // Ablation: cost of the settle fixpoint as comb chain length grows.
-    let mut group = c.benchmark_group("sim_comb_chain");
-    for n in [4usize, 16, 64] {
-        let mut src = String::from("module m(input clk, input [31:0] d, output [31:0] q);\n");
-        for i in 0..n {
-            let prev = if i == 0 { "d".into() } else { format!("w{}", i - 1) };
-            src.push_str(&format!("wire [31:0] w{i}; assign w{i} = {prev} + 32'd1;\n"));
-        }
-        src.push_str(&format!("assign q = w{};\nendmodule", n - 1));
-        let design = elaborate(
-            &hwdbg_rtl::parse(&src).unwrap(),
-            "m",
-            &hwdbg_dataflow::NoBlackboxes,
-        )
-        .unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &design, |b, d| {
-            b.iter(|| {
-                let mut sim =
-                    Simulator::new(d.clone(), &hwdbg_sim::NoModels, SimConfig::default())
-                        .unwrap();
-                sim.poke_u64("d", 7).unwrap();
-                sim.settle().unwrap();
-                sim.peek("q").unwrap().to_u64()
-            })
+    for n in [4usize, 16, 64, 256] {
+        let design = comb_chain(n);
+        bench(&format!("sim_comb_chain/{n}"), || {
+            let mut sim =
+                Simulator::new(design.clone(), &hwdbg_sim::NoModels, SimConfig::default())
+                    .unwrap();
+            sim.poke_u64("d", 7).unwrap();
+            sim.settle().unwrap();
+            sim.peek("q").unwrap().to_u64()
         });
     }
-    group.finish();
 }
 
-fn bench_analyses(c: &mut Criterion) {
+fn bench_analyses() {
     let lib = StdIpLib::new();
     let design = buggy_design(BugId::D2).unwrap();
-    c.bench_function("propgraph_grayscale", |b| {
-        b.iter(|| PropGraph::build(std::hint::black_box(&design), &lib).unwrap())
+    bench("propgraph_grayscale", || {
+        PropGraph::build(std::hint::black_box(&design), &lib).unwrap()
     });
-    c.bench_function("fsm_detect_grayscale", |b| {
-        b.iter(|| FsmMonitor::detect(std::hint::black_box(&design)))
+    bench("fsm_detect_grayscale", || {
+        FsmMonitor::detect(std::hint::black_box(&design))
     });
     let graph = PropGraph::build(&design, &lib).unwrap();
-    c.bench_function("back_slice_pix_out", |b| {
-        b.iter(|| graph.back_slice("pix_out", 4, &[hwdbg_dataflow::DepKind::Data]))
+    bench("back_slice_pix_out", || {
+        graph.back_slice("pix_out", 4, &[hwdbg_dataflow::DepKind::Data])
     });
-    c.bench_function("resource_estimate_grayscale", |b| {
-        b.iter(|| hwdbg_synth::estimate(std::hint::black_box(&design)))
+    bench("resource_estimate_grayscale", || {
+        hwdbg_synth::estimate(std::hint::black_box(&design))
     });
-    c.bench_function("timing_estimate_grayscale", |b| {
-        b.iter(|| hwdbg_synth::estimate_timing(std::hint::black_box(&design)))
+    bench("timing_estimate_grayscale", || {
+        hwdbg_synth::estimate_timing(std::hint::black_box(&design))
     });
 }
 
-fn bench_instrumentation(c: &mut Criterion) {
+fn bench_instrumentation() {
     let lib = StdIpLib::new();
     let design = buggy_design(BugId::D2).unwrap();
     let graph = PropGraph::build(&design, &lib).unwrap();
-    c.bench_function("losscheck_instrument_grayscale", |b| {
-        let cfg = LossCheckConfig {
-            source: "pix_in".into(),
-            sink: "pix_out".into(),
-            source_valid: "pix_in_valid".into(),
-        };
-        b.iter(|| LossCheck::instrument(&design, &graph, &cfg).unwrap())
+    let cfg = LossCheckConfig {
+        source: "pix_in".into(),
+        sink: "pix_out".into(),
+        source_valid: "pix_in_valid".into(),
+    };
+    bench("losscheck_instrument_grayscale", || {
+        LossCheck::instrument(&design, &graph, &cfg).unwrap()
     });
 
     // Ablation: SignalCat trigger-encoding cost vs. number of $display
     // statements (the OR-reduced 1-bit-per-statement encoding of §4.1).
-    let mut group = c.benchmark_group("signalcat_trigger");
     for stmts in [2usize, 8, 32] {
         let mut src = String::from("module m(input clk, input [7:0] d);\nreg [7:0] acc;\n");
         src.push_str("always @(posedge clk) begin\nacc <= acc + d;\n");
         for i in 0..stmts {
-            src.push_str(&format!(
-                "if (acc == 8'd{i}) $display(\"hit {i} %0d\", d);\n"
-            ));
+            src.push_str(&format!("if (acc == 8'd{i}) $display(\"hit {i} %0d\", d);\n"));
         }
         src.push_str("end\nendmodule");
         let d = elaborate(&hwdbg_rtl::parse(&src).unwrap(), "m", &lib).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(stmts), &d, |b, d| {
-            b.iter(|| SignalCat::instrument(d, &SignalCatConfig::default()).unwrap())
+        bench(&format!("signalcat_trigger/{stmts}"), || {
+            SignalCat::instrument(&d, &SignalCatConfig::default()).unwrap()
         });
     }
-    group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(800))
-        .warm_up_time(std::time::Duration::from_millis(200))
+fn main() {
+    bench_frontend();
+    bench_simulation();
+    bench_analyses();
+    bench_instrumentation();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_frontend, bench_simulation, bench_analyses, bench_instrumentation
-}
-criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Machine-readable simulation performance suite.
+//!
+//! Runs the simulator hot-path benchmarks — the comb-chain settle ablation
+//! (n ∈ {8, 64, 256}) and 1000 cycles of the grayscale pipeline — and
+//! writes `BENCH_sim.json` in the current directory: a JSON array of
+//! `{"bench", "cycles_per_sec", "wall_ms"}` records. `cycles_per_sec` is
+//! simulated work per wall-clock second (settles/s for the comb chains,
+//! clock cycles/s for grayscale); `wall_ms` is the mean wall time of one
+//! benchmark iteration.
+//!
+//! Usage: `cargo run --release -p hwdbg-bench --bin perfsuite`
+
+use hwdbg_bench::harness::{bench, json_escape, Measurement};
+use hwdbg_dataflow::elaborate;
+use hwdbg_ip::StdModels;
+use hwdbg_sim::{SimConfig, Simulator};
+use hwdbg_testbed::{buggy_design, BugId};
+
+/// `(measurement, simulated units of work per iteration)`.
+struct Record {
+    m: Measurement,
+    work_per_iter: u64,
+}
+
+fn comb_chain(n: usize) -> hwdbg_dataflow::Design {
+    let mut src = String::from("module m(input clk, input [31:0] d, output [31:0] q);\n");
+    for i in 0..n {
+        let prev = if i == 0 { "d".into() } else { format!("w{}", i - 1) };
+        src.push_str(&format!("wire [31:0] w{i}; assign w{i} = {prev} + 32'd1;\n"));
+    }
+    src.push_str(&format!("assign q = w{};\nendmodule", n - 1));
+    elaborate(
+        &hwdbg_rtl::parse(&src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap()
+}
+
+fn main() {
+    let mut records = Vec::new();
+
+    for n in [8usize, 64, 256] {
+        let design = comb_chain(n);
+        // Build once, settle per iteration: the steady-state hot path.
+        let mut sim =
+            Simulator::new(design, &hwdbg_sim::NoModels, SimConfig::default()).unwrap();
+        let mut toggle = 0u64;
+        let m = bench(&format!("sim_comb_chain/{n}"), || {
+            toggle = toggle.wrapping_add(1);
+            sim.poke_u64("d", 7 + (toggle & 1)).unwrap();
+            sim.settle().unwrap();
+            sim.peek("q").unwrap().to_u64()
+        });
+        records.push(Record { m, work_per_iter: 1 });
+    }
+
+    {
+        const CYCLES: u64 = 1000;
+        let design = buggy_design(BugId::D2).unwrap();
+        let m = bench("sim_grayscale_1000_cycles", || {
+            let mut sim =
+                Simulator::new(design.clone(), &StdModels, SimConfig::default()).unwrap();
+            sim.poke_u64("pix_in_valid", 1).unwrap();
+            for i in 0..CYCLES {
+                sim.poke_u64("pix_in", i).unwrap();
+                sim.step("clk").unwrap();
+            }
+            sim.cycle("clk")
+        });
+        records.push(Record { m, work_per_iter: CYCLES });
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let per_sec = r.m.iters_per_sec() * r.work_per_iter as f64;
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"cycles_per_sec\": {:.1}, \"wall_ms\": {:.4}}}{}\n",
+            json_escape(&r.m.name),
+            per_sec,
+            r.m.ms_per_iter(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json:\n{json}");
+}

@@ -1,0 +1,124 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The container this repo builds in has no network access to the crate
+//! registry, so the benches cannot use criterion; this module provides the
+//! small subset we need: warm-up, a fixed measurement window, and a
+//! per-iteration mean. Results are printed in a criterion-like one-line
+//! format and returned for machine output (`perfsuite` writes JSON).
+
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name, e.g. `sim_comb_chain/256`.
+    pub name: String,
+    /// Iterations executed inside the measurement window.
+    pub iters: u64,
+    /// Total wall time of the measurement window.
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+
+    /// Mean iterations per second.
+    pub fn iters_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_iter()
+    }
+
+    /// Mean milliseconds per iteration.
+    pub fn ms_per_iter(&self) -> f64 {
+        self.ns_per_iter() / 1e6
+    }
+}
+
+/// Renders a duration the way a human scans a bench table.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs `f` repeatedly: a short warm-up, then a fixed measurement window,
+/// and returns the mean. The closure's result is passed through
+/// [`std::hint::black_box`] so the optimizer cannot delete the work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    const WARMUP: Duration = Duration::from_millis(150);
+    const WINDOW: Duration = Duration::from_millis(600);
+
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+
+    // Size batches from the warm-up rate so we check the clock rarely.
+    let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+    let batch = (10_000_000 / per_iter.max(1)).clamp(1, 10_000);
+
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < WINDOW {
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        iters += batch;
+    }
+    let m = Measurement {
+        name: name.to_owned(),
+        iters,
+        total: start.elapsed(),
+    };
+    println!(
+        "{:<40} {:>12}/iter   ({} iters)",
+        m.name,
+        fmt_ns(m.ns_per_iter()),
+        m.iters
+    );
+    m
+}
+
+/// Minimal JSON string escaping for the hand-rolled output files.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let m = bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(m.iters > 0);
+        assert!(m.ns_per_iter() > 0.0);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

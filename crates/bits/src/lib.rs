@@ -25,8 +25,10 @@
 
 mod literal;
 mod ops;
+pub mod prng;
 
 pub use literal::LiteralError;
+pub use prng::SplitMix64;
 
 use std::fmt;
 

@@ -89,7 +89,7 @@ impl LossCheck {
         let tracked: Vec<String> = seq
             .iter()
             .filter(|n| **n != cfg.source && **n != cfg.sink)
-            .filter(|n| design.signals.get(*n).map_or(false, |s| s.is_state()))
+            .filter(|n| design.signals.get(*n).is_some_and(|s| s.is_state()))
             .cloned()
             .collect();
         if tracked.is_empty() {
@@ -111,7 +111,7 @@ impl LossCheck {
                 design
                     .signals
                     .get(*n)
-                    .map_or(false, |s| matches!(s.kind, SigKind::Comb | SigKind::Output))
+                    .is_some_and(|s| matches!(s.kind, SigKind::Comb | SigKind::Output))
                     && **n != cfg.source
                     && !tracked.contains(n)
             })
@@ -182,7 +182,7 @@ impl LossCheck {
         let (mem_tracked, reg_tracked): (Vec<String>, Vec<String>) = tracked
             .iter()
             .cloned()
-            .partition(|n| design.signals.get(n).map_or(false, |s| s.mem_depth.is_some()));
+            .partition(|n| design.signals.get(n).is_some_and(|s| s.mem_depth.is_some()));
         for m in &mem_tracked {
             let clock = clocks
                 .get(m)

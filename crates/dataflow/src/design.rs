@@ -4,6 +4,7 @@
 use crate::blackbox::{BbDir, BlackboxLib};
 use crate::consteval::{eval_const, range_width, ConstEnv};
 use crate::flatten::{expr_to_lvalue, flatten};
+use crate::intern::{SigId, SignalTable};
 use crate::DataflowError;
 use hwdbg_bits::Bits;
 use hwdbg_rtl::{Dir, Edge, EventControl, Expr, Item, LValue, Module, SourceFile, Stmt};
@@ -101,6 +102,8 @@ pub struct Design {
     pub flat: Module,
     /// All signals by flat name.
     pub signals: BTreeMap<String, SigInfo>,
+    /// Dense [`SigId`] interner over the same signals (sorted-name order).
+    pub table: SignalTable,
     /// Parameter/localparam constants by name.
     pub consts: ConstEnv,
     /// Combinational drivers in declaration order.
@@ -115,6 +118,16 @@ impl Design {
     /// Looks up a signal.
     pub fn signal(&self, name: &str) -> Option<&SigInfo> {
         self.signals.get(name)
+    }
+
+    /// Looks up a signal's dense ID.
+    pub fn sig_id(&self, name: &str) -> Option<SigId> {
+        self.table.id(name)
+    }
+
+    /// Static info for an interned signal.
+    pub fn sig_info(&self, id: SigId) -> &SigInfo {
+        &self.signals[self.table.name(id)]
     }
 
     /// Iterates over state-holding signals (registers and clocked memories).
@@ -431,7 +444,7 @@ pub fn resolve(flat: Module, lib: &dyn BlackboxLib) -> Result<Design, DataflowEr
             }
         }
     }
-    for name in comb_written.intersection(&clocked_written) {
+    if let Some(name) = comb_written.intersection(&clocked_written).next() {
         return Err(DataflowError::ConflictingDrivers(name.clone()));
     }
     for (name, info) in signals.iter_mut() {
@@ -469,9 +482,11 @@ pub fn resolve(flat: Module, lib: &dyn BlackboxLib) -> Result<Design, DataflowEr
         }
     }
 
+    let table = SignalTable::new(signals.keys().cloned());
     Ok(Design {
         name: flat.name.clone(),
         signals,
+        table,
         consts,
         combs,
         procs,

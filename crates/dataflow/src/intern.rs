@@ -1,0 +1,112 @@
+//! Signal interning: dense integer IDs for the flat signal namespace.
+//!
+//! Elaboration produces a fixed set of flat signal names; everything that
+//! runs per simulation event (expression evaluation, state reads/writes,
+//! dirty-set scheduling) wants an array index, not a string lookup. The
+//! [`SignalTable`] assigns each signal a [`SigId`] at resolve time; the
+//! simulator stores values in a `Vec` indexed by it and pre-resolves every
+//! name in the design to an ID once, at compile time.
+
+use std::collections::BTreeMap;
+
+/// A dense signal identifier, valid only within the [`SignalTable`] (and
+/// hence the [`Design`](crate::Design)) that produced it.
+///
+/// IDs are assigned in sorted-name order, so they are deterministic for a
+/// given design and stable across re-elaborations of identical source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SigId(u32);
+
+impl SigId {
+    /// The array index this ID denotes.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an ID from a raw index (for iteration helpers).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        SigId(i as u32)
+    }
+}
+
+/// Bidirectional name ⇄ [`SigId`] mapping for one design.
+#[derive(Debug, Clone, Default)]
+pub struct SignalTable {
+    names: Vec<String>,
+    by_name: BTreeMap<String, SigId>,
+}
+
+impl SignalTable {
+    /// Builds a table over `names`, assigning IDs in iteration order.
+    /// Callers pass sorted names so IDs are deterministic.
+    pub fn new(names: impl IntoIterator<Item = String>) -> Self {
+        let mut table = SignalTable::default();
+        for name in names {
+            table.intern(name);
+        }
+        table
+    }
+
+    /// Adds one name, returning its (possibly pre-existing) ID.
+    pub fn intern(&mut self, name: String) -> SigId {
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = SigId(u32::try_from(self.names.len()).expect("too many signals"));
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Looks up a name's ID.
+    #[inline]
+    pub fn id(&self, name: &str) -> Option<SigId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind an ID.
+    #[inline]
+    pub fn name(&self, id: SigId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned signals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no signals are interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = (SigId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SigId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_bijective() {
+        let mut t = SignalTable::new(["a".to_string(), "b".to_string()]);
+        assert_eq!(t.id("a"), Some(SigId(0)));
+        assert_eq!(t.id("b"), Some(SigId(1)));
+        assert_eq!(t.intern("a".into()), SigId(0)); // no duplicate
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(SigId(1)), "b");
+        assert_eq!(t.id("missing"), None);
+        let pairs: Vec<_> = t.iter().map(|(i, n)| (i.index(), n.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+}

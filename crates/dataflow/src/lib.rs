@@ -37,12 +37,14 @@ pub mod blackbox;
 pub mod consteval;
 pub mod design;
 pub mod flatten;
+pub mod intern;
 pub mod prop;
 pub mod rewrite;
 
 pub use blackbox::{BbDir, BbPort, BlackboxLib, BlackboxSpec, IpRelation, NoBlackboxes, WidthSpec, clog2};
 pub use consteval::{apply_binary, eval_const, range_width, ConstEnv};
 pub use design::{elaborate, resolve, BbInst, ClockedProc, CombDriver, Design, SigInfo, SigKind};
+pub use intern::{SigId, SignalTable};
 pub use flatten::{expr_to_lvalue, flatten};
 pub use prop::{DepKind, PropGraph, Relation};
 pub use rewrite::{rewrite_expr, rewrite_lvalue, rewrite_stmt, Repl};

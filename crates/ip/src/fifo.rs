@@ -12,7 +12,7 @@ fn input(inputs: &BTreeMap<String, Bits>, name: &str) -> Bits {
 }
 
 fn input_bool(inputs: &BTreeMap<String, Bits>, name: &str) -> bool {
-    inputs.get(name).map_or(false, Bits::to_bool)
+    inputs.get(name).is_some_and(Bits::to_bool)
 }
 
 /// Single-clock FIFO (`scfifo`).
@@ -35,7 +35,7 @@ impl Scfifo {
     pub fn new(params: &BTreeMap<String, Bits>) -> Self {
         let width = params.get("WIDTH").map_or(8, |b| b.to_u64() as u32).max(1);
         let depth = params.get("DEPTH").map_or(16, |b| b.to_u64()).max(1);
-        let showahead = params.get("SHOWAHEAD").map_or(true, Bits::to_bool);
+        let showahead = params.get("SHOWAHEAD").is_none_or(Bits::to_bool);
         Scfifo {
             width,
             depth,
@@ -167,15 +167,11 @@ impl Blackbox for Dcfifo {
 
     fn tick(&mut self, clock_port: &str, inputs: &BTreeMap<String, Bits>) {
         match clock_port {
-            "wrclk" => {
-                if input_bool(inputs, "wrreq") && (self.queue.len() as u64) < self.depth {
-                    self.queue.push_back(input(inputs, "data").resize(self.width));
-                }
+            "wrclk" if input_bool(inputs, "wrreq") && (self.queue.len() as u64) < self.depth => {
+                self.queue.push_back(input(inputs, "data").resize(self.width));
             }
-            "rdclk" => {
-                if input_bool(inputs, "rdreq") {
-                    self.queue.pop_front();
-                }
+            "rdclk" if input_bool(inputs, "rdreq") => {
+                self.queue.pop_front();
             }
             _ => {}
         }

@@ -53,7 +53,7 @@ impl Blackbox for Altsyncram {
             .get(rdaddr as usize)
             .cloned()
             .unwrap_or_else(|| Bits::zero(self.width));
-        if inputs.get("wren").map_or(false, Bits::to_bool) {
+        if inputs.get("wren").is_some_and(Bits::to_bool) {
             let wraddr = inputs.get("wraddress").map_or(0, |b| b.to_u64());
             if let Some(slot) = self.mem.get_mut(wraddr as usize) {
                 *slot = inputs

@@ -113,7 +113,7 @@ impl Blackbox for TraceBuffer {
         if let Some(cd) = &mut self.countdown {
             *cd -= 1;
         }
-        if inputs.get("enable").map_or(false, Bits::to_bool) {
+        if inputs.get("enable").is_some_and(Bits::to_bool) {
             if self.entries.len() >= self.depth {
                 self.entries.pop_front();
                 self.overwritten += 1;
@@ -129,7 +129,7 @@ impl Blackbox for TraceBuffer {
         }
         if self.post > 0
             && self.countdown.is_none()
-            && inputs.get("trigger").map_or(false, Bits::to_bool)
+            && inputs.get("trigger").is_some_and(Bits::to_bool)
         {
             self.countdown = Some(self.post);
         }

@@ -1,0 +1,942 @@
+//! Compile-then-run support: the one-time translation of an elaborated
+//! [`Design`] into an interned, pre-resolved form the simulator executes.
+//!
+//! The seed interpreter walked the RTL AST directly, performing a
+//! `BTreeMap<String, _>` lookup (and a `String` clone on every error path)
+//! for each signal reference, re-deriving static facts (widths, signedness,
+//! memory-ness) on every evaluation. [`Compiled::build`] does all of that
+//! exactly once at [`Simulator::new`](crate::Simulator::new) time:
+//!
+//! * every `Expr::Ident` / `LValue` becomes a dense [`SigId`] (or an inline
+//!   constant, for parameters),
+//! * ternary result widths, operator signedness, memory slots/depths, and
+//!   concat split widths are precomputed,
+//! * each combinational driver and blackbox instance becomes a schedulable
+//!   *unit* with a static read-set, from which the per-signal `readers` /
+//!   `writers` tables that power dependency-driven settling are built.
+//!
+//! Execution semantics ([`CExec`]) are byte-for-byte those of the seed
+//! interpreter; `crates/sim/tests/compiled_equivalence.rs` holds the
+//! differential proof against full-pass settling.
+
+use crate::eval::{effective_mem_addr, apply_binary_signed, expr_width, is_signed};
+use crate::state::SimState;
+use crate::{LogRecord, SimError};
+use hwdbg_bits::Bits;
+use hwdbg_dataflow::{apply_binary, Design, SigId};
+use hwdbg_rtl::{BinaryOp, Expr, LValue, Stmt, UnaryOp};
+
+/// A compiled expression: all names resolved, all static facts inlined.
+#[derive(Debug, Clone)]
+pub(crate) enum CExpr {
+    /// A literal or folded parameter value.
+    Const(Bits),
+    /// An interned scalar signal read.
+    Sig(SigId),
+    Unary(UnaryOp, Box<CExpr>),
+    Binary {
+        op: BinaryOp,
+        /// Precomputed: both operands are signed in the source design.
+        signed: bool,
+        a: Box<CExpr>,
+        b: Box<CExpr>,
+    },
+    Ternary {
+        cond: Box<CExpr>,
+        t: Box<CExpr>,
+        f: Box<CExpr>,
+        /// Precomputed static width of the whole ternary.
+        width: u32,
+    },
+    /// Single-bit select of a scalar signal.
+    BitIndex {
+        sig: SigId,
+        width: u32,
+        idx: Box<CExpr>,
+    },
+    /// Memory element read (slot pre-resolved).
+    MemIndex { slot: u32, idx: Box<CExpr> },
+    /// Part select of a scalar signal; bounds evaluated at runtime to keep
+    /// the interpreter's semantics for (rare) non-constant bounds.
+    RangeSig {
+        sig: SigId,
+        msb: Box<CExpr>,
+        lsb: Box<CExpr>,
+    },
+    /// Part select of a constant (parameter).
+    RangeConst {
+        value: Bits,
+        msb: Box<CExpr>,
+        lsb: Box<CExpr>,
+    },
+    Concat(Vec<CExpr>),
+    Repeat { count: Box<CExpr>, body: Box<CExpr> },
+    /// Width cast (`W'(expr)`).
+    Resize(u32, Box<CExpr>),
+}
+
+/// A compiled assignment destination.
+#[derive(Debug, Clone)]
+pub(crate) enum CLValue {
+    /// Whole scalar signal.
+    Sig { id: SigId, width: u32 },
+    /// One bit of a scalar signal.
+    BitIndex {
+        id: SigId,
+        width: u32,
+        idx: Box<CExpr>,
+    },
+    /// One memory element.
+    MemIndex {
+        id: SigId,
+        slot: u32,
+        depth: u64,
+        width: u32,
+        idx: Box<CExpr>,
+    },
+    /// Part select with runtime-evaluated bounds.
+    Range {
+        id: SigId,
+        msb: Box<CExpr>,
+        lsb: Box<CExpr>,
+    },
+    /// Concatenation target; split widths precomputed (MSB-first).
+    Concat {
+        parts: Vec<CLValue>,
+        widths: Vec<u32>,
+        total: u32,
+    },
+}
+
+/// A compiled statement tree.
+#[derive(Debug, Clone)]
+pub(crate) enum CStmt {
+    Block(Vec<CStmt>),
+    If {
+        cond: CExpr,
+        then: Box<CStmt>,
+        els: Option<Box<CStmt>>,
+    },
+    Case {
+        sel: CExpr,
+        arms: Vec<CCaseArm>,
+        default: Option<Box<CStmt>>,
+    },
+    Assign {
+        lhs: CLValue,
+        nonblocking: bool,
+        rhs: CExpr,
+    },
+    For {
+        var: SigId,
+        var_width: u32,
+        init: CExpr,
+        cond: CExpr,
+        step: CExpr,
+        body: Box<CStmt>,
+    },
+    Display { format: String, args: Vec<CExpr> },
+    Finish,
+    Empty,
+}
+
+/// One arm of a compiled `case`.
+#[derive(Debug, Clone)]
+pub(crate) struct CCaseArm {
+    pub labels: Vec<CExpr>,
+    pub body: CStmt,
+}
+
+/// One schedulable combinational driver.
+#[derive(Debug, Clone)]
+pub(crate) struct CombUnit {
+    pub body: CStmt,
+}
+
+/// One schedulable blackbox instance: pre-resolved port connections.
+#[derive(Debug, Clone)]
+pub(crate) struct BbUnit {
+    /// Input port name, resolved width, compiled connection expression
+    /// (BTreeMap order of the design, i.e. sorted by port name).
+    pub ins: Vec<(String, u32, CExpr)>,
+    /// Output port name and compiled destination.
+    pub outs: Vec<(String, CLValue)>,
+    /// Per clock port: alias-rooted IDs of the signals feeding it.
+    pub clock_conns: Vec<(String, Vec<SigId>)>,
+}
+
+/// One compiled clocked process.
+#[derive(Debug, Clone)]
+pub(crate) struct ProcUnit {
+    pub body: CStmt,
+    /// Alias-rooted IDs of the sensitivity-list signals.
+    pub edge_roots: Vec<SigId>,
+}
+
+/// The full compiled schedule of a design.
+///
+/// Unit indices: `0..combs.len()` are combinational drivers,
+/// `combs.len()..combs.len()+bbs.len()` are blackbox instances.
+#[derive(Debug, Clone)]
+pub(crate) struct Compiled {
+    pub combs: Vec<CombUnit>,
+    pub bbs: Vec<BbUnit>,
+    pub procs: Vec<ProcUnit>,
+    /// Per signal ID: unit indices whose read-set contains it.
+    pub readers: Vec<Vec<u32>>,
+    /// Per signal ID: unit indices that (may) write it. Used so poking a
+    /// comb-driven signal re-runs its driver, as a full pass would.
+    pub writers: Vec<Vec<u32>>,
+    /// Identity-assign alias links (`assign dst = src;`): `dst → src`.
+    pub aliases: Vec<Option<SigId>>,
+}
+
+impl Compiled {
+    /// Total number of schedulable settle units.
+    pub fn n_units(&self) -> usize {
+        self.combs.len() + self.bbs.len()
+    }
+
+    /// Resolves a signal through identity-assign aliases to its root.
+    pub fn alias_root(&self, mut id: SigId) -> SigId {
+        let mut hops = 0;
+        while let Some(next) = self.aliases[id.index()] {
+            id = next;
+            hops += 1;
+            if hops > self.aliases.len() {
+                break; // alias cycle: give up, treat as its own root
+            }
+        }
+        id
+    }
+
+    /// Compiles `design` against `state`'s memory layout.
+    pub fn build(design: &Design, state: &SimState) -> Result<Compiled, SimError> {
+        let cc = Ctx { design, state };
+        let n_sigs = design.table.len();
+
+        // Identity-assign aliases, mirroring the interpreter's clock-root
+        // resolution for flattened clock names.
+        let mut aliases: Vec<Option<SigId>> = vec![None; n_sigs];
+        for comb in &design.combs {
+            if let Stmt::Assign {
+                lhs: LValue::Id(dst),
+                rhs: Expr::Ident(src),
+                nonblocking: false,
+                ..
+            } = &comb.body
+            {
+                if let (Some(d), Some(s)) = (design.sig_id(dst), design.sig_id(src)) {
+                    aliases[d.index()] = Some(s);
+                }
+            }
+        }
+        let root = |mut id: SigId| -> SigId {
+            let mut hops = 0;
+            while let Some(next) = aliases[id.index()] {
+                id = next;
+                hops += 1;
+                if hops > aliases.len() {
+                    break; // alias cycle: give up, treat as its own root
+                }
+            }
+            id
+        };
+
+        let mut combs = Vec::with_capacity(design.combs.len());
+        for comb in &design.combs {
+            combs.push(CombUnit {
+                body: cc.stmt(&comb.body)?,
+            });
+        }
+        let mut bbs = Vec::with_capacity(design.blackboxes.len());
+        for inst in &design.blackboxes {
+            let mut ins = Vec::new();
+            for (port, e) in &inst.in_conns {
+                let w = inst.port_widths.get(port).copied().unwrap_or(1);
+                ins.push((port.clone(), w, cc.expr(e)?));
+            }
+            let mut outs = Vec::new();
+            for (port, lv) in &inst.out_conns {
+                outs.push((port.clone(), cc.lvalue(lv)?));
+            }
+            let mut clock_conns = Vec::new();
+            for cp in &inst.clock_ports {
+                let roots = inst.in_conns.get(cp).map_or_else(Vec::new, |e| {
+                    e.idents()
+                        .iter()
+                        .filter_map(|n| design.sig_id(n))
+                        .map(root)
+                        .collect()
+                });
+                clock_conns.push((cp.clone(), roots));
+            }
+            bbs.push(BbUnit {
+                ins,
+                outs,
+                clock_conns,
+            });
+        }
+
+        let mut procs = Vec::with_capacity(design.procs.len());
+        for proc in &design.procs {
+            let edge_roots = proc
+                .edges
+                .iter()
+                .filter_map(|e| design.sig_id(&e.signal))
+                .map(root)
+                .collect();
+            procs.push(ProcUnit {
+                body: cc.stmt(&proc.body)?,
+                edge_roots,
+            });
+        }
+        let mut compiled = Compiled {
+            combs,
+            bbs,
+            procs,
+            readers: Vec::new(),
+            writers: Vec::new(),
+            aliases,
+        };
+
+        // Dependency tables: which units read / write each signal. Read and
+        // write sets come from elaboration and are conservative (they cover
+        // every branch), so dependency-driven settling can never miss work.
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n_sigs];
+        let mut writers: Vec<Vec<u32>> = vec![Vec::new(); n_sigs];
+        for (ci, comb) in design.combs.iter().enumerate() {
+            for r in &comb.reads {
+                if let Some(id) = design.sig_id(r) {
+                    readers[id.index()].push(ci as u32);
+                }
+            }
+            for w in &comb.writes {
+                if let Some(id) = design.sig_id(w) {
+                    writers[id.index()].push(ci as u32);
+                }
+            }
+        }
+        let n_combs = design.combs.len();
+        for (bi, inst) in design.blackboxes.iter().enumerate() {
+            let unit = (n_combs + bi) as u32;
+            for e in inst.in_conns.values() {
+                for n in e.idents() {
+                    if let Some(id) = design.sig_id(n) {
+                        if !readers[id.index()].contains(&unit) {
+                            readers[id.index()].push(unit);
+                        }
+                    }
+                }
+            }
+            for lv in inst.out_conns.values() {
+                for n in lv.target_names() {
+                    if let Some(id) = design.sig_id(n) {
+                        if !writers[id.index()].contains(&unit) {
+                            writers[id.index()].push(unit);
+                        }
+                    }
+                }
+            }
+        }
+        compiled.readers = readers;
+        compiled.writers = writers;
+        Ok(compiled)
+    }
+}
+
+/// Compilation context.
+struct Ctx<'a> {
+    design: &'a Design,
+    state: &'a SimState,
+}
+
+impl Ctx<'_> {
+    fn sig(&self, name: &str) -> Result<SigId, SimError> {
+        self.design
+            .sig_id(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))
+    }
+
+    fn expr(&self, e: &Expr) -> Result<CExpr, SimError> {
+        Ok(match e {
+            Expr::Literal { value, .. } => CExpr::Const(value.clone()),
+            Expr::Ident(n) => {
+                if let Some(sig) = self.design.signals.get(n) {
+                    if sig.mem_depth.is_some() {
+                        // Whole-memory reads were a runtime error in the
+                        // interpreter; reject them at compile time.
+                        return Err(SimError::UnknownSignal(n.clone()));
+                    }
+                    CExpr::Sig(self.sig(n)?)
+                } else if let Some(c) = self.design.consts.get(n) {
+                    CExpr::Const(c.clone())
+                } else {
+                    return Err(SimError::UnknownSignal(n.clone()));
+                }
+            }
+            Expr::Unary(op, inner) => CExpr::Unary(*op, Box::new(self.expr(inner)?)),
+            Expr::Binary(op, l, r) => CExpr::Binary {
+                op: *op,
+                signed: is_signed(l, self.design) && is_signed(r, self.design),
+                a: Box::new(self.expr(l)?),
+                b: Box::new(self.expr(r)?),
+            },
+            Expr::Ternary(c, t, f) => CExpr::Ternary {
+                cond: Box::new(self.expr(c)?),
+                t: Box::new(self.expr(t)?),
+                f: Box::new(self.expr(f)?),
+                width: expr_width(e, self.design)?,
+            },
+            Expr::Index(n, idx) => {
+                let sig = self
+                    .design
+                    .signals
+                    .get(n)
+                    .ok_or_else(|| SimError::UnknownSignal(n.clone()))?;
+                let id = self.sig(n)?;
+                if sig.mem_depth.is_some() {
+                    let slot = self
+                        .state
+                        .mem_slot_of(id)
+                        .expect("memory signal must have a slot");
+                    CExpr::MemIndex {
+                        slot,
+                        idx: Box::new(self.expr(idx)?),
+                    }
+                } else {
+                    CExpr::BitIndex {
+                        sig: id,
+                        width: sig.width,
+                        idx: Box::new(self.expr(idx)?),
+                    }
+                }
+            }
+            Expr::Range(n, msb, lsb) => {
+                let msb = Box::new(self.expr(msb)?);
+                let lsb = Box::new(self.expr(lsb)?);
+                if let Some(sig) = self.design.signals.get(n) {
+                    if sig.mem_depth.is_some() {
+                        return Err(SimError::UnknownSignal(n.clone()));
+                    }
+                    CExpr::RangeSig {
+                        sig: self.sig(n)?,
+                        msb,
+                        lsb,
+                    }
+                } else if let Some(c) = self.design.consts.get(n) {
+                    CExpr::RangeConst {
+                        value: c.clone(),
+                        msb,
+                        lsb,
+                    }
+                } else {
+                    return Err(SimError::UnknownSignal(n.clone()));
+                }
+            }
+            Expr::Concat(parts) => CExpr::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.expr(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Repeat(n, body) => CExpr::Repeat {
+                count: Box::new(self.expr(n)?),
+                body: Box::new(self.expr(body)?),
+            },
+            Expr::WidthCast(w, inner) => CExpr::Resize(*w, Box::new(self.expr(inner)?)),
+            // Signedness is resolved statically (on Binary), so the cast
+            // itself is a no-op at runtime.
+            Expr::SignCast(_, inner) => self.expr(inner)?,
+        })
+    }
+
+    fn lvalue(&self, lv: &LValue) -> Result<CLValue, SimError> {
+        Ok(match lv {
+            LValue::Id(n) => {
+                let sig = self
+                    .design
+                    .signals
+                    .get(n)
+                    .ok_or_else(|| SimError::UnknownSignal(n.clone()))?;
+                if sig.mem_depth.is_some() {
+                    return Err(SimError::UnknownSignal(format!(
+                        "cannot assign whole memory `{n}`"
+                    )));
+                }
+                CLValue::Sig {
+                    id: self.sig(n)?,
+                    width: sig.width,
+                }
+            }
+            LValue::Index(n, idx) => {
+                let sig = self
+                    .design
+                    .signals
+                    .get(n)
+                    .ok_or_else(|| SimError::UnknownSignal(n.clone()))?;
+                let id = self.sig(n)?;
+                let idx = Box::new(self.expr(idx)?);
+                if let Some(depth) = sig.mem_depth {
+                    CLValue::MemIndex {
+                        id,
+                        slot: self
+                            .state
+                            .mem_slot_of(id)
+                            .expect("memory signal must have a slot"),
+                        depth,
+                        width: sig.width,
+                        idx,
+                    }
+                } else {
+                    CLValue::BitIndex {
+                        id,
+                        width: sig.width,
+                        idx,
+                    }
+                }
+            }
+            LValue::Range(n, msb, lsb) => CLValue::Range {
+                id: self.sig(n)?,
+                msb: Box::new(self.expr(msb)?),
+                lsb: Box::new(self.expr(lsb)?),
+            },
+            LValue::Concat(parts) => {
+                let mut cparts = Vec::with_capacity(parts.len());
+                let mut widths = Vec::with_capacity(parts.len());
+                let mut total = 0u32;
+                for p in parts {
+                    let w = self
+                        .design
+                        .lvalue_width(p)
+                        .ok_or(SimError::NonConstSelect)?;
+                    widths.push(w);
+                    total += w;
+                    cparts.push(self.lvalue(p)?);
+                }
+                CLValue::Concat {
+                    parts: cparts,
+                    widths,
+                    total,
+                }
+            }
+        })
+    }
+
+    fn stmt(&self, s: &Stmt) -> Result<CStmt, SimError> {
+        Ok(match s {
+            Stmt::Block(stmts) => CStmt::Block(
+                stmts
+                    .iter()
+                    .map(|st| self.stmt(st))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Stmt::If { cond, then, els } => CStmt::If {
+                cond: self.expr(cond)?,
+                then: Box::new(self.stmt(then)?),
+                els: match els {
+                    Some(e) => Some(Box::new(self.stmt(e)?)),
+                    None => None,
+                },
+            },
+            Stmt::Case {
+                expr,
+                arms,
+                default,
+                ..
+            } => CStmt::Case {
+                sel: self.expr(expr)?,
+                arms: arms
+                    .iter()
+                    .map(|arm| {
+                        Ok(CCaseArm {
+                            labels: arm
+                                .labels
+                                .iter()
+                                .map(|l| self.expr(l))
+                                .collect::<Result<_, _>>()?,
+                            body: self.stmt(&arm.body)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SimError>>()?,
+                default: match default {
+                    Some(d) => Some(Box::new(self.stmt(d)?)),
+                    None => None,
+                },
+            },
+            Stmt::Assign {
+                lhs,
+                nonblocking,
+                rhs,
+                ..
+            } => CStmt::Assign {
+                lhs: self.lvalue(lhs)?,
+                nonblocking: *nonblocking,
+                rhs: self.expr(rhs)?,
+            },
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let sig = self
+                    .design
+                    .signals
+                    .get(var)
+                    .ok_or_else(|| SimError::UnknownSignal(var.clone()))?;
+                CStmt::For {
+                    var: self.sig(var)?,
+                    var_width: sig.width,
+                    init: self.expr(init)?,
+                    cond: self.expr(cond)?,
+                    step: self.expr(step)?,
+                    body: Box::new(self.stmt(body)?),
+                }
+            }
+            Stmt::Display { format, args, .. } => CStmt::Display {
+                format: format.clone(),
+                args: args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<_, _>>()?,
+            },
+            Stmt::Finish => CStmt::Finish,
+            Stmt::Empty => CStmt::Empty,
+        })
+    }
+}
+
+/// Evaluates a compiled expression against simulation state.
+pub(crate) fn eval(state: &SimState, e: &CExpr) -> Result<Bits, SimError> {
+    Ok(match e {
+        CExpr::Const(v) => v.clone(),
+        CExpr::Sig(id) => state.get_id(*id).clone(),
+        CExpr::Unary(op, inner) => {
+            let v = eval(state, inner)?;
+            match op {
+                UnaryOp::Not => !&v,
+                UnaryOp::LogNot => Bits::from_bool(v.is_zero()),
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::RedAnd => Bits::from_bool(v.reduce_and()),
+                UnaryOp::RedOr => Bits::from_bool(v.reduce_or()),
+                UnaryOp::RedXor => Bits::from_bool(v.reduce_xor()),
+                UnaryOp::RedXnor => Bits::from_bool(!v.reduce_xor()),
+            }
+        }
+        CExpr::Binary { op, signed, a, b } => {
+            let x = eval(state, a)?;
+            let y = eval(state, b)?;
+            if *signed {
+                apply_binary_signed(*op, &x, &y)
+            } else {
+                apply_binary(*op, &x, &y)
+            }
+        }
+        CExpr::Ternary { cond, t, f, width } => {
+            let c = eval(state, cond)?;
+            let v = if c.to_bool() {
+                eval(state, t)?
+            } else {
+                eval(state, f)?
+            };
+            v.resize(*width)
+        }
+        CExpr::BitIndex { sig, width, idx } => {
+            let i = eval(state, idx)?.to_u64();
+            let v = state.get_id(*sig);
+            Bits::from_bool(i < u64::from(*width) && v.bit(i as u32))
+        }
+        CExpr::MemIndex { slot, idx } => {
+            let i = eval(state, idx)?.to_u64();
+            state.read_mem_slot(*slot, i)
+        }
+        CExpr::RangeSig { sig, msb, lsb } => {
+            let m = eval(state, msb)?.to_u64();
+            let l = eval(state, lsb)?.to_u64();
+            if l > m {
+                return Err(SimError::NonConstSelect);
+            }
+            state.get_id(*sig).slice(l as u32, (m - l + 1) as u32)
+        }
+        CExpr::RangeConst { value, msb, lsb } => {
+            let m = eval(state, msb)?.to_u64();
+            let l = eval(state, lsb)?.to_u64();
+            if l > m {
+                return Err(SimError::NonConstSelect);
+            }
+            value.slice(l as u32, (m - l + 1) as u32)
+        }
+        CExpr::Concat(parts) => {
+            let mut acc: Option<Bits> = None;
+            for p in parts {
+                let v = eval(state, p)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(hi) => hi.concat(&v),
+                });
+            }
+            acc.ok_or(SimError::NonConstSelect)?
+        }
+        CExpr::Repeat { count, body } => {
+            let n = eval(state, count)?.to_u64() as u32;
+            if n == 0 {
+                return Err(SimError::NonConstSelect);
+            }
+            eval(state, body)?.repeat(n)
+        }
+        CExpr::Resize(w, inner) => eval(state, inner)?.resize(*w),
+    })
+}
+
+/// A deferred (nonblocking) write, resolved to a concrete target at the
+/// time the assignment executed.
+#[derive(Debug, Clone)]
+pub(crate) enum CNbWrite {
+    /// Whole signal.
+    Sig(SigId, Bits),
+    /// Bit range `[lo +: width]` of a signal.
+    Slice(SigId, u32, Bits),
+    /// One memory element.
+    Mem {
+        id: SigId,
+        slot: u32,
+        addr: u64,
+        value: Bits,
+    },
+}
+
+/// Control flow result of executing statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    Continue,
+    Finished,
+}
+
+/// One statement-execution context (a settle unit run or one clocked
+/// process). Signals whose stored value actually changed are appended to
+/// `changed`, which drives the dirty-set scheduler.
+pub(crate) struct CExec<'a> {
+    pub state: &'a mut SimState,
+    /// `Some` in clocked context: nonblocking writes defer here.
+    pub nb: Option<&'a mut Vec<CNbWrite>>,
+    /// `Some((sink, time, cycle))` in clocked context: `$display` records.
+    pub logs: Option<(&'a mut Vec<LogRecord>, u64, u64)>,
+    pub for_cap: u64,
+    pub changed: &'a mut Vec<SigId>,
+}
+
+impl CExec<'_> {
+    pub fn stmt(&mut self, stmt: &CStmt) -> Result<Flow, SimError> {
+        match stmt {
+            CStmt::Block(stmts) => {
+                for s in stmts {
+                    if self.stmt(s)? == Flow::Finished {
+                        return Ok(Flow::Finished);
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            CStmt::If { cond, then, els } => {
+                let c = eval(self.state, cond)?;
+                if c.to_bool() {
+                    self.stmt(then)
+                } else if let Some(e) = els {
+                    self.stmt(e)
+                } else {
+                    Ok(Flow::Continue)
+                }
+            }
+            CStmt::Case { sel, arms, default } => {
+                let sv = eval(self.state, sel)?;
+                for arm in arms {
+                    for l in &arm.labels {
+                        let lv = eval(self.state, l)?;
+                        let w = sv.width().max(lv.width());
+                        if sv.resize(w) == lv.resize(w) {
+                            return self.stmt(&arm.body);
+                        }
+                    }
+                }
+                match default {
+                    Some(d) => self.stmt(d),
+                    None => Ok(Flow::Continue),
+                }
+            }
+            CStmt::Assign {
+                lhs,
+                nonblocking,
+                rhs,
+            } => {
+                let v = eval(self.state, rhs)?;
+                if *nonblocking && self.nb.is_some() {
+                    self.write_nb(lhs, v)?;
+                } else {
+                    self.write(lhs, v)?;
+                }
+                Ok(Flow::Continue)
+            }
+            CStmt::For {
+                var,
+                var_width,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let v = eval(self.state, init)?;
+                self.set_sig(*var, v.resize(*var_width));
+                let mut iters = 0u64;
+                loop {
+                    let c = eval(self.state, cond)?;
+                    if !c.to_bool() {
+                        break;
+                    }
+                    if self.stmt(body)? == Flow::Finished {
+                        return Ok(Flow::Finished);
+                    }
+                    let s = eval(self.state, step)?;
+                    self.set_sig(*var, s.resize(*var_width));
+                    iters += 1;
+                    if iters > self.for_cap {
+                        let name = self.state.table().name(*var).to_owned();
+                        return Err(SimError::LoopCap(name));
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            CStmt::Display { format, args } => {
+                if let Some((sink, time, cycle)) = &mut self.logs {
+                    let mut vals = Vec::new();
+                    for a in args {
+                        vals.push(eval(self.state, a)?);
+                    }
+                    let message = crate::format::render(format, &vals);
+                    sink.push(LogRecord {
+                        time: *time,
+                        cycle: *cycle,
+                        message,
+                    });
+                }
+                Ok(Flow::Continue)
+            }
+            CStmt::Finish => Ok(Flow::Finished),
+            CStmt::Empty => Ok(Flow::Continue),
+        }
+    }
+
+    /// Sets a scalar, recording the change for the scheduler.
+    fn set_sig(&mut self, id: SigId, value: Bits) {
+        if self.state.set_id(id, value) {
+            self.changed.push(id);
+        }
+    }
+
+    /// Immediate (blocking) write.
+    pub fn write(&mut self, lhs: &CLValue, value: Bits) -> Result<(), SimError> {
+        match self.resolve(lhs, value)? {
+            None => Ok(()),
+            Some(writes) => {
+                for w in writes {
+                    self.commit(w);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies one resolved write, tracking value changes.
+    pub fn commit(&mut self, w: CNbWrite) {
+        match w {
+            CNbWrite::Sig(id, v) => self.set_sig(id, v),
+            CNbWrite::Slice(id, lo, v) => {
+                let mut cur = self.state.get_id(id).clone();
+                cur.splice(lo, &v);
+                self.set_sig(id, cur);
+            }
+            CNbWrite::Mem {
+                id,
+                slot,
+                addr,
+                value,
+            } => {
+                if self.state.write_mem_slot(slot, addr, value) {
+                    self.changed.push(id);
+                }
+            }
+        }
+    }
+
+    /// Deferred (nonblocking) write.
+    fn write_nb(&mut self, lhs: &CLValue, value: Bits) -> Result<(), SimError> {
+        if let Some(writes) = self.resolve(lhs, value)? {
+            let nb = self.nb.as_mut().expect("nonblocking outside clocked ctx");
+            nb.extend(writes);
+        }
+        Ok(())
+    }
+
+    /// Resolves an lvalue + value into concrete write operations, applying
+    /// the paper's overflow semantics; `None` means the write is dropped.
+    fn resolve(&mut self, lhs: &CLValue, value: Bits) -> Result<Option<Vec<CNbWrite>>, SimError> {
+        Ok(match lhs {
+            CLValue::Sig { id, width } => {
+                Some(vec![CNbWrite::Sig(*id, value.resize(*width))])
+            }
+            CLValue::BitIndex { id, width, idx } => {
+                let i = eval(self.state, idx)?.to_u64();
+                if i < u64::from(*width) {
+                    Some(vec![CNbWrite::Slice(*id, i as u32, value.resize(1))])
+                } else {
+                    None // out-of-range bit write ignored
+                }
+            }
+            CLValue::MemIndex {
+                id,
+                slot,
+                depth,
+                width,
+                idx,
+            } => {
+                let i = eval(self.state, idx)?.to_u64();
+                // A None address is a dropped write: paper §3.2.1 outcome 2.
+                effective_mem_addr(i, *depth).map(|addr| {
+                    vec![CNbWrite::Mem {
+                        id: *id,
+                        slot: *slot,
+                        addr,
+                        value: value.resize(*width),
+                    }]
+                })
+            }
+            CLValue::Range { id, msb, lsb } => {
+                let m = eval(self.state, msb)?.to_u64();
+                let l = eval(self.state, lsb)?.to_u64();
+                if l > m {
+                    return Err(SimError::NonConstSelect);
+                }
+                let w = (m - l + 1) as u32;
+                Some(vec![CNbWrite::Slice(*id, l as u32, value.resize(w))])
+            }
+            CLValue::Concat {
+                parts,
+                widths,
+                total,
+            } => {
+                // First part is most significant.
+                let value = value.resize(*total);
+                let mut out = Vec::new();
+                let mut hi = *total;
+                for (p, w) in parts.iter().zip(widths) {
+                    let part_val = value.slice(hi - w, *w);
+                    hi -= w;
+                    if let Some(ws) = self.resolve(p, part_val)? {
+                        out.extend(ws);
+                    }
+                }
+                Some(out)
+            }
+        })
+    }
+}

@@ -1,12 +1,35 @@
 //! The cycle-accurate simulation engine.
+//!
+//! The engine is compile-then-run: [`Simulator::new`] lowers the elaborated
+//! design into the interned, pre-resolved schedule of [`crate::compile`],
+//! and the per-cycle hot path executes only that form — no name lookups, no
+//! AST cloning. Combinational settling is dependency-driven by default (see
+//! [`SettleMode`]): after the initial full evaluation, only drivers whose
+//! read-set intersects the signals written since their last run are
+//! re-executed.
 
-use crate::eval::{effective_mem_addr, eval_expr, expr_width};
+use crate::compile::{CExec, CNbWrite, Compiled, Flow};
+use crate::eval::eval_expr;
 use crate::state::{RegInit, SimState};
 use crate::{Blackbox, BlackboxFactory, LogRecord, SimError};
 use hwdbg_bits::Bits;
-use hwdbg_dataflow::Design;
-use hwdbg_rtl::{Expr, LValue, Stmt};
-use std::collections::BTreeMap;
+use hwdbg_dataflow::{Design, SigId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Combinational settling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SettleMode {
+    /// Dependency-driven work-list: after the first full pass, a driver
+    /// re-runs only when a signal in its static read-set changed. This is
+    /// the production scheduler.
+    #[default]
+    EventDriven,
+    /// Re-run every combinational driver and blackbox each iteration until
+    /// a fixpoint, like the original interpreter. Kept for differential
+    /// testing (`compiled_equivalence.rs`) and as a debugging fallback.
+    FullPass,
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -14,11 +37,16 @@ pub struct SimConfig {
     /// Register/memory initialization policy.
     pub init: RegInit,
     /// Maximum settle iterations before declaring a combinational loop.
+    /// In [`SettleMode::EventDriven`] the work-list is bounded by
+    /// `max_comb_iters × number of drivers` unit executions, the same
+    /// budget a full pass would spend.
     pub max_comb_iters: usize,
     /// Maximum iterations of a procedural `for` loop.
     pub for_cap: u64,
     /// Maximum `$display` records retained (oldest dropped beyond this).
     pub log_capacity: usize,
+    /// Combinational scheduling strategy.
+    pub settle_mode: SettleMode,
 }
 
 impl Default for SimConfig {
@@ -28,27 +56,20 @@ impl Default for SimConfig {
             max_comb_iters: 100,
             for_cap: 65_536,
             log_capacity: 1_000_000,
+            settle_mode: SettleMode::EventDriven,
         }
     }
 }
 
-/// A deferred (nonblocking) write, resolved to a concrete target at the
-/// time the assignment executed.
-#[derive(Debug, Clone)]
-enum NbWrite {
-    /// Whole signal.
-    Sig(String, Bits),
-    /// Bit range `[lo +: width]` of a signal.
-    Slice(String, u32, Bits),
-    /// One memory element.
-    Mem(String, u64, Bits),
-}
-
-/// Control flow result of executing statements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Flow {
-    Continue,
-    Finished,
+/// Pre-resolved per-clock stepping info, cached on first use of each clock.
+#[derive(Debug)]
+struct ClockPlan {
+    /// The clock's signal ID, if it names a declared scalar.
+    clock_id: Option<SigId>,
+    /// Indices of clocked processes triggered by this clock.
+    procs: Vec<usize>,
+    /// `(blackbox index, clock port)` pairs ticked by this clock.
+    ticks: Vec<(usize, String)>,
 }
 
 /// A cycle-accurate simulator for an elaborated [`Design`].
@@ -61,16 +82,26 @@ pub struct Simulator {
     design: Design,
     state: SimState,
     config: SimConfig,
+    compiled: Compiled,
     blackboxes: Vec<Box<dyn Blackbox>>,
     logs: Vec<LogRecord>,
     dropped_logs: u64,
     time: u64,
     cycles: BTreeMap<String, u64>,
     finished: bool,
-    /// Identity-assign aliases (`assign s1__clk = clk;`), used so a process
-    /// sensitive to a flattened clock name still triggers on the top clock.
-    aliases: BTreeMap<String, String>,
     vcd: Option<crate::vcd::VcdWriter<Box<dyn std::io::Write>>>,
+    /// Per-clock stepping plans, built lazily.
+    clock_plans: BTreeMap<String, Rc<ClockPlan>>,
+    /// Signals written since the last settle (pokes, clocked-process writes,
+    /// nonblocking commits). Consumed to seed the settle work-list.
+    dirty_sigs: Vec<SigId>,
+    /// Settle-unit indices made dirty directly (poked driven signals,
+    /// ticked blackboxes whose outputs may change without an input edge).
+    dirty_units: Vec<u32>,
+    /// Run every unit on the next settle (initial state, after restore).
+    force_full: bool,
+    /// Scratch for unit execution (reused to avoid per-run allocation).
+    changed_scratch: Vec<SigId>,
 }
 
 /// A full simulation snapshot produced by [`Simulator::checkpoint`].
@@ -104,11 +135,14 @@ impl std::fmt::Debug for Simulator {
 
 impl Simulator {
     /// Builds a simulator; `factory` supplies behavioral models for each
-    /// blackbox instance of the design.
+    /// blackbox instance of the design. Compiles the design's drivers,
+    /// processes, and blackbox connections into the interned schedule that
+    /// the hot path executes.
     ///
     /// # Errors
     ///
-    /// Fails if a blackbox instance has no model in `factory`.
+    /// Fails if a blackbox instance has no model in `factory`, or if the
+    /// design references signals that cannot be resolved at compile time.
     pub fn new(
         design: Design,
         factory: &dyn BlackboxFactory,
@@ -122,44 +156,25 @@ impl Simulator {
             blackboxes.push(model);
         }
         let state = SimState::new(&design, config.init);
-        let mut aliases = BTreeMap::new();
-        for comb in &design.combs {
-            if let Stmt::Assign {
-                lhs: LValue::Id(dst),
-                rhs: Expr::Ident(src),
-                nonblocking: false,
-                ..
-            } = &comb.body
-            {
-                aliases.insert(dst.clone(), src.clone());
-            }
-        }
+        let compiled = Compiled::build(&design, &state)?;
         Ok(Simulator {
             design,
             state,
             config,
+            compiled,
             blackboxes,
             logs: Vec::new(),
             dropped_logs: 0,
             time: 0,
             cycles: BTreeMap::new(),
             finished: false,
-            aliases,
             vcd: None,
+            clock_plans: BTreeMap::new(),
+            dirty_sigs: Vec::new(),
+            dirty_units: Vec::new(),
+            force_full: true,
+            changed_scratch: Vec::new(),
         })
-    }
-
-    /// Resolves a signal through identity-assign aliases to its root driver.
-    fn alias_root<'s>(&'s self, mut name: &'s str) -> &'s str {
-        let mut hops = 0;
-        while let Some(next) = self.aliases.get(name) {
-            name = next;
-            hops += 1;
-            if hops > self.aliases.len() {
-                break; // alias cycle: give up, treat as its own root
-            }
-        }
-        name
     }
 
     /// The elaborated design under simulation.
@@ -218,11 +233,24 @@ impl Simulator {
     ///
     /// Fails for unknown signals.
     pub fn poke(&mut self, name: &str, value: Bits) -> Result<(), SimError> {
-        if self.state.get(name).is_none() {
-            return Err(SimError::UnknownSignal(name.to_owned()));
-        }
-        self.state.set(name, value);
+        let id = self
+            .design
+            .sig_id(name)
+            .filter(|_| self.design.signals[name].mem_depth.is_none())
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
+        self.poke_id(id, value);
         Ok(())
+    }
+
+    /// Interned poke: marks readers dirty, and — because a full pass would
+    /// re-derive a driven signal from its driver — also re-schedules any
+    /// unit that writes the signal.
+    fn poke_id(&mut self, id: SigId, value: Bits) {
+        if self.state.set_id(id, value) {
+            self.dirty_sigs.push(id);
+            self.dirty_units
+                .extend_from_slice(&self.compiled.writers[id.index()]);
+        }
     }
 
     /// Convenience: poke from a `u64`.
@@ -268,6 +296,48 @@ impl Simulator {
         Ok(self.state.read_mem(name, idx))
     }
 
+    /// Runs one settle unit (comb driver or blackbox), appending the IDs of
+    /// signals whose value changed to `self.changed_scratch`.
+    fn run_unit(&mut self, unit: u32) -> Result<(), SimError> {
+        let n_combs = self.compiled.combs.len();
+        let u = unit as usize;
+        if u < n_combs {
+            let body = &self.compiled.combs[u].body;
+            let mut exec = CExec {
+                state: &mut self.state,
+                nb: None,
+                logs: None,
+                for_cap: self.config.for_cap,
+                changed: &mut self.changed_scratch,
+            };
+            exec.stmt(body)?;
+        } else {
+            let bi = u - n_combs;
+            let bb = &self.compiled.bbs[bi];
+            let mut inputs = BTreeMap::new();
+            for (port, w, ce) in &bb.ins {
+                inputs.insert(
+                    port.clone(),
+                    crate::compile::eval(&self.state, ce)?.resize(*w),
+                );
+            }
+            let outputs = self.blackboxes[bi].eval(&inputs);
+            for (port, lv) in &bb.outs {
+                if let Some(v) = outputs.get(port) {
+                    let mut exec = CExec {
+                        state: &mut self.state,
+                        nb: None,
+                        logs: None,
+                        for_cap: self.config.for_cap,
+                        changed: &mut self.changed_scratch,
+                    };
+                    exec.write(lv, v.clone())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Settles combinational logic (and blackbox outputs) to a fixpoint.
     ///
     /// # Errors
@@ -275,49 +345,66 @@ impl Simulator {
     /// [`SimError::CombLoop`] if no fixpoint is reached within the
     /// configured iteration budget.
     pub fn settle(&mut self) -> Result<(), SimError> {
+        match self.config.settle_mode {
+            SettleMode::FullPass => self.settle_full(),
+            SettleMode::EventDriven => self.settle_event(),
+        }
+    }
+
+    /// Interpreter-equivalent full-pass fixpoint: every unit, every
+    /// iteration, in declaration order.
+    fn settle_full(&mut self) -> Result<(), SimError> {
+        let n_units = self.compiled.n_units() as u32;
         for _ in 0..self.config.max_comb_iters {
-            let mut changed = false;
-            for ci in 0..self.design.combs.len() {
-                let body = self.design.combs[ci].body.clone();
-                let mut exec = Exec {
-                    design: &self.design,
-                    state: &mut self.state,
-                    nb: None,
-                    logs: None,
-                    changed: false,
-                    for_cap: self.config.for_cap,
-                };
-                exec.stmt(&body)?;
-                changed |= exec.changed;
+            self.changed_scratch.clear();
+            for u in 0..n_units {
+                self.run_unit(u)?;
             }
-            for bi in 0..self.blackboxes.len() {
-                let inst = &self.design.blackboxes[bi];
-                let mut inputs = BTreeMap::new();
-                for (port, e) in &inst.in_conns {
-                    let w = inst.port_widths.get(port).copied().unwrap_or(1);
-                    inputs.insert(port.clone(), eval_expr(e, &self.design, &self.state)?.resize(w));
-                }
-                let outputs = self.blackboxes[bi].eval(&inputs);
-                for (port, lv) in inst.out_conns.clone() {
-                    if let Some(v) = outputs.get(&port) {
-                        let mut exec = Exec {
-                            design: &self.design,
-                            state: &mut self.state,
-                            nb: None,
-                            logs: None,
-                            changed: false,
-                            for_cap: self.config.for_cap,
-                        };
-                        exec.write(&lv, v.clone())?;
-                        changed |= exec.changed;
-                    }
-                }
-            }
-            if !changed {
+            if self.changed_scratch.is_empty() {
+                self.dirty_sigs.clear();
+                self.dirty_units.clear();
+                self.force_full = false;
                 return Ok(());
             }
         }
         Err(SimError::CombLoop)
+    }
+
+    /// Dependency-driven settling: a work-list keyed by unit index (lowest
+    /// first, matching full-pass sweep order). A unit is (re)queued when a
+    /// signal in its read-set changes; total unit executions are bounded by
+    /// `max_comb_iters × n_units`, so combinational loops are still caught.
+    fn settle_event(&mut self) -> Result<(), SimError> {
+        let n_units = self.compiled.n_units() as u32;
+        let mut queue: BTreeSet<u32> = BTreeSet::new();
+        if self.force_full {
+            queue.extend(0..n_units);
+        } else {
+            for id in std::mem::take(&mut self.dirty_sigs) {
+                queue.extend(self.compiled.readers[id.index()].iter().copied());
+            }
+            queue.extend(self.dirty_units.iter().copied());
+        }
+        self.dirty_sigs.clear();
+        self.dirty_units.clear();
+        self.force_full = false;
+
+        let budget = (self.config.max_comb_iters as u64)
+            .saturating_mul(u64::from(n_units.max(1)));
+        let mut runs = 0u64;
+        while let Some(u) = queue.pop_first() {
+            runs += 1;
+            if runs > budget {
+                return Err(SimError::CombLoop);
+            }
+            self.changed_scratch.clear();
+            self.run_unit(u)?;
+            for i in 0..self.changed_scratch.len() {
+                let id = self.changed_scratch[i];
+                queue.extend(self.compiled.readers[id.index()].iter().copied());
+            }
+        }
+        Ok(())
     }
 
     /// Advances one full cycle of `clock`: settle, rising edge (clocked
@@ -330,81 +417,69 @@ impl Simulator {
         if self.finished {
             return Ok(());
         }
-        self.poke(clock, Bits::from_u64(1, 0)).ok();
+        let plan = self.clock_plan(clock);
+        if let Some(cid) = plan.clock_id {
+            self.poke_id(cid, Bits::from_u64(1, 0));
+        }
         self.settle()?;
 
         // Snapshot blackbox inputs at the pre-edge instant.
         let mut bb_inputs: Vec<BTreeMap<String, Bits>> = Vec::new();
-        for inst in &self.design.blackboxes {
+        for bb in &self.compiled.bbs {
             let mut inputs = BTreeMap::new();
-            for (port, e) in &inst.in_conns {
-                let w = inst.port_widths.get(port).copied().unwrap_or(1);
-                inputs.insert(port.clone(), eval_expr(e, &self.design, &self.state)?.resize(w));
+            for (port, w, ce) in &bb.ins {
+                inputs.insert(
+                    port.clone(),
+                    crate::compile::eval(&self.state, ce)?.resize(*w),
+                );
             }
             bb_inputs.push(inputs);
         }
 
-        self.poke(clock, Bits::from_u64(1, 1)).ok();
+        if let Some(cid) = plan.clock_id {
+            self.poke_id(cid, Bits::from_u64(1, 1));
+        }
         let cycle = self.cycles.entry(clock.to_owned()).or_insert(0);
         *cycle += 1;
         let cycle = *cycle;
 
-        let mut nb: Vec<NbWrite> = Vec::new();
+        let mut nb: Vec<CNbWrite> = Vec::new();
         let mut new_logs: Vec<LogRecord> = Vec::new();
         let mut finished = false;
-        let clock_root = self.alias_root(clock).to_owned();
-        for pi in 0..self.design.procs.len() {
-            let proc_edges = self.design.procs[pi].edges.clone();
-            let triggered = proc_edges
-                .iter()
-                .any(|e| self.alias_root(&e.signal) == clock_root);
-            if !triggered {
-                continue;
-            }
-            let body = self.design.procs[pi].body.clone();
-            let mut exec = Exec {
-                design: &self.design,
+        for &pi in &plan.procs {
+            let body = &self.compiled.procs[pi].body;
+            let mut exec = CExec {
                 state: &mut self.state,
                 nb: Some(&mut nb),
                 logs: Some((&mut new_logs, self.time, cycle)),
-                changed: false,
                 for_cap: self.config.for_cap,
+                changed: &mut self.dirty_sigs,
             };
-            if exec.stmt(&body)? == Flow::Finished {
+            if exec.stmt(body)? == Flow::Finished {
                 finished = true;
             }
         }
 
         // Tick blackboxes clocked by this signal, with pre-edge inputs.
-        for (bi, inst) in self.design.blackboxes.iter().enumerate() {
-            for cp in &inst.clock_ports {
-                let conn_reads_clock = inst.in_conns.get(cp).map_or(false, |e| {
-                    e.idents()
-                        .iter()
-                        .any(|n| self.alias_root(n) == clock_root)
-                });
-                if conn_reads_clock {
-                    self.blackboxes[bi].tick(cp, &bb_inputs[bi]);
-                }
-            }
+        // A ticked model's outputs may change with no input edge, so its
+        // unit is re-scheduled explicitly.
+        let n_combs = self.compiled.combs.len() as u32;
+        for (bi, port) in &plan.ticks {
+            self.blackboxes[*bi].tick(port, &bb_inputs[*bi]);
+            self.dirty_units.push(n_combs + *bi as u32);
         }
 
         // Commit nonblocking writes in program order.
-        for w in nb {
-            match w {
-                NbWrite::Sig(n, v) => {
-                    self.state.set(&n, v);
-                }
-                NbWrite::Slice(n, lo, v) => {
-                    if let Some(cur) = self.state.get(&n) {
-                        let mut cur = cur.clone();
-                        cur.splice(lo, &v);
-                        self.state.set(&n, cur);
-                    }
-                }
-                NbWrite::Mem(n, addr, v) => {
-                    self.state.write_mem(&n, addr, v);
-                }
+        {
+            let mut exec = CExec {
+                state: &mut self.state,
+                nb: None,
+                logs: None,
+                for_cap: self.config.for_cap,
+                changed: &mut self.dirty_sigs,
+            };
+            for w in nb {
+                exec.commit(w);
             }
         }
 
@@ -427,6 +502,43 @@ impl Simulator {
             }
         }
         Ok(())
+    }
+
+    /// Builds (or fetches) the pre-resolved stepping plan for `clock`.
+    fn clock_plan(&mut self, clock: &str) -> Rc<ClockPlan> {
+        if let Some(p) = self.clock_plans.get(clock) {
+            return Rc::clone(p);
+        }
+        let clock_id = self
+            .design
+            .sig_id(clock)
+            .filter(|_| self.design.signals[clock].mem_depth.is_none());
+        let clock_root = clock_id.map(|id| self.compiled.alias_root(id));
+        let procs = self
+            .compiled
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                clock_root.is_some_and(|r| p.edge_roots.contains(&r))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut ticks = Vec::new();
+        for (bi, bb) in self.compiled.bbs.iter().enumerate() {
+            for (port, roots) in &bb.clock_conns {
+                if clock_root.is_some_and(|r| roots.contains(&r)) {
+                    ticks.push((bi, port.clone()));
+                }
+            }
+        }
+        let plan = Rc::new(ClockPlan {
+            clock_id,
+            procs,
+            ticks,
+        });
+        self.clock_plans.insert(clock.to_owned(), Rc::clone(&plan));
+        plan
     }
 
     /// Runs `n` cycles of `clock` (stops early at `$finish`).
@@ -498,6 +610,11 @@ impl Simulator {
         self.cycles = cp.cycles.clone();
         self.finished = cp.finished;
         self.logs.truncate(cp.logs_len);
+        // The whole value store was replaced: rebuild from scratch on the
+        // next settle rather than trusting stale dirty sets.
+        self.dirty_sigs.clear();
+        self.dirty_units.clear();
+        self.force_full = true;
         Ok(())
     }
 
@@ -547,283 +664,9 @@ impl Simulator {
     }
 }
 
-/// One statement-execution context (a settle pass or one clocked process).
-struct Exec<'a> {
-    design: &'a Design,
-    state: &'a mut SimState,
-    /// `Some` in clocked context: nonblocking writes defer here.
-    nb: Option<&'a mut Vec<NbWrite>>,
-    /// `Some((sink, time, cycle))` in clocked context: `$display` records.
-    logs: Option<(&'a mut Vec<LogRecord>, u64, u64)>,
-    changed: bool,
-    for_cap: u64,
-}
-
-impl<'a> Exec<'a> {
-    fn stmt(&mut self, stmt: &Stmt) -> Result<Flow, SimError> {
-        match stmt {
-            Stmt::Block(stmts) => {
-                for s in stmts {
-                    if self.stmt(s)? == Flow::Finished {
-                        return Ok(Flow::Finished);
-                    }
-                }
-                Ok(Flow::Continue)
-            }
-            Stmt::If { cond, then, els } => {
-                let c = eval_expr(cond, self.design, self.state)?;
-                if c.to_bool() {
-                    self.stmt(then)
-                } else if let Some(e) = els {
-                    self.stmt(e)
-                } else {
-                    Ok(Flow::Continue)
-                }
-            }
-            Stmt::Case {
-                expr,
-                arms,
-                default,
-                kind,
-            } => {
-                let sel = eval_expr(expr, self.design, self.state)?;
-                let _ = kind; // casez labels in our subset are literal
-                for arm in arms {
-                    for l in &arm.labels {
-                        let lv = eval_expr(l, self.design, self.state)?;
-                        let w = sel.width().max(lv.width());
-                        if sel.resize(w) == lv.resize(w) {
-                            return self.stmt(&arm.body);
-                        }
-                    }
-                }
-                match default {
-                    Some(d) => self.stmt(d),
-                    None => Ok(Flow::Continue),
-                }
-            }
-            Stmt::Assign {
-                lhs,
-                nonblocking,
-                rhs,
-                ..
-            } => {
-                let v = eval_expr(rhs, self.design, self.state)?;
-                if *nonblocking && self.nb.is_some() {
-                    self.write_nb(lhs, v)?;
-                } else {
-                    self.write(lhs, v)?;
-                }
-                Ok(Flow::Continue)
-            }
-            Stmt::For {
-                var,
-                init,
-                cond,
-                step,
-                body,
-            } => {
-                let v = eval_expr(init, self.design, self.state)?;
-                self.write(&LValue::Id(var.clone()), v)?;
-                let mut iters = 0u64;
-                loop {
-                    let c = eval_expr(cond, self.design, self.state)?;
-                    if !c.to_bool() {
-                        break;
-                    }
-                    if self.stmt(body)? == Flow::Finished {
-                        return Ok(Flow::Finished);
-                    }
-                    let s = eval_expr(step, self.design, self.state)?;
-                    self.write(&LValue::Id(var.clone()), s)?;
-                    iters += 1;
-                    if iters > self.for_cap {
-                        return Err(SimError::LoopCap(var.clone()));
-                    }
-                }
-                Ok(Flow::Continue)
-            }
-            Stmt::Display { format, args, .. } => {
-                if let Some((sink, time, cycle)) = &mut self.logs {
-                    let mut vals = Vec::new();
-                    for a in args {
-                        vals.push(eval_expr(a, self.design, self.state)?);
-                    }
-                    let message = crate::format::render(format, &vals);
-                    sink.push(LogRecord {
-                        time: *time,
-                        cycle: *cycle,
-                        message,
-                    });
-                }
-                Ok(Flow::Continue)
-            }
-            Stmt::Finish => Ok(Flow::Finished),
-            Stmt::Empty => Ok(Flow::Continue),
-        }
-    }
-
-    /// Immediate (blocking) write.
-    fn write(&mut self, lhs: &LValue, value: Bits) -> Result<(), SimError> {
-        match self.resolve(lhs, value)? {
-            None => Ok(()),
-            Some(writes) => {
-                for w in writes {
-                    match w {
-                        NbWrite::Sig(n, v) => {
-                            self.changed |= self.state.set(&n, v);
-                        }
-                        NbWrite::Slice(n, lo, v) => {
-                            if let Some(cur) = self.state.get(&n) {
-                                let mut cur = cur.clone();
-                                cur.splice(lo, &v);
-                                self.changed |= self.state.set(&n, cur);
-                            }
-                        }
-                        NbWrite::Mem(n, addr, v) => {
-                            let old = self.state.read_mem(&n, addr);
-                            let vw = v.resize(old.width());
-                            if old != vw {
-                                self.changed = true;
-                            }
-                            self.state.write_mem(&n, addr, vw);
-                        }
-                    }
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// Deferred (nonblocking) write.
-    fn write_nb(&mut self, lhs: &LValue, value: Bits) -> Result<(), SimError> {
-        if let Some(writes) = self.resolve(lhs, value)? {
-            let nb = self.nb.as_mut().expect("nonblocking outside clocked ctx");
-            nb.extend(writes);
-        }
-        Ok(())
-    }
-
-    /// Resolves an lvalue + value into concrete write operations, applying
-    /// the paper's overflow semantics; `None` means the write is dropped.
-    fn resolve(&mut self, lhs: &LValue, value: Bits) -> Result<Option<Vec<NbWrite>>, SimError> {
-        Ok(match lhs {
-            LValue::Id(n) => {
-                let sig = self
-                    .design
-                    .signals
-                    .get(n)
-                    .ok_or_else(|| SimError::UnknownSignal(n.clone()))?;
-                if sig.mem_depth.is_some() {
-                    return Err(SimError::UnknownSignal(format!(
-                        "cannot assign whole memory `{n}`"
-                    )));
-                }
-                Some(vec![NbWrite::Sig(n.clone(), value.resize(sig.width))])
-            }
-            LValue::Index(n, idx) => {
-                let i = eval_expr(idx, self.design, self.state)?.to_u64();
-                let sig = self
-                    .design
-                    .signals
-                    .get(n)
-                    .ok_or_else(|| SimError::UnknownSignal(n.clone()))?;
-                if let Some(depth) = sig.mem_depth {
-                    match effective_mem_addr(i, depth) {
-                        Some(addr) => {
-                            Some(vec![NbWrite::Mem(n.clone(), addr, value.resize(sig.width))])
-                        }
-                        None => None, // dropped write: paper §3.2.1 outcome 2
-                    }
-                } else if i < u64::from(sig.width) {
-                    Some(vec![NbWrite::Slice(n.clone(), i as u32, value.resize(1))])
-                } else {
-                    None // out-of-range bit write ignored
-                }
-            }
-            LValue::Range(n, msb, lsb) => {
-                let m = eval_expr(msb, self.design, self.state)?.to_u64();
-                let l = eval_expr(lsb, self.design, self.state)?.to_u64();
-                if l > m {
-                    return Err(SimError::NonConstSelect);
-                }
-                let w = (m - l + 1) as u32;
-                Some(vec![NbWrite::Slice(n.clone(), l as u32, value.resize(w))])
-            }
-            LValue::Concat(parts) => {
-                // First part is most significant.
-                let mut widths = Vec::new();
-                let mut total = 0u32;
-                for p in parts {
-                    let w = self.lvalue_width(p)?;
-                    widths.push(w);
-                    total += w;
-                }
-                let value = value.resize(total);
-                let mut out = Vec::new();
-                let mut hi = total;
-                for (p, w) in parts.iter().zip(widths) {
-                    let part_val = value.slice(hi - w, w);
-                    hi -= w;
-                    if let Some(ws) = self.resolve(p, part_val)? {
-                        out.extend(ws);
-                    }
-                }
-                Some(out)
-            }
-        })
-    }
-
-    fn lvalue_width(&self, lv: &LValue) -> Result<u32, SimError> {
-        Ok(match lv {
-            LValue::Id(n) => {
-                self.design
-                    .signals
-                    .get(n)
-                    .ok_or_else(|| SimError::UnknownSignal(n.clone()))?
-                    .width
-            }
-            LValue::Index(n, _) => {
-                let sig = self
-                    .design
-                    .signals
-                    .get(n)
-                    .ok_or_else(|| SimError::UnknownSignal(n.clone()))?;
-                if sig.mem_depth.is_some() {
-                    sig.width
-                } else {
-                    1
-                }
-            }
-            LValue::Range(_, msb, lsb) => {
-                let e = Expr::Range(
-                    "_".into(),
-                    Box::new(msb.clone()),
-                    Box::new(lsb.clone()),
-                );
-                // Reuse expr_width's constant range logic via a dummy name.
-                let _ = &e;
-                let m = hwdbg_dataflow::eval_const(msb, &self.design.consts)
-                    .map_err(|_| SimError::NonConstSelect)?
-                    .to_u64();
-                let l = hwdbg_dataflow::eval_const(lsb, &self.design.consts)
-                    .map_err(|_| SimError::NonConstSelect)?
-                    .to_u64();
-                (m - l + 1) as u32
-            }
-            LValue::Concat(parts) => {
-                let mut sum = 0;
-                for p in parts {
-                    sum += self.lvalue_width(p)?;
-                }
-                sum
-            }
-        })
-    }
-}
-
-
 #[allow(dead_code)]
-fn _assert_width_fn_exists(design: &Design) {
-    let _ = expr_width(&Expr::number(0), design);
+fn _assert_name_based_eval_stays_public(design: &Design, state: &SimState) {
+    // `eval_expr` remains part of the public API for tools that evaluate
+    // ad-hoc expressions outside the compiled hot path.
+    let _ = eval_expr(&hwdbg_rtl::Expr::number(0), design, state);
 }

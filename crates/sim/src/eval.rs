@@ -83,7 +83,7 @@ pub fn expr_width(expr: &Expr, design: &Design) -> Result<u32, SimError> {
 /// both operands are, per Verilog's rules.
 pub fn is_signed(expr: &Expr, design: &Design) -> bool {
     match expr {
-        Expr::Ident(n) => design.signals.get(n).map_or(false, |s| s.signed),
+        Expr::Ident(n) => design.signals.get(n).is_some_and(|s| s.signed),
         Expr::SignCast(signed, _) => *signed,
         Expr::Unary(UnaryOp::Neg | UnaryOp::Not, e) => is_signed(e, design),
         Expr::Binary(op, l, r) if !op.is_boolean() => {
@@ -196,7 +196,7 @@ pub fn eval_expr(expr: &Expr, design: &Design, state: &SimState) -> Result<Bits,
 
 /// Signed variant of the binary-operator semantics: comparisons compare in
 /// two's complement, `>>>` shifts arithmetically, operands sign-extend.
-fn apply_binary_signed(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
+pub(crate) fn apply_binary_signed(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
     use BinaryOp::*;
     let w = a.width().max(b.width());
     let sa = a.resize_signed(w);

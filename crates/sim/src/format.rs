@@ -86,7 +86,7 @@ fn default_dec_width(v: &Bits, explicit: usize, zero_pad: bool) -> usize {
         return 0; // %0d
     }
     // ceil(width * log10(2)) like real simulators do.
-    ((f64::from(v.width()) * 0.30103).ceil() as usize).max(1)
+    ((f64::from(v.width()) * std::f64::consts::LOG10_2).ceil() as usize).max(1)
 }
 
 fn pad(s: &str, width: usize, zero_pad: bool) -> String {

@@ -31,13 +31,14 @@
 
 #![warn(missing_docs)]
 
+mod compile;
 mod engine;
 mod eval;
 pub mod format;
 mod state;
 pub mod vcd;
 
-pub use engine::{Checkpoint, SimConfig, Simulator};
+pub use engine::{Checkpoint, SettleMode, SimConfig, Simulator};
 pub use eval::{effective_mem_addr, eval_expr, expr_width, is_signed};
 pub use state::{RegInit, SimState};
 pub use vcd::VcdWriter;

@@ -1,10 +1,14 @@
 //! Simulation state: current value of every signal and memory.
+//!
+//! Storage is dense: one `Vec<Bits>` slot per interned [`SigId`], plus one
+//! array per memory. The string-keyed accessors (`get`/`set`/`read_mem`/…)
+//! are thin shims over the dense layout so testbenches and tools keep
+//! working unchanged; the compiled simulator hot path uses the `_id`/`_slot`
+//! variants and never touches a name.
 
-use hwdbg_bits::Bits;
-use hwdbg_dataflow::Design;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use hwdbg_bits::{Bits, SplitMix64};
+use hwdbg_dataflow::{Design, SigId, SignalTable};
+use std::sync::Arc;
 
 /// Register/memory initialization policy.
 ///
@@ -21,11 +25,20 @@ pub enum RegInit {
     Random(u64),
 }
 
+/// Marker for "this signal is not a memory" in the slot map.
+const NOT_A_MEM: u32 = u32::MAX;
+
 /// The mutable value store of a running simulation.
 #[derive(Debug, Clone)]
 pub struct SimState {
-    values: BTreeMap<String, Bits>,
-    mems: BTreeMap<String, Vec<Bits>>,
+    /// Shared interner (IDs are in sorted-name order).
+    table: Arc<SignalTable>,
+    /// One value per signal ID; memory IDs hold a 1-bit placeholder.
+    values: Vec<Bits>,
+    /// Memory arrays, indexed by the slot in `mem_slot`.
+    mems: Vec<Vec<Bits>>,
+    /// Per signal ID: index into `mems`, or `NOT_A_MEM` for scalars.
+    mem_slot: Vec<u32>,
 }
 
 impl SimState {
@@ -33,17 +46,20 @@ impl SimState {
     pub fn new(design: &Design, init: RegInit) -> Self {
         let mut rng = match init {
             RegInit::Zero => None,
-            RegInit::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+            RegInit::Random(seed) => Some(SplitMix64::new(seed)),
         };
-        let mut values = BTreeMap::new();
-        let mut mems = BTreeMap::new();
-        for sig in design.signals.values() {
+        let n = design.table.len();
+        let mut values = Vec::with_capacity(n);
+        let mut mems = Vec::new();
+        let mut mem_slot = vec![NOT_A_MEM; n];
+        // `design.signals` iterates in name order, which is also ID order.
+        for (id, sig) in design.signals.values().enumerate() {
             let mut make = |width: u32| -> Bits {
                 match (&mut rng, sig.is_state()) {
                     (Some(rng), true) => {
                         let mut b = Bits::zero(width);
                         for i in 0..width {
-                            b.set_bit(i, rng.gen_bool(0.5));
+                            b.set_bit(i, rng.next_bool());
                         }
                         b
                     }
@@ -51,67 +67,128 @@ impl SimState {
                 }
             };
             if let Some(depth) = sig.mem_depth {
-                let elems = (0..depth).map(|_| make(sig.width)).collect();
-                mems.insert(sig.name.clone(), elems);
+                let elems: Vec<Bits> = (0..depth).map(|_| make(sig.width)).collect();
+                mem_slot[id] = mems.len() as u32;
+                mems.push(elems);
+                values.push(Bits::zero(1));
             } else {
-                let v = make(sig.width);
-                values.insert(sig.name.clone(), v);
+                values.push(make(sig.width));
             }
         }
-        SimState { values, mems }
+        SimState {
+            table: Arc::new(design.table.clone()),
+            values,
+            mems,
+            mem_slot,
+        }
+    }
+
+    /// The interner this state was built against.
+    pub fn table(&self) -> &SignalTable {
+        &self.table
+    }
+
+    /// The memory slot for a signal ID, if it is a memory.
+    #[inline]
+    pub fn mem_slot_of(&self, id: SigId) -> Option<u32> {
+        match self.mem_slot[id.index()] {
+            NOT_A_MEM => None,
+            s => Some(s),
+        }
+    }
+
+    /// Current value of an interned scalar signal (hot path; no lookup).
+    #[inline]
+    pub fn get_id(&self, id: SigId) -> &Bits {
+        &self.values[id.index()]
+    }
+
+    /// Overwrites an interned scalar's value, resizing to the stored width.
+    /// Returns true if the value changed.
+    #[inline]
+    pub fn set_id(&mut self, id: SigId, value: Bits) -> bool {
+        let slot = &mut self.values[id.index()];
+        let resized = value.resize(slot.width());
+        if *slot != resized {
+            *slot = resized;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads one element of the memory in `slot`; out-of-range addresses
+    /// read as zero.
+    #[inline]
+    pub fn read_mem_slot(&self, slot: u32, idx: u64) -> Bits {
+        let elems = &self.mems[slot as usize];
+        elems
+            .get(idx as usize)
+            .cloned()
+            .unwrap_or_else(|| Bits::zero(elems.first().map_or(1, Bits::width)))
+    }
+
+    /// Writes one element of the memory in `slot` at an already-validated
+    /// address. Returns true if the stored value changed.
+    #[inline]
+    pub fn write_mem_slot(&mut self, slot: u32, idx: u64, value: Bits) -> bool {
+        let elems = &mut self.mems[slot as usize];
+        if let Some(el) = elems.get_mut(idx as usize) {
+            let resized = value.resize(el.width());
+            if *el != resized {
+                *el = resized;
+                return true;
+            }
+        }
+        false
     }
 
     /// Current value of a (non-memory) signal.
     pub fn get(&self, name: &str) -> Option<&Bits> {
-        self.values.get(name)
+        let id = self.table.id(name)?;
+        if self.mem_slot[id.index()] != NOT_A_MEM {
+            return None;
+        }
+        Some(&self.values[id.index()])
     }
 
     /// Overwrites a signal's value, resizing to the stored width.
     /// Returns true if the value changed.
     pub fn set(&mut self, name: &str, value: Bits) -> bool {
-        match self.values.get_mut(name) {
-            Some(slot) => {
-                let resized = value.resize(slot.width());
-                if *slot != resized {
-                    *slot = resized;
-                    true
-                } else {
-                    false
-                }
-            }
-            None => false,
+        match self.table.id(name) {
+            Some(id) if self.mem_slot[id.index()] == NOT_A_MEM => self.set_id(id, value),
+            _ => false,
         }
     }
 
     /// Reads a memory element; out-of-range addresses read as zero.
     pub fn read_mem(&self, name: &str, idx: u64) -> Bits {
-        match self.mems.get(name) {
-            Some(elems) => elems
-                .get(idx as usize)
-                .cloned()
-                .unwrap_or_else(|| Bits::zero(elems.first().map_or(1, |e| e.width()))),
+        match self.table.id(name).and_then(|id| self.mem_slot_of(id)) {
+            Some(slot) => self.read_mem_slot(slot, idx),
             None => Bits::zero(1),
         }
     }
 
     /// Writes a memory element at an already-validated address.
     pub fn write_mem(&mut self, name: &str, idx: u64, value: Bits) {
-        if let Some(elems) = self.mems.get_mut(name) {
-            if let Some(slot) = elems.get_mut(idx as usize) {
-                let w = slot.width();
-                *slot = value.resize(w);
-            }
+        if let Some(slot) = self.table.id(name).and_then(|id| self.mem_slot_of(id)) {
+            self.write_mem_slot(slot, idx, value);
         }
     }
 
     /// Whole contents of a memory (for testbench assertions).
     pub fn mem(&self, name: &str) -> Option<&[Bits]> {
-        self.mems.get(name).map(|v| v.as_slice())
+        let slot = self.table.id(name).and_then(|id| self.mem_slot_of(id))?;
+        Some(&self.mems[slot as usize])
     }
 
-    /// Names and values of all scalar signals (for VCD dumping).
-    pub fn iter_values(&self) -> impl Iterator<Item = (&String, &Bits)> {
-        self.values.iter()
+    /// Names and values of all scalar signals, in name order (for VCD
+    /// dumping).
+    pub fn iter_values(&self) -> impl Iterator<Item = (&str, &Bits)> {
+        self.table
+            .iter()
+            .filter(|(id, _)| self.mem_slot[id.index()] == NOT_A_MEM)
+            .map(|(id, name)| (name, &self.values[id.index()]))
     }
 }
 
@@ -173,5 +250,24 @@ mod tests {
         let st = SimState::new(&design, RegInit::Zero);
         assert!(st.read_mem("mem", 99).is_zero());
         assert_eq!(st.read_mem("mem", 99).width(), 8);
+    }
+
+    #[test]
+    fn dense_accessors_match_name_shims() {
+        let design = d("module m(input clk, input [7:0] d, output reg [7:0] q);
+            reg [7:0] mem [0:3];
+            always @(posedge clk) begin q <= d; mem[0] <= d; end
+        endmodule");
+        let mut st = SimState::new(&design, RegInit::Zero);
+        let q = design.sig_id("q").unwrap();
+        assert!(st.set_id(q, Bits::from_u64(8, 0xAB)));
+        assert_eq!(st.get("q").unwrap().to_u64(), 0xAB);
+        let mem = design.sig_id("mem").unwrap();
+        let slot = st.mem_slot_of(mem).unwrap();
+        assert!(st.write_mem_slot(slot, 1, Bits::from_u64(8, 7)));
+        assert_eq!(st.read_mem("mem", 1).to_u64(), 7);
+        // A memory name is not a scalar: the scalar shims refuse it.
+        assert!(st.get("mem").is_none());
+        assert!(!st.set("mem", Bits::from_u64(8, 1)));
     }
 }

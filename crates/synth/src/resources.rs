@@ -215,7 +215,7 @@ pub fn expr_cost(expr: &Expr, design: &Design) -> u64 {
             let is_mem = design
                 .signals
                 .get(n)
-                .map_or(false, |s| s.mem_depth.is_some());
+                .is_some_and(|s| s.mem_depth.is_some());
             let own = if matches!(**idx, Expr::Literal { .. }) {
                 0
             } else if is_mem {

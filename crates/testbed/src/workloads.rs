@@ -151,7 +151,7 @@ fn d2_run(sim: &mut Simulator, n: usize, require_done: bool) -> Result<Outcome, 
     sim.poke_u64("start", 1)?;
     sim.step("clk")?;
     sim.poke_u64("start", 0)?;
-    let pixels: Vec<u64> = (0..n as u64).map(|i| (i << 16) | ((i * 3) << 8) | (i * 7) % 256).collect();
+    let pixels: Vec<u64> = (0..n as u64).map(|i| (i << 16) | ((i * 3) << 8) | ((i * 7) % 256)).collect();
     let mut got = Vec::new();
     for &p in &pixels {
         sim.poke_u64("pix_in", p)?;
@@ -394,7 +394,7 @@ fn d10_sha512(sim: &mut Simulator) -> Result<Outcome, SimError> {
         sim.poke_u64("start", 1)?;
         sim.step("clk")?;
         sim.poke_u64("start", 0)?;
-        let words: Vec<u64> = (0..8).map(|i| (msg + 1) * 0x1111_2222_3333_4444u64 ^ i).collect();
+        let words: Vec<u64> = (0..8).map(|i| ((msg + 1) * 0x1111_2222_3333_4444u64) ^ i).collect();
         for &w in &words {
             sim.poke("w", hwdbg_bits::Bits::from_u64(64, w))?;
             sim.poke_u64("w_valid", 1)?;

@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut traced = Simulator::new(d2, &StdModels, SimConfig::default())?;
     let _ = workloads::run(BugId::D2, &mut traced)?;
     let transitions = FsmMonitor::trace(&fsm_info, &traced);
-    let last_rd = transitions.iter().filter(|t| t.signal == "rd_state").next_back();
-    let last_wr = transitions.iter().filter(|t| t.signal == "wr_state").next_back();
+    let last_rd = transitions.iter().rfind(|t| t.signal == "rd_state");
+    let last_wr = transitions.iter().rfind(|t| t.signal == "wr_state");
     println!(
         "[fsm-monitor] read FSM ended in {}, write FSM ended in {}",
         last_rd.map_or("?".into(), |t| t.to_name.clone()),

@@ -1,11 +1,15 @@
-//! Property-based tests on the core substrates: `Bits` arithmetic against
-//! a `u128` reference model, parser/printer round-tripping over generated
-//! expressions and modules, and simulator/propagation invariants.
+//! Randomized property tests on the core substrates: `Bits` arithmetic
+//! against a `u128` reference model, parser/printer round-tripping over
+//! generated expressions and modules, and const-eval/simulator agreement.
+//!
+//! Cases are driven by the in-tree [`SplitMix64`] generator with fixed
+//! seeds, so every run checks the same (large) sample deterministically —
+//! the offline build has no proptest, and shrinking matters less than
+//! reproducibility here: a failure prints the seed/iteration inputs.
 
-use hwdbg::bits::Bits;
-use proptest::prelude::*;
+use hwdbg::bits::{Bits, SplitMix64};
 
-// ---- Bits vs. u128 reference model ---------------------------------------
+const CASES: u64 = 512;
 
 fn mask(width: u32) -> u128 {
     if width >= 128 {
@@ -15,121 +19,196 @@ fn mask(width: u32) -> u128 {
     }
 }
 
-proptest! {
-    #[test]
-    fn add_matches_u128(a: u128, b: u128, width in 1u32..128) {
+// ---- Bits vs. u128 reference model ---------------------------------------
+
+#[test]
+fn add_sub_match_u128() {
+    let mut rng = SplitMix64::new(0xB175_0001);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u128(), rng.next_u128());
+        let width = rng.range(1, 128) as u32;
         let x = Bits::from_u128(width, a);
         let y = Bits::from_u128(width, b);
-        let got = x.add(&y).to_u128();
-        prop_assert_eq!(got, a.wrapping_add(b) & mask(width));
+        assert_eq!(
+            x.add(&y).to_u128(),
+            a.wrapping_add(b) & mask(width),
+            "add a={a:#x} b={b:#x} width={width}"
+        );
+        assert_eq!(
+            x.sub(&y).to_u128(),
+            a.wrapping_sub(b) & mask(width),
+            "sub a={a:#x} b={b:#x} width={width}"
+        );
     }
+}
 
-    #[test]
-    fn sub_matches_u128(a: u128, b: u128, width in 1u32..128) {
-        let x = Bits::from_u128(width, a);
-        let y = Bits::from_u128(width, b);
-        prop_assert_eq!(x.sub(&y).to_u128(), a.wrapping_sub(b) & mask(width));
-    }
-
-    #[test]
-    fn mul_matches_u128(a: u64, b: u64, width in 1u32..64) {
+#[test]
+fn mul_matches_u128() {
+    let mut rng = SplitMix64::new(0xB175_0002);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let width = rng.range(1, 64) as u32;
         let x = Bits::from_u128(width, a as u128);
         let y = Bits::from_u128(width, b as u128);
-        let expect = (a as u128 & mask(width)).wrapping_mul(b as u128 & mask(width)) & mask(width);
-        prop_assert_eq!(x.mul(&y).to_u128(), expect);
+        let expect =
+            (a as u128 & mask(width)).wrapping_mul(b as u128 & mask(width)) & mask(width);
+        assert_eq!(x.mul(&y).to_u128(), expect, "a={a:#x} b={b:#x} width={width}");
     }
+}
 
-    #[test]
-    fn div_rem_matches_u128(a: u128, b: u128, width in 1u32..128) {
-        let am = a & mask(width);
-        let bm = b & mask(width);
+#[test]
+fn div_rem_match_u128() {
+    let mut rng = SplitMix64::new(0xB175_0003);
+    for i in 0..CASES {
+        let width = rng.range(1, 128) as u32;
+        let am = rng.next_u128() & mask(width);
+        // Exercise the divide-by-zero convention on a slice of the cases.
+        let bm = if i % 8 == 0 { 0 } else { rng.next_u128() & mask(width) };
         let x = Bits::from_u128(width, am);
         let y = Bits::from_u128(width, bm);
-        if bm == 0 {
-            prop_assert!(x.div(&y).is_zero());
-            prop_assert!(x.rem(&y).is_zero());
-        } else {
-            prop_assert_eq!(x.div(&y).to_u128(), am / bm);
-            prop_assert_eq!(x.rem(&y).to_u128(), am % bm);
+        match (am.checked_div(bm), am.checked_rem(bm)) {
+            // Hardware convention: division by zero yields zero.
+            (None, None) => {
+                assert!(x.div(&y).is_zero(), "a={am:#x} width={width}");
+                assert!(x.rem(&y).is_zero(), "a={am:#x} width={width}");
+            }
+            (Some(q), Some(r)) => {
+                assert_eq!(x.div(&y).to_u128(), q, "a={am:#x} b={bm:#x} width={width}");
+                assert_eq!(x.rem(&y).to_u128(), r, "a={am:#x} b={bm:#x} width={width}");
+            }
+            _ => unreachable!(),
         }
     }
+}
 
-    #[test]
-    fn shifts_match_u128(a: u128, sh in 0u32..140, width in 1u32..128) {
+#[test]
+fn shifts_match_u128() {
+    let mut rng = SplitMix64::new(0xB175_0004);
+    for _ in 0..CASES {
+        let a = rng.next_u128();
+        let sh = rng.below(140) as u32;
+        let width = rng.range(1, 128) as u32;
         let x = Bits::from_u128(width, a);
-        let expect = if sh >= width { 0 } else { ((a & mask(width)) << sh) & mask(width) };
-        prop_assert_eq!(x.shl(sh).to_u128(), expect);
+        let expect = if sh >= width {
+            0
+        } else {
+            ((a & mask(width)) << sh) & mask(width)
+        };
+        assert_eq!(x.shl(sh).to_u128(), expect, "shl a={a:#x} sh={sh} width={width}");
         let expect_r = if sh >= 128 { 0 } else { (a & mask(width)) >> sh };
-        prop_assert_eq!(x.shr(sh).to_u128(), expect_r);
+        assert_eq!(x.shr(sh).to_u128(), expect_r, "shr a={a:#x} sh={sh} width={width}");
     }
+}
 
-    #[test]
-    fn concat_slice_roundtrip(a: u64, b: u64, wa in 1u32..64, wb in 1u32..64) {
+#[test]
+fn concat_slice_roundtrip() {
+    let mut rng = SplitMix64::new(0xB175_0005);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let wa = rng.range(1, 64) as u32;
+        let wb = rng.range(1, 64) as u32;
         let hi = Bits::from_u64(wa, a);
         let lo = Bits::from_u64(wb, b);
         let cat = hi.concat(&lo);
-        prop_assert_eq!(cat.width(), wa + wb);
-        prop_assert_eq!(cat.slice(0, wb), lo);
-        prop_assert_eq!(cat.slice(wb, wa), hi);
+        assert_eq!(cat.width(), wa + wb);
+        assert_eq!(cat.slice(0, wb), lo, "a={a:#x} b={b:#x} wa={wa} wb={wb}");
+        assert_eq!(cat.slice(wb, wa), hi, "a={a:#x} b={b:#x} wa={wa} wb={wb}");
     }
+}
 
-    #[test]
-    fn dec_string_matches_u128(a: u128, width in 1u32..128) {
+#[test]
+fn dec_string_matches_u128() {
+    let mut rng = SplitMix64::new(0xB175_0006);
+    for _ in 0..CASES {
+        let a = rng.next_u128();
+        let width = rng.range(1, 128) as u32;
         let x = Bits::from_u128(width, a);
-        prop_assert_eq!(x.to_dec_string(), format!("{}", a & mask(width)));
+        assert_eq!(x.to_dec_string(), format!("{}", a & mask(width)));
     }
+}
 
-    #[test]
-    fn literal_roundtrip(a: u64, width in 1u32..64) {
-        let v = a & mask(width) as u64;
-        let text = format!("{width}'h{:x}", v);
+#[test]
+fn literal_roundtrip() {
+    let mut rng = SplitMix64::new(0xB175_0007);
+    for _ in 0..CASES {
+        let width = rng.range(1, 64) as u32;
+        let v = rng.next_u64() & mask(width) as u64;
+        let text = format!("{width}'h{v:x}");
         let parsed = Bits::parse_literal(&text).unwrap();
-        prop_assert_eq!(parsed.to_u64(), v);
-        prop_assert_eq!(parsed.width(), width);
+        assert_eq!(parsed.to_u64(), v, "text={text}");
+        assert_eq!(parsed.width(), width, "text={text}");
+    }
+}
+
+// ---- Random expression generator -----------------------------------------
+
+/// Produces a random well-formed expression over a small identifier
+/// alphabet, with bounded recursion depth.
+fn arb_expr(rng: &mut SplitMix64, depth: u32) -> String {
+    const IDENTS: [&str; 4] = ["a", "b", "c", "sel"];
+    const BINOPS: [&str; 13] = [
+        "+", "-", "&", "|", "^", "==", "!=", "<", ">", "&&", "||", "<<", ">>",
+    ];
+    if depth == 0 || rng.below(4) == 0 {
+        // Leaf: identifier or sized literal.
+        return if rng.next_bool() {
+            IDENTS[rng.below(IDENTS.len() as u64) as usize].to_owned()
+        } else {
+            let w = rng.range(1, 16);
+            let v = rng.below(200) & ((1 << w) - 1);
+            format!("{w}'h{v:x}")
+        };
+    }
+    match rng.below(6) {
+        0 => {
+            let l = arb_expr(rng, depth - 1);
+            let r = arb_expr(rng, depth - 1);
+            let op = BINOPS[rng.below(BINOPS.len() as u64) as usize];
+            format!("({l}) {op} ({r})")
+        }
+        1 => format!("~({})", arb_expr(rng, depth - 1)),
+        2 => format!("!({})", arb_expr(rng, depth - 1)),
+        3 => {
+            let c = arb_expr(rng, depth - 1);
+            let t = arb_expr(rng, depth - 1);
+            let f = arb_expr(rng, depth - 1);
+            format!("({c}) ? ({t}) : ({f})")
+        }
+        4 => {
+            let l = arb_expr(rng, depth - 1);
+            let r = arb_expr(rng, depth - 1);
+            format!("{{({l}), ({r})}}")
+        }
+        _ => {
+            let n = rng.range(1, 5);
+            format!("{{{n}{{({})}}}}", arb_expr(rng, depth - 1))
+        }
     }
 }
 
 // ---- Parser / printer round-trip -----------------------------------------
 
-/// Strategy producing random well-formed expressions over a small
-/// identifier alphabet.
-fn arb_expr() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        prop::sample::select(vec!["a", "b", "c", "sel"]).prop_map(String::from),
-        (1u32..16, 0u64..200).prop_map(|(w, v)| format!("{w}'h{:x}", v & ((1 << w) - 1))),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop::sample::select(vec![
-                "+", "-", "&", "|", "^", "==", "!=", "<", ">", "&&", "||", "<<", ">>"
-            ]))
-                .prop_map(|(l, r, op)| format!("({l}) {op} ({r})")),
-            (inner.clone()).prop_map(|e| format!("~({e})")),
-            (inner.clone()).prop_map(|e| format!("!({e})")),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| format!("({c}) ? ({t}) : ({f})")),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("{{({l}), ({r})}}")),
-            (1u32..5, inner.clone()).prop_map(|(n, e)| format!("{{{n}{{({e})}}}}")),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// print(parse(e)) is a fixpoint: re-parsing the printed text yields
-    /// a structurally identical AST.
-    #[test]
-    fn expr_print_parse_fixpoint(src in arb_expr()) {
+/// print(parse(e)) is a fixpoint: re-parsing the printed text yields a
+/// structurally identical AST.
+#[test]
+fn expr_print_parse_fixpoint() {
+    let mut rng = SplitMix64::new(0xE10A_0001);
+    for _ in 0..128 {
+        let src = arb_expr(&mut rng, 4);
         let ast1 = hwdbg::rtl::parse_expr(&src).unwrap();
         let printed1 = hwdbg::rtl::print_expr(&ast1);
         let ast2 = hwdbg::rtl::parse_expr(&printed1).unwrap();
-        prop_assert_eq!(&ast1, &ast2, "printed: {}", printed1);
+        assert_eq!(ast1, ast2, "src: {src}\nprinted: {printed1}");
     }
+}
 
-    /// Random always-block bodies survive a module-level round trip.
-    #[test]
-    fn module_print_parse_fixpoint(e1 in arb_expr(), e2 in arb_expr()) {
+/// Random always-block bodies survive a module-level round trip.
+#[test]
+fn module_print_parse_fixpoint() {
+    let mut rng = SplitMix64::new(0xE10A_0002);
+    for _ in 0..64 {
+        let e1 = arb_expr(&mut rng, 3);
+        let e2 = arb_expr(&mut rng, 3);
         let src = format!(
             "module m(input clk, input [7:0] a, input [7:0] b, input [7:0] c, input sel,
                       output reg [15:0] q);
@@ -142,14 +221,18 @@ proptest! {
         let ast1 = hwdbg::rtl::parse(&src).unwrap();
         let printed = hwdbg::rtl::print(&ast1);
         let ast2 = hwdbg::rtl::parse(&printed).unwrap();
-        prop_assert_eq!(hwdbg::rtl::print(&ast2), printed);
+        assert_eq!(hwdbg::rtl::print(&ast2), printed, "e1: {e1}\ne2: {e2}");
     }
+}
 
-    /// Constant folding agrees with the simulator: evaluating an
-    /// expression over constants gives the same value through
-    /// `eval_const` and through a simulated continuous assignment.
-    #[test]
-    fn const_eval_matches_simulation(e in arb_expr()) {
+/// Constant folding agrees with the simulator: evaluating an expression
+/// over constants gives the same value through `eval_const` and through a
+/// simulated continuous assignment.
+#[test]
+fn const_eval_matches_simulation() {
+    let mut rng = SplitMix64::new(0xE10A_0003);
+    for _ in 0..128 {
+        let e = arb_expr(&mut rng, 4);
         // Bind the free identifiers to fixed constants.
         let env: hwdbg::dataflow::ConstEnv = [
             ("a", 8u32, 0x5Au64),
@@ -162,7 +245,7 @@ proptest! {
         .collect();
         let expr = hwdbg::rtl::parse_expr(&e).unwrap();
         let Ok(folded) = hwdbg::dataflow::eval_const(&expr, &env) else {
-            return Ok(()); // e.g. zero replication count
+            continue; // e.g. zero replication count
         };
 
         let src = format!(
@@ -189,6 +272,6 @@ proptest! {
         sim.poke_u64("sel", 1).unwrap();
         sim.settle().unwrap();
         let got = sim.peek("q").unwrap().to_u64();
-        prop_assert_eq!(got, folded.resize(64).to_u64(), "expr: {}", e);
+        assert_eq!(got, folded.resize(64).to_u64(), "expr: {e}");
     }
 }

@@ -48,10 +48,7 @@ fn fsm_monitor_shows_grayscale_stuck_states() {
     let _ = workloads::run(BugId::D2, &mut sim).unwrap();
     let trace = FsmMonitor::trace(&info, &sim);
     let last = |sig: &str| {
-        trace
-            .iter()
-            .filter(|t| t.signal == sig)
-            .next_back()
+        trace.iter().rfind(|t| t.signal == sig)
             .map(|t| t.to_name.clone())
             .unwrap_or_default()
     };
