@@ -10,6 +10,11 @@
 //!
 //! Usage: `cargo run --release -p hwdbg-bench --bin perfsuite`
 
+
+// Developer-facing report generator: aborting with a message on a broken
+// fixture is the desired behavior, not a robustness hole.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hwdbg_bench::harness::{bench, json_escape, Measurement};
 use hwdbg_dataflow::elaborate;
 use hwdbg_ip::StdModels;

@@ -261,7 +261,7 @@ impl Bits {
             digits.push(b'0' + tmp.divmod_small(10) as u8);
         }
         digits.reverse();
-        String::from_utf8(digits).expect("decimal digits are ASCII")
+        digits.into_iter().map(char::from).collect()
     }
 
     /// Formats as lowercase hex, `ceil(width/4)` digits, no prefix.
@@ -270,7 +270,7 @@ impl Bits {
         let mut s = String::with_capacity(digits);
         for d in (0..digits).rev() {
             let nib = self.slice(d as u32 * 4, 4).to_u64();
-            s.push(char::from_digit(nib as u32, 16).expect("nibble < 16"));
+            s.push(char::from(b"0123456789abcdef"[(nib & 0xF) as usize]));
         }
         s
     }

@@ -287,6 +287,45 @@ impl FsmMonitor {
     pub fn trace(info: &FsmInstrumented, sim: &Simulator) -> Vec<FsmTransition> {
         Self::reconstruct(info, sim.logs())
     }
+
+    /// Like [`FsmMonitor::trace`], but marks the trace *degraded* when an
+    /// FSM with labeled states was observed entering a value none of its
+    /// `localparam`s name — the signature of a perturbed or corrupted
+    /// state register (stuck-at/bit-flip faults land here). One warning
+    /// is emitted per distinct (register, unlabeled state) pair.
+    pub fn trace_checked(
+        info: &FsmInstrumented,
+        sim: &Simulator,
+    ) -> hwdbg_diag::Checked<Vec<FsmTransition>> {
+        use hwdbg_diag::{Checked, ErrorCode, HwdbgError};
+        use std::collections::BTreeSet;
+        let transitions = Self::trace(info, sim);
+        let mut checked = Checked::clean(Vec::new());
+        let mut flagged: BTreeSet<(String, u64)> = BTreeSet::new();
+        for t in &transitions {
+            let Some(fsm) = info.fsms.iter().find(|f| f.signal == t.signal) else {
+                continue;
+            };
+            if fsm.states.is_empty() || fsm.states.contains_key(&t.to) {
+                continue;
+            }
+            if flagged.insert((t.signal.clone(), t.to)) {
+                checked = checked.degraded(
+                    HwdbgError::warning(
+                        ErrorCode::DegradedOutput,
+                        format!(
+                            "FSM `{}` entered unlabeled state {} at cycle {}; the \
+                             register may be corrupted or forced",
+                            t.signal, t.to, t.cycle
+                        ),
+                    )
+                    .with_signal(&t.signal),
+                );
+            }
+        }
+        checked.value = transitions;
+        checked
+    }
 }
 
 /// Facts accumulated about each assigned signal during the scan.

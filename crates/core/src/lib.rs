@@ -103,6 +103,23 @@ impl fmt::Display for ToolError {
 
 impl std::error::Error for ToolError {}
 
+impl From<ToolError> for hwdbg_diag::HwdbgError {
+    fn from(e: ToolError) -> Self {
+        use hwdbg_diag::{ErrorCode, HwdbgError};
+        let message = e.to_string();
+        let (code, signals): (ErrorCode, Vec<String>) = match &e {
+            ToolError::UnknownSignal(n) => (ErrorCode::UnknownSignal, vec![n.clone()]),
+            ToolError::NoClock => (ErrorCode::NoClock, vec![]),
+            ToolError::NothingToInstrument(_) => (ErrorCode::NothingToInstrument, vec![]),
+            ToolError::Elaboration(_) => (ErrorCode::ToolElaboration, vec![]),
+            ToolError::NoPath { source, sink } => {
+                (ErrorCode::NoPath, vec![source.clone(), sink.clone()])
+            }
+        };
+        HwdbgError::new(code, message).with_signals(signals)
+    }
+}
+
 /// Maps every clocked register to the clock that writes it, and returns
 /// the design's primary clock (the one driving the most registers).
 pub fn clock_map(design: &Design) -> (BTreeMap<String, String>, Option<String>) {

@@ -288,6 +288,56 @@ impl SignalCat {
         out.sort_by_key(|r| r.cycle);
         out
     }
+
+    /// Like [`SignalCat::reconstruct`], but marks the result *degraded*
+    /// when the reconstructed log is a provably incomplete view of the
+    /// run: a ring buffer wrapped (oldest records overwritten) or a
+    /// buffer instance is missing from the simulation entirely. The log
+    /// itself is still returned — degraded output beats no output when
+    /// debugging deployed hardware (§2).
+    pub fn reconstruct_checked(
+        info: &SignalCatInstrumented,
+        sim: &Simulator,
+    ) -> hwdbg_diag::Checked<Vec<LogRecord>> {
+        use hwdbg_diag::{Checked, ErrorCode, HwdbgError};
+        let mut checked = Checked::clean(Self::reconstruct(info, sim));
+        for buf in &info.buffers {
+            let tb = sim
+                .blackbox(&buf.inst)
+                .and_then(|bb| bb.as_any().downcast_ref::<TraceBuffer>());
+            match tb {
+                None => {
+                    checked = checked.degraded(
+                        HwdbgError::warning(
+                            ErrorCode::DegradedOutput,
+                            format!(
+                                "recording buffer `{}` (clock `{}`) is absent from the \
+                                 simulation; its records are missing from the log",
+                                buf.inst, buf.clock
+                            ),
+                        )
+                        .with_signal(&buf.clock),
+                    );
+                }
+                Some(tb) if tb.overwritten() > 0 => {
+                    checked = checked.degraded(
+                        HwdbgError::warning(
+                            ErrorCode::DegradedOutput,
+                            format!(
+                                "recording buffer `{}` wrapped: the {} oldest records \
+                                 were overwritten",
+                                buf.inst,
+                                tb.overwritten()
+                            ),
+                        )
+                        .with_signal(&buf.clock),
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        checked
+    }
 }
 
 fn cond_wire(id: usize) -> String {

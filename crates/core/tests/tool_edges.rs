@@ -173,3 +173,155 @@ fn signalcat_two_clock_domains_get_two_buffers() {
     let b = rec.iter().filter(|r| r.message.starts_with("B ")).count();
     assert_eq!((a, b), (2, 1), "{rec:?}");
 }
+
+// ---------------------------------------------------------------------------
+// Typed-diagnostic coverage: every tool misconfiguration maps to a specific
+// HwdbgError code via `From<ToolError>`, and degraded runs are marked.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn losscheck_unknown_source_is_e0207() {
+    let lib = StdIpLib::new();
+    let d = design(COUNTER, "m");
+    let g = PropGraph::build(&d, &lib).unwrap();
+    let cfg = LossCheckConfig {
+        source: "no_such_source".into(),
+        sink: "n".into(),
+        source_valid: "go".into(),
+    };
+    let err = LossCheck::instrument(&d, &g, &cfg).unwrap_err();
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code, hwdbg_diag::ErrorCode::UnknownSignal);
+    assert_eq!(diag.code.as_str(), "E0207");
+    assert_eq!(diag.signals, vec!["no_such_source".to_string()]);
+}
+
+#[test]
+fn statmon_on_clockless_design_is_e0501() {
+    let d = design(
+        "module m(input a, input b, output w); assign w = a & b; endmodule",
+        "m",
+    );
+    let events = vec![Event::new("ev", parse_expr("w").unwrap())];
+    let err = StatisticsMonitor::instrument(&d, &events, None).unwrap_err();
+    assert!(matches!(err, ToolError::NoClock));
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code, hwdbg_diag::ErrorCode::NoClock);
+    assert_eq!(diag.code.as_str(), "E0501");
+}
+
+#[test]
+fn signalcat_without_displays_is_e0502() {
+    let d = design(
+        "module m(input clk, output reg q); always @(posedge clk) q <= ~q; endmodule",
+        "m",
+    );
+    let err = SignalCat::instrument(&d, &SignalCatConfig::default()).unwrap_err();
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code, hwdbg_diag::ErrorCode::NothingToInstrument);
+    assert_eq!(diag.code.as_str(), "E0502");
+}
+
+#[test]
+fn depmon_unknown_target_is_e0207() {
+    use hwdbg_dataflow::DepKind;
+    use hwdbg_tools::DependencyMonitor;
+    let lib = StdIpLib::new();
+    let d = design(COUNTER, "m");
+    let g = PropGraph::build(&d, &lib).unwrap();
+    let err =
+        DependencyMonitor::analyze(&d, &g, "ghost", 2, &[DepKind::Data]).unwrap_err();
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code, hwdbg_diag::ErrorCode::UnknownSignal);
+    assert_eq!(diag.signals, vec!["ghost".to_string()]);
+}
+
+#[test]
+fn rendered_tool_diagnostic_names_the_signal() {
+    let lib = StdIpLib::new();
+    let d = design(COUNTER, "m");
+    let g = PropGraph::build(&d, &lib).unwrap();
+    let cfg = LossCheckConfig {
+        source: "phantom".into(),
+        sink: "n".into(),
+        source_valid: "go".into(),
+    };
+    let diag: hwdbg_diag::HwdbgError =
+        LossCheck::instrument(&d, &g, &cfg).unwrap_err().into();
+    let rendered = diag.render(None);
+    assert!(rendered.contains("E0207"), "{rendered}");
+    assert!(rendered.contains("phantom"), "{rendered}");
+}
+
+#[test]
+fn signalcat_wrap_is_marked_degraded() {
+    let lib = StdIpLib::new();
+    let d = design(COUNTER, "m");
+    // Depth 4 with a free-running counter: the ring is guaranteed to wrap.
+    let cfg = SignalCatConfig {
+        buffer_depth: 4,
+        ..Default::default()
+    };
+    let info = SignalCat::instrument(&d, &cfg).unwrap();
+    let mut sim = sim_of(resolve(info.module.clone(), &lib).unwrap());
+    sim.poke_u64("go", 1).unwrap();
+    sim.run("clk", 40).unwrap();
+    let checked = SignalCat::reconstruct_checked(&info, &sim);
+    assert!(!checked.is_clean(), "a wrapped ring must be marked degraded");
+    assert!(!checked.value.is_empty(), "degraded output is still output");
+    let w = &checked.diags[0];
+    assert_eq!(w.code, hwdbg_diag::ErrorCode::DegradedOutput);
+    assert_eq!(w.severity, hwdbg_diag::Severity::Warning);
+    assert!(w.message.contains("wrapped"), "{}", w.message);
+}
+
+#[test]
+fn signalcat_unwrapped_run_is_clean() {
+    let lib = StdIpLib::new();
+    let d = design(COUNTER, "m");
+    let info = SignalCat::instrument(&d, &SignalCatConfig::default()).unwrap();
+    let mut sim = sim_of(resolve(info.module.clone(), &lib).unwrap());
+    sim.poke_u64("go", 1).unwrap();
+    sim.run("clk", 10).unwrap();
+    let checked = SignalCat::reconstruct_checked(&info, &sim);
+    assert!(checked.is_clean(), "{:?}", checked.diags);
+}
+
+#[test]
+fn fsm_trace_marks_forced_unlabeled_state_degraded() {
+    use hwdbg_tools::FsmMonitor;
+    let lib = StdIpLib::new();
+    // A two-state FSM with named states; force it into encoding 3, which
+    // no localparam names.
+    let src = r#"module m(input clk, input go);
+        localparam IDLE = 2'd0;
+        localparam BUSY = 2'd1;
+        reg [1:0] state;
+        always @(posedge clk) begin
+            case (state)
+                IDLE: if (go) state <= BUSY;
+                BUSY: if (!go) state <= IDLE;
+                default: state <= IDLE;
+            endcase
+        end
+    endmodule"#;
+    let d = design(src, "m");
+    let info = FsmMonitor::new().instrument(&d).unwrap();
+    let mut sim = sim_of(resolve(info.module.clone(), &lib).unwrap());
+    sim.poke_u64("go", 1).unwrap();
+    sim.step("clk").unwrap();
+    sim.force("state", hwdbg_bits::Bits::from_u64(2, 3)).unwrap();
+    sim.step("clk").unwrap();
+    sim.release("state").unwrap();
+    sim.step("clk").unwrap();
+    let checked = FsmMonitor::trace_checked(&info, &sim);
+    assert!(
+        !checked.is_clean(),
+        "entering an unlabeled state must be flagged: {:?}",
+        checked.value
+    );
+    let w = &checked.diags[0];
+    assert_eq!(w.code, hwdbg_diag::ErrorCode::DegradedOutput);
+    assert!(w.message.contains("unlabeled state 3"), "{}", w.message);
+    assert_eq!(w.signals, vec!["state".to_string()]);
+}

@@ -65,11 +65,18 @@ pub fn eval_const(expr: &Expr, env: &ConstEnv) -> Result<Bits, DataflowError> {
             acc.ok_or_else(|| DataflowError::NotConstant("empty concat".into()))
         }
         Expr::Repeat(n, body) => {
-            let count = eval_const(n, env)?.to_u64() as u32;
+            let count = eval_const(n, env)?.to_u64();
             if count == 0 {
                 return Err(DataflowError::NotConstant("zero replication".into()));
             }
-            Ok(eval_const(body, env)?.repeat(count))
+            let body = eval_const(body, env)?;
+            let total = count.saturating_mul(u64::from(body.width()));
+            if total > u64::from(MAX_WIDTH) {
+                return Err(DataflowError::BadRange(format!(
+                    "replication produces {total} bits (limit {MAX_WIDTH})"
+                )));
+            }
+            Ok(body.repeat(count as u32))
         }
         Expr::Index(..) | Expr::Range(..) => Err(DataflowError::NotConstant(
             "select on non-constant".into(),
@@ -114,11 +121,18 @@ fn shift_amount(b: &Bits) -> u32 {
     b.to_u64().min(u32::MAX as u64) as u32
 }
 
+/// Widest signal the toolchain accepts (1 Mibit). A `[msb:lsb]` range
+/// beyond this is almost always a malformed design — e.g. a negative
+/// parameter wrapping to 2^32-1 — and would otherwise turn into an
+/// allocation-size abort deep in the simulator.
+pub const MAX_WIDTH: u32 = 1 << 20;
+
 /// Evaluates a `[msb:lsb]` range to a width, requiring `msb >= lsb`.
 ///
 /// # Errors
 ///
-/// Propagates [`DataflowError::NotConstant`] and rejects descending ranges.
+/// Propagates [`DataflowError::NotConstant`] and rejects descending
+/// ranges, zero-width slices, and widths above [`MAX_WIDTH`].
 pub fn range_width(range: &Option<(Expr, Expr)>, env: &ConstEnv) -> Result<u32, DataflowError> {
     match range {
         None => Ok(1),
@@ -128,7 +142,13 @@ pub fn range_width(range: &Option<(Expr, Expr)>, env: &ConstEnv) -> Result<u32, 
             if l > m {
                 return Err(DataflowError::BadRange(format!("[{m}:{l}]")));
             }
-            Ok((m - l + 1) as u32)
+            let w = m - l + 1;
+            if w > u64::from(MAX_WIDTH) {
+                return Err(DataflowError::BadRange(format!(
+                    "[{m}:{l}] is {w} bits wide (limit {MAX_WIDTH})"
+                )));
+            }
+            Ok(w as u32)
         }
     }
 }

@@ -223,6 +223,31 @@ impl Design {
         })
     }
 
+    /// Non-fatal diagnostics about the resolved design: currently, a
+    /// warning for every declared-but-undriven signal (a frequent symptom
+    /// of a mistyped name that Verilog's implicit-net rules hide). Each
+    /// warning carries the declaration span so callers can excerpt the
+    /// design source.
+    pub fn lints(&self) -> Vec<hwdbg_diag::HwdbgError> {
+        use hwdbg_diag::{ErrorCode, HwdbgError};
+        let mut out = Vec::new();
+        for sig in self.signals.values() {
+            if sig.kind != SigKind::Undriven {
+                continue;
+            }
+            let mut warn = HwdbgError::warning(
+                ErrorCode::UndrivenSignal,
+                format!("signal `{}` is declared but never driven", sig.name),
+            )
+            .with_signal(&sig.name);
+            if let Some(decl) = self.flat.net(&sig.name) {
+                warn = warn.with_span(decl.span);
+            }
+            out.push(warn);
+        }
+        out
+    }
+
     /// All distinct clock signal names (from process sensitivity lists and
     /// blackbox clock ports).
     pub fn clocks(&self) -> BTreeSet<String> {
@@ -257,12 +282,19 @@ pub fn elaborate(
     resolve(flat, lib)
 }
 
+/// Deepest memory the toolchain accepts (16 Mi entries). Malformed depth
+/// expressions otherwise turn into multi-gigabyte allocations when
+/// simulation state is built.
+pub const MAX_MEM_DEPTH: u64 = 1 << 24;
+
 /// Resolves an already-flat module into a [`Design`].
 ///
 /// # Errors
 ///
 /// Fails on duplicate/unknown signals, non-constant widths, signals driven
-/// both combinationally and under a clock, or unknown blackbox ports.
+/// both combinationally and under a clock, signals with more than one
+/// combinational driver, or unknown blackbox ports. Errors carry the
+/// source span of the offending item where one is known.
 pub fn resolve(flat: Module, lib: &dyn BlackboxLib) -> Result<Design, DataflowError> {
     let mut consts = ConstEnv::new();
     for item in &flat.items {
@@ -313,19 +345,30 @@ pub fn resolve(flat: Module, lib: &dyn BlackboxLib) -> Result<Design, DataflowEr
     }
     for item in &flat.items {
         if let Item::Net(n) = item {
-            let width = range_width(&n.range, &consts)?;
+            let width = range_width(&n.range, &consts).map_err(|e| e.at(n.span))?;
             let mem_depth = match &n.mem_dim {
                 None => None,
                 Some((lo, hi)) => {
-                    let lo_v = eval_const(lo, &consts)?.to_u64();
-                    let hi_v = eval_const(hi, &consts)?.to_u64();
+                    let lo_v = eval_const(lo, &consts).map_err(|e| e.at(n.span))?.to_u64();
+                    let hi_v = eval_const(hi, &consts).map_err(|e| e.at(n.span))?.to_u64();
                     if lo_v != 0 || hi_v < lo_v {
-                        return Err(DataflowError::BadRange(format!("[{lo_v}:{hi_v}]")));
+                        return Err(
+                            DataflowError::BadRange(format!("[{lo_v}:{hi_v}]")).at(n.span)
+                        );
+                    }
+                    if hi_v >= MAX_MEM_DEPTH {
+                        return Err(DataflowError::BadRange(format!(
+                            "memory `{}` has {} entries (limit {MAX_MEM_DEPTH})",
+                            n.name,
+                            hi_v + 1
+                        ))
+                        .at(n.span));
                     }
                     Some(hi_v + 1)
                 }
             };
-            declare(&n.name, width, SigKind::Undriven, n.signed, mem_depth)?;
+            declare(&n.name, width, SigKind::Undriven, n.signed, mem_depth)
+                .map_err(|e| e.at(n.span))?;
         }
     }
 
@@ -369,79 +412,52 @@ pub fn resolve(flat: Module, lib: &dyn BlackboxLib) -> Result<Design, DataflowEr
                 }
             }
             Item::Instance(inst) => {
-                let spec = lib
-                    .spec(&inst.module)
-                    .ok_or_else(|| DataflowError::UnknownModule(inst.module.clone()))?;
-                let mut params = BTreeMap::new();
-                for (n, e) in &inst.params {
-                    params.insert(n.clone(), eval_const(e, &consts)?);
-                }
-                let mut in_conns = BTreeMap::new();
-                let mut out_conns = BTreeMap::new();
-                let mut port_widths = BTreeMap::new();
-                for (pname, conn) in &inst.conns {
-                    let port = spec
-                        .port(pname)
-                        .ok_or_else(|| {
-                            DataflowError::UnknownPort(inst.module.clone(), pname.clone())
-                        })?;
-                    let Some(conn) = conn else { continue };
-                    let width = port.width.resolve(&params).ok_or_else(|| {
-                        DataflowError::UnknownParam(inst.module.clone(), pname.clone())
-                    })?;
-                    port_widths.insert(pname.clone(), width);
-                    match port.dir {
-                        BbDir::Input => {
-                            in_conns.insert(pname.clone(), conn.clone());
-                        }
-                        BbDir::Output => {
-                            let lv = expr_to_lvalue(conn).ok_or_else(|| {
-                                DataflowError::BadOutputConnection(
-                                    inst.name.clone(),
-                                    pname.clone(),
-                                )
-                            })?;
-                            out_conns.insert(pname.clone(), lv);
-                        }
-                    }
-                }
-                let clock_ports = spec
-                    .ports
-                    .iter()
-                    .filter(|p| p.is_clock)
-                    .map(|p| p.name.clone())
-                    .collect();
-                blackboxes.push(BbInst {
-                    module: inst.module.clone(),
-                    name: inst.name.clone(),
-                    params,
-                    in_conns,
-                    out_conns,
-                    port_widths,
-                    clock_ports,
-                });
+                blackboxes
+                    .push(resolve_instance(inst, lib, &consts).map_err(|e| e.at(inst.span))?);
             }
         }
     }
 
-    // Classify drivers and detect conflicts.
+    // Classify drivers and detect conflicts. A signal *whole-written* by
+    // one combinational driver and also written by any other comb driver
+    // has no well-defined settled value (execution order decides), so it
+    // is rejected rather than left to oscillate. Distinct drivers that
+    // each write disjoint slices of one signal (SignalCat's generated
+    // concat wires, bit-sliced buses) remain legal.
     let mut comb_written: BTreeSet<String> = BTreeSet::new();
     let mut clocked_written: BTreeSet<String> = BTreeSet::new();
-    for c in &combs {
-        for w in &c.writes {
-            comb_written.insert(w.clone());
+    {
+        // Per comb driver (assign / always@* / blackbox instance): the
+        // signals it writes, and whether any write covers the whole signal.
+        let mut driver_targets: Vec<BTreeMap<String, bool>> = Vec::new();
+        for c in &combs {
+            driver_targets.push(stmt_write_targets(&c.body));
+        }
+        for bb in &blackboxes {
+            let mut targets = BTreeMap::new();
+            for lv in bb.out_conns.values() {
+                add_lvalue_targets(lv, true, &mut targets);
+            }
+            driver_targets.push(targets);
+        }
+        let mut n_drivers: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut whole: BTreeMap<&str, bool> = BTreeMap::new();
+        for targets in &driver_targets {
+            for (name, is_whole) in targets {
+                *n_drivers.entry(name).or_insert(0) += 1;
+                *whole.entry(name).or_insert(false) |= is_whole;
+            }
+        }
+        for (name, count) in n_drivers {
+            if count > 1 && whole[name] {
+                return Err(DataflowError::DuplicateDriver(name.to_owned()));
+            }
+            comb_written.insert(name.to_owned());
         }
     }
     for p in &procs {
         for w in &p.writes {
             clocked_written.insert(w.clone());
-        }
-    }
-    for bb in &blackboxes {
-        for lv in bb.out_conns.values() {
-            for t in lv.target_names() {
-                comb_written.insert(t.to_owned());
-            }
         }
     }
     if let Some(name) = comb_written.intersection(&clocked_written).next() {
@@ -482,6 +498,17 @@ pub fn resolve(flat: Module, lib: &dyn BlackboxLib) -> Result<Design, DataflowEr
         }
     }
 
+    // Static select/replication validation: reversed (zero-width) part
+    // selects and zero or absurd replication counts are elaboration
+    // errors with the assignment's span, instead of silently producing
+    // garbage widths downstream.
+    for c in &combs {
+        check_stmt_selects(&c.body, &consts)?;
+    }
+    for p in &procs {
+        check_stmt_selects(&p.body, &consts)?;
+    }
+
     let table = SignalTable::new(signals.keys().cloned());
     Ok(Design {
         name: flat.name.clone(),
@@ -492,6 +519,61 @@ pub fn resolve(flat: Module, lib: &dyn BlackboxLib) -> Result<Design, DataflowEr
         procs,
         blackboxes,
         flat,
+    })
+}
+
+/// Resolves one blackbox instance against its library spec.
+fn resolve_instance(
+    inst: &hwdbg_rtl::Instance,
+    lib: &dyn BlackboxLib,
+    consts: &ConstEnv,
+) -> Result<BbInst, DataflowError> {
+    let spec = lib
+        .spec(&inst.module)
+        .ok_or_else(|| DataflowError::UnknownModule(inst.module.clone()))?;
+    let mut params = BTreeMap::new();
+    for (n, e) in &inst.params {
+        params.insert(n.clone(), eval_const(e, consts)?);
+    }
+    let mut in_conns = BTreeMap::new();
+    let mut out_conns = BTreeMap::new();
+    let mut port_widths = BTreeMap::new();
+    for (pname, conn) in &inst.conns {
+        let port = spec
+            .port(pname)
+            .ok_or_else(|| DataflowError::UnknownPort(inst.module.clone(), pname.clone()))?;
+        let Some(conn) = conn else { continue };
+        let width = port
+            .width
+            .resolve(&params)
+            .ok_or_else(|| DataflowError::UnknownParam(inst.module.clone(), pname.clone()))?;
+        port_widths.insert(pname.clone(), width);
+        match port.dir {
+            BbDir::Input => {
+                in_conns.insert(pname.clone(), conn.clone());
+            }
+            BbDir::Output => {
+                let lv = expr_to_lvalue(conn).ok_or_else(|| {
+                    DataflowError::BadOutputConnection(inst.name.clone(), pname.clone())
+                })?;
+                out_conns.insert(pname.clone(), lv);
+            }
+        }
+    }
+    let clock_ports = spec
+        .ports
+        .iter()
+        .filter(|p| p.is_clock)
+        .map(|p| p.name.clone())
+        .collect();
+    Ok(BbInst {
+        module: inst.module.clone(),
+        name: inst.name.clone(),
+        params,
+        in_conns,
+        out_conns,
+        port_widths,
+        clock_ports,
     })
 }
 
@@ -581,6 +663,204 @@ fn add_lvalue_writes(lv: &LValue, reads: &mut BTreeSet<String>, writes: &mut BTr
         LValue::Concat(parts) => {
             for p in parts {
                 add_lvalue_writes(p, reads, writes);
+            }
+        }
+    }
+}
+
+/// Per-signal write map for one driver: name → true if any write in the
+/// driver covers the whole signal (a plain identifier target, possibly
+/// inside a concatenation).
+/// Walks a statement tree validating every part select and replication
+/// whose bounds are compile-time constants. Reversed selects (`a[3:5]`,
+/// width zero or negative) and zero/oversized replication counts are
+/// rejected; bounds that reference `for`-loop variables are left to the
+/// simulator's dynamic-select handling.
+fn check_stmt_selects(stmt: &Stmt, consts: &ConstEnv) -> Result<(), DataflowError> {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                check_stmt_selects(s, consts)?;
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            check_expr_selects(cond, consts)?;
+            check_stmt_selects(then, consts)?;
+            if let Some(e) = els {
+                check_stmt_selects(e, consts)?;
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            check_expr_selects(expr, consts)?;
+            for arm in arms {
+                for l in &arm.labels {
+                    check_expr_selects(l, consts)?;
+                }
+                check_stmt_selects(&arm.body, consts)?;
+            }
+            if let Some(d) = default {
+                check_stmt_selects(d, consts)?;
+            }
+        }
+        Stmt::Assign { lhs, rhs, span, .. } => {
+            check_lvalue_selects(lhs, consts).map_err(|e| e.at(*span))?;
+            check_expr_selects(rhs, consts).map_err(|e| e.at(*span))?;
+        }
+        Stmt::For {
+            init, cond, step, body, ..
+        } => {
+            check_expr_selects(init, consts)?;
+            check_expr_selects(cond, consts)?;
+            check_expr_selects(step, consts)?;
+            check_stmt_selects(body, consts)?;
+        }
+        Stmt::Display { args, span, .. } => {
+            for a in args {
+                check_expr_selects(a, consts).map_err(|e| e.at(*span))?;
+            }
+        }
+        Stmt::Finish | Stmt::Empty => {}
+    }
+    Ok(())
+}
+
+fn check_range_bounds(
+    name: &str,
+    msb: &Expr,
+    lsb: &Expr,
+    consts: &ConstEnv,
+) -> Result<(), DataflowError> {
+    let (Ok(m), Ok(l)) = (eval_const(msb, consts), eval_const(lsb, consts)) else {
+        return Ok(()); // loop-var bounds: checked dynamically at simulation
+    };
+    let (m, l) = (m.to_u64(), l.to_u64());
+    if l > m {
+        return Err(DataflowError::BadRange(format!(
+            "part select `{name}[{m}:{l}]` has its bounds reversed (zero-width slice)"
+        )));
+    }
+    if m - l + 1 > u64::from(crate::consteval::MAX_WIDTH) {
+        return Err(DataflowError::BadRange(format!(
+            "part select `{name}[{m}:{l}]` is wider than the {} bit limit",
+            crate::consteval::MAX_WIDTH
+        )));
+    }
+    Ok(())
+}
+
+fn check_expr_selects(e: &Expr, consts: &ConstEnv) -> Result<(), DataflowError> {
+    match e {
+        Expr::Literal { .. } | Expr::Ident(_) => {}
+        Expr::Unary(_, inner) | Expr::SignCast(_, inner) | Expr::WidthCast(_, inner) => {
+            check_expr_selects(inner, consts)?;
+        }
+        Expr::Binary(_, l, r) => {
+            check_expr_selects(l, consts)?;
+            check_expr_selects(r, consts)?;
+        }
+        Expr::Ternary(c, t, f) => {
+            check_expr_selects(c, consts)?;
+            check_expr_selects(t, consts)?;
+            check_expr_selects(f, consts)?;
+        }
+        Expr::Index(_, idx) => check_expr_selects(idx, consts)?,
+        Expr::Range(n, msb, lsb) => check_range_bounds(n, msb, lsb, consts)?,
+        Expr::Concat(parts) => {
+            for p in parts {
+                check_expr_selects(p, consts)?;
+            }
+        }
+        Expr::Repeat(n, body) => {
+            if let Ok(c) = eval_const(n, consts) {
+                let c = c.to_u64();
+                if c == 0 {
+                    return Err(DataflowError::BadRange(
+                        "replication count of zero".to_owned(),
+                    ));
+                }
+                if c > u64::from(crate::consteval::MAX_WIDTH) {
+                    return Err(DataflowError::BadRange(format!(
+                        "replication count {c} exceeds the {} bit limit",
+                        crate::consteval::MAX_WIDTH
+                    )));
+                }
+            }
+            check_expr_selects(body, consts)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_lvalue_selects(lv: &LValue, consts: &ConstEnv) -> Result<(), DataflowError> {
+    match lv {
+        LValue::Id(_) => Ok(()),
+        LValue::Index(_, idx) => check_expr_selects(idx, consts),
+        LValue::Range(n, msb, lsb) => check_range_bounds(n, msb, lsb, consts),
+        LValue::Concat(parts) => {
+            for p in parts {
+                check_lvalue_selects(p, consts)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn stmt_write_targets(stmt: &Stmt) -> BTreeMap<String, bool> {
+    let mut out = BTreeMap::new();
+    collect_write_targets(stmt, &mut out);
+    out
+}
+
+fn collect_write_targets(stmt: &Stmt, out: &mut BTreeMap<String, bool>) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_write_targets(s, out);
+            }
+        }
+        Stmt::If { then, els, .. } => {
+            collect_write_targets(then, out);
+            if let Some(e) = els {
+                collect_write_targets(e, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for arm in arms {
+                collect_write_targets(&arm.body, out);
+            }
+            if let Some(d) = default {
+                collect_write_targets(d, out);
+            }
+        }
+        Stmt::Assign { lhs, .. } => add_lvalue_targets(lhs, true, out),
+        Stmt::For { var, body, .. } => {
+            // Loop variables are procedural temporaries; two loops sharing
+            // an index name are not conflicting drivers of it.
+            out.entry(var.clone()).or_insert(false);
+            collect_write_targets(body, out);
+        }
+        Stmt::Display { .. } | Stmt::Finish | Stmt::Empty => {}
+    }
+}
+
+/// Records the signals `lv` writes into `out`; `whole` marks writes that
+/// cover the entire signal.
+fn add_lvalue_targets(lv: &LValue, whole: bool, out: &mut BTreeMap<String, bool>) {
+    match lv {
+        LValue::Id(n) => {
+            *out.entry(n.clone()).or_insert(false) |= whole;
+        }
+        LValue::Index(n, _) | LValue::Range(n, ..) => {
+            out.entry(n.clone()).or_insert(false);
+        }
+        LValue::Concat(parts) => {
+            for p in parts {
+                add_lvalue_targets(p, whole, out);
             }
         }
     }

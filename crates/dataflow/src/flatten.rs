@@ -43,7 +43,7 @@ pub fn flatten(
     // localparams of the flat module.
     let mut env = ConstEnv::new();
     for p in &top_mod.params {
-        let v = eval_const(&p.value, &env)?;
+        let v = eval_const(&p.value, &env).map_err(|e| e.at(p.span))?;
         env.insert(p.name.clone(), v);
     }
     let ports = top_mod
@@ -51,7 +51,7 @@ pub fn flatten(
         .iter()
         .map(|port| {
             let net = NetDecl {
-                range: fold_range(&port.net.range, &env)?,
+                range: fold_range(&port.net.range, &env).map_err(|e| e.at(port.net.span))?,
                 ..port.net.clone()
             };
             Ok(hwdbg_rtl::Port {
@@ -156,24 +156,27 @@ impl<'a> Flattener<'a> {
         for item in &module.items {
             match item {
                 Item::Param(p) | Item::Localparam(p) => {
-                    let v = eval_const(&rewrite_expr(&p.value, &|n| rename(n))?, &{
-                        // localparams may reference earlier (renamed)
-                        // localparams of this module: build a view with
-                        // prefixed keys.
-                        let mut view = ConstEnv::new();
-                        for (k, val) in &env {
-                            view.insert(k.clone(), val.clone());
-                            view.insert(format!("{prefix}{k}"), val.clone());
-                        }
-                        view
-                    })?;
-                    let v = match &p.range {
-                        Some(_) => {
-                            let w = crate::consteval::range_width(&p.range, &env)?;
-                            v.resize(w)
-                        }
-                        None => v,
-                    };
+                    let v = (|| {
+                        let v = eval_const(&rewrite_expr(&p.value, &|n| rename(n))?, &{
+                            // localparams may reference earlier (renamed)
+                            // localparams of this module: build a view with
+                            // prefixed keys.
+                            let mut view = ConstEnv::new();
+                            for (k, val) in &env {
+                                view.insert(k.clone(), val.clone());
+                                view.insert(format!("{prefix}{k}"), val.clone());
+                            }
+                            view
+                        })?;
+                        Ok::<Bits, DataflowError>(match &p.range {
+                            Some(_) => {
+                                let w = crate::consteval::range_width(&p.range, &env)?;
+                                v.resize(w)
+                            }
+                            None => v,
+                        })
+                    })()
+                    .map_err(|e| e.at(p.span))?;
                     env.insert(p.name.clone(), v.clone());
                     let flat_name = format!("{prefix}{}", p.name);
                     if self.used_names.insert(flat_name.clone()) {
@@ -189,32 +192,39 @@ impl<'a> Flattener<'a> {
                     let flat = NetDecl {
                         kind: n.kind,
                         signed: n.signed,
-                        range: fold_range(&n.range, &merged_env(prefix, &env))?,
+                        range: fold_range(&n.range, &merged_env(prefix, &env))
+                            .map_err(|e| e.at(n.span))?,
                         name: format!("{prefix}{}", n.name),
                         mem_dim: match &n.mem_dim {
                             None => None,
                             Some((lo, hi)) => Some((
-                                const_expr(&eval_const(
-                                    &rewrite_expr(lo, &|x| rename(x))?,
-                                    &merged_env(prefix, &env),
-                                )?),
-                                const_expr(&eval_const(
-                                    &rewrite_expr(hi, &|x| rename(x))?,
-                                    &merged_env(prefix, &env),
-                                )?),
+                                const_expr(
+                                    &eval_const(
+                                        &rewrite_expr(lo, &|x| rename(x))?,
+                                        &merged_env(prefix, &env),
+                                    )
+                                    .map_err(|e| e.at(n.span))?,
+                                ),
+                                const_expr(
+                                    &eval_const(
+                                        &rewrite_expr(hi, &|x| rename(x))?,
+                                        &merged_env(prefix, &env),
+                                    )
+                                    .map_err(|e| e.at(n.span))?,
+                                ),
                             )),
                         },
                         span: n.span,
                     };
                     if !self.used_names.insert(flat.name.clone()) {
-                        return Err(DataflowError::DuplicateName(flat.name));
+                        return Err(DataflowError::DuplicateName(flat.name).at(n.span));
                     }
                     self.out_items.push(Item::Net(flat));
                 }
                 Item::Assign { lhs, rhs, span } => {
                     self.out_items.push(Item::Assign {
-                        lhs: rewrite_lvalue(lhs, &|n| rename(n))?,
-                        rhs: rewrite_expr(rhs, &|n| rename(n))?,
+                        lhs: rewrite_lvalue(lhs, &|n| rename(n)).map_err(|e| e.at(*span))?,
+                        rhs: rewrite_expr(rhs, &|n| rename(n)).map_err(|e| e.at(*span))?,
                         span: *span,
                     });
                 }
@@ -241,7 +251,8 @@ impl<'a> Flattener<'a> {
                     });
                 }
                 Item::Instance(inst) => {
-                    self.inline_instance(inst, prefix, &env, &rename, depth)?;
+                    self.inline_instance(inst, prefix, &env, &rename, depth)
+                        .map_err(|e| e.at(inst.span))?;
                 }
             }
         }
@@ -366,10 +377,12 @@ impl<'a> Flattener<'a> {
                     .params
                     .iter()
                     .map(|(n, _)| {
-                        let v = overrides.get(n).expect("just folded");
-                        (n.clone(), const_expr(v))
+                        let v = overrides.get(n).ok_or_else(|| {
+                            DataflowError::UnknownParam(inst.module.clone(), n.clone())
+                        })?;
+                        Ok((n.clone(), const_expr(v)))
                     })
-                    .collect(),
+                    .collect::<Result<Vec<_>, DataflowError>>()?,
                 conns: inst
                     .conns
                     .iter()
@@ -486,7 +499,8 @@ mod tests {
         endmodule";
         let f = parse(src).unwrap();
         let err = flatten(&f, "top", &NoBlackboxes).unwrap_err();
-        assert!(matches!(err, DataflowError::UnconnectedInput(_, _)));
+        assert!(matches!(err.root(), DataflowError::UnconnectedInput(_, _)));
+        assert!(err.span().is_some(), "instance errors carry a span");
     }
 
     #[test]
@@ -494,7 +508,7 @@ mod tests {
         let src = "module top(input a); mystery m0 (.x(a)); endmodule";
         let f = parse(src).unwrap();
         assert!(matches!(
-            flatten(&f, "top", &NoBlackboxes).unwrap_err(),
+            flatten(&f, "top", &NoBlackboxes).unwrap_err().root(),
             DataflowError::UnknownModule(_)
         ));
     }
@@ -508,7 +522,7 @@ mod tests {
         endmodule";
         let f = parse(src).unwrap();
         assert!(matches!(
-            flatten(&f, "top", &NoBlackboxes).unwrap_err(),
+            flatten(&f, "top", &NoBlackboxes).unwrap_err().root(),
             DataflowError::UnknownPort(_, _)
         ));
     }

@@ -54,6 +54,9 @@ impl SignalTable {
         if let Some(&id) = self.by_name.get(&name) {
             return id;
         }
+        // A design with 2^32 signals is beyond anything the elaborator can
+        // produce (MAX_WIDTH/MAX_MEM_DEPTH bound state far earlier).
+        #[allow(clippy::expect_used)]
         let id = SigId(u32::try_from(self.names.len()).expect("too many signals"));
         self.by_name.insert(name.clone(), id);
         self.names.push(name);

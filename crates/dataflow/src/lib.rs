@@ -75,12 +75,79 @@ pub enum DataflowError {
     BadOutputConnection(String, String),
     /// A signal is driven both combinationally and under a clock.
     ConflictingDrivers(String),
+    /// A signal has more than one combinational driver.
+    DuplicateDriver(String),
     /// Selecting into something that is not a signal (e.g. a parameter).
     BadSelect(String),
     /// Instantiation recursion exceeded the depth limit.
     RecursionLimit(String),
     /// A construct outside the supported subset.
     Unsupported(String),
+    /// An inner error with source-span context attached.
+    WithSpan(Box<DataflowError>, hwdbg_rtl::Span),
+}
+
+impl DataflowError {
+    /// Attaches a source span (no-op if one is already attached).
+    #[must_use]
+    pub fn at(self, span: hwdbg_rtl::Span) -> DataflowError {
+        match self {
+            DataflowError::WithSpan(..) => self,
+            other => DataflowError::WithSpan(Box::new(other), span),
+        }
+    }
+
+    /// The underlying error, with any span wrapper peeled off.
+    pub fn root(&self) -> &DataflowError {
+        match self {
+            DataflowError::WithSpan(inner, _) => inner.root(),
+            other => other,
+        }
+    }
+
+    /// The attached source span, if any.
+    pub fn span(&self) -> Option<hwdbg_rtl::Span> {
+        match self {
+            DataflowError::WithSpan(_, span) => Some(*span),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataflowError> for hwdbg_diag::HwdbgError {
+    fn from(e: DataflowError) -> Self {
+        use hwdbg_diag::{ErrorCode, HwdbgError};
+        let span = e.span();
+        let message = e.to_string();
+        let (code, signals): (ErrorCode, Vec<String>) = match e.root() {
+            DataflowError::NotConstant(n) => (ErrorCode::NotConstant, vec![n.clone()]),
+            DataflowError::BadRange(_) => (ErrorCode::BadRange, vec![]),
+            DataflowError::UnknownModule(_) => (ErrorCode::UnknownModule, vec![]),
+            DataflowError::UnknownPort(_, p) => (ErrorCode::UnknownPort, vec![p.clone()]),
+            DataflowError::UnknownParam(_, p) => (ErrorCode::UnknownParam, vec![p.clone()]),
+            DataflowError::DuplicateName(n) => (ErrorCode::DuplicateName, vec![n.clone()]),
+            DataflowError::UnknownSignal(n) => (ErrorCode::UnknownSignal, vec![n.clone()]),
+            DataflowError::UnconnectedInput(_, p) => {
+                (ErrorCode::UnconnectedInput, vec![p.clone()])
+            }
+            DataflowError::BadOutputConnection(_, p) => {
+                (ErrorCode::BadOutputConnection, vec![p.clone()])
+            }
+            DataflowError::ConflictingDrivers(n) => {
+                (ErrorCode::ConflictingDrivers, vec![n.clone()])
+            }
+            DataflowError::DuplicateDriver(n) => (ErrorCode::DuplicateDriver, vec![n.clone()]),
+            DataflowError::BadSelect(n) => (ErrorCode::BadRange, vec![n.clone()]),
+            DataflowError::RecursionLimit(_) => (ErrorCode::RecursionLimit, vec![]),
+            DataflowError::Unsupported(_) => (ErrorCode::Unsupported, vec![]),
+            DataflowError::WithSpan(..) => (ErrorCode::Internal, vec![]),
+        };
+        let mut diag = HwdbgError::new(code, message).with_signals(signals);
+        if let Some(span) = span {
+            diag = diag.with_span(span);
+        }
+        diag
+    }
 }
 
 impl fmt::Display for DataflowError {
@@ -101,9 +168,13 @@ impl fmt::Display for DataflowError {
             ConflictingDrivers(n) => {
                 write!(f, "signal `{n}` is driven both combinationally and under a clock")
             }
+            DuplicateDriver(n) => {
+                write!(f, "signal `{n}` has more than one combinational driver")
+            }
             BadSelect(n) => write!(f, "cannot select into non-signal `{n}`"),
             RecursionLimit(m) => write!(f, "instantiation recursion limit reached in `{m}`"),
             Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            WithSpan(inner, _) => inner.fmt(f),
         }
     }
 }

@@ -64,10 +64,8 @@ fn duplicate_instance_names_rejected() {
         leaf u (.i(a), .o(b));
         leaf u (.i(a), .o(c));
     endmodule";
-    assert!(matches!(
-        elaborate(&parse(src).unwrap(), "top", &NoBlackboxes),
-        Err(DataflowError::DuplicateName(_))
-    ));
+    let err = elaborate(&parse(src).unwrap(), "top", &NoBlackboxes).unwrap_err();
+    assert!(matches!(err.root(), DataflowError::DuplicateName(_)));
 }
 
 #[test]
@@ -141,4 +139,83 @@ fn top_module_ports_keep_unprefixed_names() {
     for name in ["clk", "din", "dout"] {
         assert!(d.signal(name).is_some(), "{name}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed designs: spanned, typed diagnostics instead of panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn duplicate_whole_signal_driver_rejected_with_span() {
+    let src = "
+    module m(input a, input b, output w);
+        assign w = a;
+        assign w = b;
+    endmodule";
+    let err = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap_err();
+    assert!(
+        matches!(err.root(), DataflowError::DuplicateDriver(n) if n == "w"),
+        "{err:?}"
+    );
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code, hwdbg_diag::ErrorCode::DuplicateDriver);
+    assert_eq!(diag.signals, vec!["w".to_string()]);
+}
+
+#[test]
+fn partial_writes_from_distinct_drivers_stay_legal() {
+    // Slice-wise multi-drive is how SignalCat assembles its payload wires;
+    // it must NOT be flagged as a duplicate driver.
+    let src = "
+    module m(input a, input b, output [1:0] w);
+        assign w[0] = a;
+        assign w[1] = b;
+    endmodule";
+    assert!(elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).is_ok());
+}
+
+#[test]
+fn zero_width_slice_rejected_with_span() {
+    let src = "
+    module m(input [7:0] a, output w);
+        assign w = a[3:5];
+    endmodule";
+    let err = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap_err();
+    assert!(
+        matches!(err.root(), DataflowError::BadRange(_)),
+        "{err:?}"
+    );
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code, hwdbg_diag::ErrorCode::BadRange);
+}
+
+#[test]
+fn oversized_repeat_rejected_not_oom() {
+    let src = "
+    module m(input a, output w);
+        assign w = |{1048577{a}};
+    endmodule";
+    let err = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap_err();
+    assert!(
+        matches!(err.root(), DataflowError::BadRange(_)),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn undriven_signal_lint_carries_decl_span() {
+    let src = "
+    module m(input clk, output reg q);
+        wire ghost;
+        always @(posedge clk) q <= ~q;
+    endmodule";
+    let d = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap();
+    let lints = d.lints();
+    let warn = lints
+        .iter()
+        .find(|w| w.signals.contains(&"ghost".to_string()))
+        .expect("undriven `ghost` must be linted");
+    assert_eq!(warn.code, hwdbg_diag::ErrorCode::UndrivenSignal);
+    assert_eq!(warn.severity, hwdbg_diag::Severity::Warning);
+    assert!(warn.span.is_some(), "lint must point at the declaration");
 }

@@ -847,6 +847,7 @@ fn expr_tokens(e: &Expr, span: Span) -> Vec<Token> {
     let text = crate::printer::print_expr(e);
     // Lexing a printed expression cannot fail: the printer emits only tokens
     // the lexer accepts.
+    #[allow(clippy::expect_used)]
     let mut toks = lex(&text).expect("printed expression must re-lex");
     toks.pop(); // drop EOF
     for t in &mut toks {

@@ -4,6 +4,10 @@
 //! instrumented design; the output always re-parses to a structurally
 //! identical AST (a property test in this crate enforces it).
 
+// Every unwrap in this file is a `write!` into a `String`; `fmt::Write`
+// for `String` is infallible, so none of them can fire.
+#![allow(clippy::unwrap_used)]
+
 use crate::ast::*;
 use std::fmt::Write;
 

@@ -134,3 +134,55 @@ fn instance_without_params_or_conns() {
     assert!(i.conns.is_empty());
     assert!(i.params.is_empty());
 }
+
+// ---------------------------------------------------------------------------
+// Negative cases: malformed source must surface as typed, spanned
+// diagnostics (hwdbg-diag E0101), never as panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parse_error_converts_to_spanned_diagnostic() {
+    let src = "module m(input clk);\n  assign x = ;\nendmodule";
+    let err = parse(src).unwrap_err();
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code, hwdbg_diag::ErrorCode::ParseFailed);
+    assert_eq!(diag.code.as_str(), "E0101");
+    assert!(diag.span.is_some(), "parse errors must carry their span");
+}
+
+#[test]
+fn parse_error_renders_with_source_excerpt() {
+    let src = "module m(input clk);\n  wire [3:0 a;\nendmodule";
+    let err = parse(src).unwrap_err();
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    let rendered = diag.render(Some(src));
+    assert!(rendered.contains("E0101"), "{rendered}");
+    assert!(
+        rendered.contains("wire [3:0 a;"),
+        "rendered diagnostic must excerpt the offending line: {rendered}"
+    );
+}
+
+#[test]
+fn truncated_module_is_a_typed_error() {
+    for src in [
+        "module m(input clk);",
+        "module m(input clk); always @(posedge clk)",
+        "module",
+        "module m(input clk); assign = 1; endmodule",
+        "module m(input [7:0); endmodule",
+    ] {
+        let err = parse(src).unwrap_err();
+        let diag: hwdbg_diag::HwdbgError = err.into();
+        assert_eq!(diag.code, hwdbg_diag::ErrorCode::ParseFailed, "src: {src}");
+    }
+}
+
+#[test]
+fn garbage_expression_is_a_typed_error() {
+    for src in ["a +", "(a", "a ? b", "[3:0]", "&&& q"] {
+        let err = parse_expr(src).unwrap_err();
+        let diag: hwdbg_diag::HwdbgError = err.into();
+        assert_eq!(diag.code, hwdbg_diag::ErrorCode::ParseFailed, "src: {src}");
+    }
+}

@@ -396,10 +396,9 @@ impl Ctx<'_> {
                     .ok_or_else(|| SimError::UnknownSignal(n.clone()))?;
                 let id = self.sig(n)?;
                 if sig.mem_depth.is_some() {
-                    let slot = self
-                        .state
-                        .mem_slot_of(id)
-                        .expect("memory signal must have a slot");
+                    let slot = self.state.mem_slot_of(id).ok_or_else(|| {
+                        SimError::Internal(format!("memory `{n}` has no backing slot"))
+                    })?;
                     CExpr::MemIndex {
                         slot,
                         idx: Box::new(self.expr(idx)?),
@@ -480,10 +479,9 @@ impl Ctx<'_> {
                 if let Some(depth) = sig.mem_depth {
                     CLValue::MemIndex {
                         id,
-                        slot: self
-                            .state
-                            .mem_slot_of(id)
-                            .expect("memory signal must have a slot"),
+                        slot: self.state.mem_slot_of(id).ok_or_else(|| {
+                            SimError::Internal(format!("memory `{n}` has no backing slot"))
+                        })?,
                         depth,
                         width: sig.width,
                         idx,
@@ -725,6 +723,11 @@ pub(crate) struct CExec<'a> {
     pub logs: Option<(&'a mut Vec<LogRecord>, u64, u64)>,
     pub for_cap: u64,
     pub changed: &'a mut Vec<SigId>,
+    /// Fault-injection pins: writes to these signals are discarded.
+    /// `None` (fault-free) keeps the hot path to a single branch.
+    pub forced: Option<&'a std::collections::BTreeMap<SigId, Bits>>,
+    /// Turn silently-dropped out-of-bounds writes into typed errors.
+    pub strict_bounds: bool,
 }
 
 impl CExec<'_> {
@@ -826,8 +829,14 @@ impl CExec<'_> {
         }
     }
 
-    /// Sets a scalar, recording the change for the scheduler.
+    /// Sets a scalar, recording the change for the scheduler. Writes to
+    /// forced (fault-pinned) signals are discarded.
     fn set_sig(&mut self, id: SigId, value: Bits) {
+        if let Some(f) = self.forced {
+            if f.contains_key(&id) {
+                return;
+            }
+        }
         if self.state.set_id(id, value) {
             self.changed.push(id);
         }
@@ -868,11 +877,19 @@ impl CExec<'_> {
         }
     }
 
-    /// Deferred (nonblocking) write.
+    /// Deferred (nonblocking) write. Outside a clocked context (no `nb`
+    /// sink) the write degrades to blocking, matching how a combinational
+    /// `<=` behaves in the interpreter.
     fn write_nb(&mut self, lhs: &CLValue, value: Bits) -> Result<(), SimError> {
         if let Some(writes) = self.resolve(lhs, value)? {
-            let nb = self.nb.as_mut().expect("nonblocking outside clocked ctx");
-            nb.extend(writes);
+            match self.nb.as_mut() {
+                Some(nb) => nb.extend(writes),
+                None => {
+                    for w in writes {
+                        self.commit(w);
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -888,6 +905,12 @@ impl CExec<'_> {
                 let i = eval(self.state, idx)?.to_u64();
                 if i < u64::from(*width) {
                     Some(vec![CNbWrite::Slice(*id, i as u32, value.resize(1))])
+                } else if self.strict_bounds {
+                    return Err(SimError::OutOfBounds {
+                        signal: self.state.table().name(*id).to_owned(),
+                        index: i,
+                        depth: u64::from(*width),
+                    });
                 } else {
                     None // out-of-range bit write ignored
                 }
@@ -901,7 +924,15 @@ impl CExec<'_> {
             } => {
                 let i = eval(self.state, idx)?.to_u64();
                 // A None address is a dropped write: paper §3.2.1 outcome 2.
-                effective_mem_addr(i, *depth).map(|addr| {
+                let addr = effective_mem_addr(i, *depth);
+                if addr.is_none() && self.strict_bounds {
+                    return Err(SimError::OutOfBounds {
+                        signal: self.state.table().name(*id).to_owned(),
+                        index: i,
+                        depth: *depth,
+                    });
+                }
+                addr.map(|addr| {
                     vec![CNbWrite::Mem {
                         id: *id,
                         slot: *slot,

@@ -47,6 +47,15 @@ pub struct SimConfig {
     pub log_capacity: usize,
     /// Combinational scheduling strategy.
     pub settle_mode: SettleMode,
+    /// When true, out-of-bounds memory and bit writes raise
+    /// [`SimError::OutOfBounds`] instead of being silently dropped.
+    /// Off by default: the drop semantics are the paper's §3.2.1
+    /// outcome 2, which several testbed bugs rely on reproducing.
+    pub strict_bounds: bool,
+    /// When true, blackbox port connections whose resolved widths differ
+    /// from the port spec are rejected at build time with
+    /// [`SimError::WidthMismatch`] instead of being resized on the fly.
+    pub strict_width: bool,
 }
 
 impl Default for SimConfig {
@@ -57,6 +66,8 @@ impl Default for SimConfig {
             for_cap: 65_536,
             log_capacity: 1_000_000,
             settle_mode: SettleMode::EventDriven,
+            strict_bounds: false,
+            strict_width: false,
         }
     }
 }
@@ -102,6 +113,10 @@ pub struct Simulator {
     force_full: bool,
     /// Scratch for unit execution (reused to avoid per-run allocation).
     changed_scratch: Vec<SigId>,
+    /// Signals pinned by [`Simulator::force`]: drivers and pokes cannot
+    /// change them until released. Empty in fault-free runs, so the hot
+    /// path pays one `is_empty` check.
+    forces: BTreeMap<SigId, Bits>,
 }
 
 /// A full simulation snapshot produced by [`Simulator::checkpoint`].
@@ -155,6 +170,9 @@ impl Simulator {
                 .ok_or_else(|| SimError::NoModel(bb.module.clone()))?;
             blackboxes.push(model);
         }
+        if config.strict_width {
+            check_connection_widths(&design)?;
+        }
         let state = SimState::new(&design, config.init);
         let compiled = Compiled::build(&design, &state)?;
         Ok(Simulator {
@@ -174,6 +192,7 @@ impl Simulator {
             dirty_units: Vec::new(),
             force_full: true,
             changed_scratch: Vec::new(),
+            forces: BTreeMap::new(),
         })
     }
 
@@ -227,16 +246,32 @@ impl Simulator {
         self.dropped_logs
     }
 
-    /// Sets a signal's value (normally a top-level input).
+    /// Sets a signal's value (normally a top-level input). The value's
+    /// width must match the signal's declared width; a mismatch would
+    /// silently corrupt every downstream expression width, so it is a
+    /// typed error instead. Writes to [`force`](Self::force)d signals are
+    /// discarded.
     ///
     /// # Errors
     ///
-    /// Fails for unknown signals.
+    /// Fails for unknown signals and width mismatches.
     pub fn poke(&mut self, name: &str, value: Bits) -> Result<(), SimError> {
+        let sig = self
+            .design
+            .signals
+            .get(name)
+            .filter(|s| s.mem_depth.is_none())
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
+        if value.width() != sig.width {
+            return Err(SimError::WidthMismatch {
+                signal: name.to_owned(),
+                expected: sig.width,
+                got: value.width(),
+            });
+        }
         let id = self
             .design
             .sig_id(name)
-            .filter(|_| self.design.signals[name].mem_depth.is_none())
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
         self.poke_id(id, value);
         Ok(())
@@ -244,13 +279,78 @@ impl Simulator {
 
     /// Interned poke: marks readers dirty, and — because a full pass would
     /// re-derive a driven signal from its driver — also re-schedules any
-    /// unit that writes the signal.
+    /// unit that writes the signal. Forced signals swallow the write.
     fn poke_id(&mut self, id: SigId, value: Bits) {
+        if !self.forces.is_empty() && self.forces.contains_key(&id) {
+            return;
+        }
         if self.state.set_id(id, value) {
             self.dirty_sigs.push(id);
             self.dirty_units
                 .extend_from_slice(&self.compiled.writers[id.index()]);
         }
+    }
+
+    /// Pins a signal to `value`: drivers, clocked processes, and pokes can
+    /// no longer change it until [`release`](Self::release). This is the
+    /// fault-injection primitive (stuck-at faults, forced resets, dropped
+    /// handshakes); see [`crate::fault`].
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown signals and width mismatches.
+    pub fn force(&mut self, name: &str, value: Bits) -> Result<(), SimError> {
+        let sig = self
+            .design
+            .signals
+            .get(name)
+            .filter(|s| s.mem_depth.is_none())
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
+        if value.width() != sig.width {
+            return Err(SimError::WidthMismatch {
+                signal: name.to_owned(),
+                expected: sig.width,
+                got: value.width(),
+            });
+        }
+        let id = self
+            .design
+            .sig_id(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
+        // Apply the pinned value first (while not yet forced), then pin.
+        self.poke_id(id, value.clone());
+        self.forces.insert(id, value);
+        Ok(())
+    }
+
+    /// Releases a [`force`](Self::force), letting the signal's normal
+    /// drivers take over again on the next settle. Releasing a signal
+    /// that is not forced is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown signals.
+    pub fn release(&mut self, name: &str) -> Result<(), SimError> {
+        let id = self
+            .design
+            .sig_id(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
+        if self.forces.remove(&id).is_some() {
+            // Re-run the drivers of the released signal so it recomputes,
+            // and its readers so the recomputed value propagates.
+            self.dirty_sigs.push(id);
+            self.dirty_units
+                .extend_from_slice(&self.compiled.writers[id.index()]);
+        }
+        Ok(())
+    }
+
+    /// Names of currently forced signals.
+    pub fn forced_signals(&self) -> Vec<String> {
+        self.forces
+            .keys()
+            .map(|id| self.design.table.name(*id).to_owned())
+            .collect()
     }
 
     /// Convenience: poke from a `u64`.
@@ -309,6 +409,8 @@ impl Simulator {
                 logs: None,
                 for_cap: self.config.for_cap,
                 changed: &mut self.changed_scratch,
+                forced: forced_view(&self.forces),
+                strict_bounds: self.config.strict_bounds,
             };
             exec.stmt(body)?;
         } else {
@@ -330,6 +432,8 @@ impl Simulator {
                         logs: None,
                         for_cap: self.config.for_cap,
                         changed: &mut self.changed_scratch,
+                        forced: forced_view(&self.forces),
+                        strict_bounds: self.config.strict_bounds,
                     };
                     exec.write(lv, v.clone())?;
                 }
@@ -367,7 +471,20 @@ impl Simulator {
                 return Ok(());
             }
         }
-        Err(SimError::CombLoop)
+        // The signals that changed during the final iteration are exactly
+        // those still oscillating — name them in the diagnostic.
+        let unstable: BTreeSet<SigId> = self.changed_scratch.iter().copied().collect();
+        Err(self.comb_loop_error(unstable))
+    }
+
+    /// Maps an unstable ID set to a sorted-name [`SimError::CombLoop`].
+    fn comb_loop_error(&self, unstable: BTreeSet<SigId>) -> SimError {
+        SimError::CombLoop {
+            unstable: unstable
+                .into_iter()
+                .map(|id| self.design.table.name(id).to_owned())
+                .collect(),
+        }
     }
 
     /// Dependency-driven settling: a work-list keyed by unit index (lowest
@@ -391,14 +508,22 @@ impl Simulator {
 
         let budget = (self.config.max_comb_iters as u64)
             .saturating_mul(u64::from(n_units.max(1)));
+        // Once the run count enters the final full-pass-equivalent window,
+        // start recording which signals are still flipping so the eventual
+        // CombLoop error can name the oscillating set.
+        let tail_start = budget.saturating_sub(u64::from(n_units.max(1)));
+        let mut unstable: BTreeSet<SigId> = BTreeSet::new();
         let mut runs = 0u64;
         while let Some(u) = queue.pop_first() {
             runs += 1;
             if runs > budget {
-                return Err(SimError::CombLoop);
+                return Err(self.comb_loop_error(unstable));
             }
             self.changed_scratch.clear();
             self.run_unit(u)?;
+            if runs > tail_start {
+                unstable.extend(self.changed_scratch.iter().copied());
+            }
             for i in 0..self.changed_scratch.len() {
                 let id = self.changed_scratch[i];
                 queue.extend(self.compiled.readers[id.index()].iter().copied());
@@ -454,6 +579,8 @@ impl Simulator {
                 logs: Some((&mut new_logs, self.time, cycle)),
                 for_cap: self.config.for_cap,
                 changed: &mut self.dirty_sigs,
+                forced: forced_view(&self.forces),
+                strict_bounds: self.config.strict_bounds,
             };
             if exec.stmt(body)? == Flow::Finished {
                 finished = true;
@@ -477,6 +604,8 @@ impl Simulator {
                 logs: None,
                 for_cap: self.config.for_cap,
                 changed: &mut self.dirty_sigs,
+                forced: forced_view(&self.forces),
+                strict_bounds: self.config.strict_bounds,
             };
             for w in nb {
                 exec.commit(w);
@@ -662,6 +791,52 @@ impl Simulator {
             cycles: max_cycles,
         })
     }
+}
+
+/// `None` when no faults are active, so the hot path stays branch-cheap.
+fn forced_view(forces: &BTreeMap<SigId, Bits>) -> Option<&BTreeMap<SigId, Bits>> {
+    if forces.is_empty() {
+        None
+    } else {
+        Some(forces)
+    }
+}
+
+/// Strict-mode check: every blackbox port connection's resolved RTL width
+/// must equal the port's spec width. The default (lenient) behavior
+/// resizes on the fly, which silently truncates wide connections.
+fn check_connection_widths(design: &Design) -> Result<(), SimError> {
+    for inst in &design.blackboxes {
+        for (port, e) in &inst.in_conns {
+            let Some(&pw) = inst.port_widths.get(port) else {
+                continue;
+            };
+            if let Some(ew) = design.expr_width(e) {
+                if ew != pw {
+                    return Err(SimError::WidthMismatch {
+                        signal: format!("{}.{}", inst.name, port),
+                        expected: pw,
+                        got: ew,
+                    });
+                }
+            }
+        }
+        for (port, lv) in &inst.out_conns {
+            let Some(&pw) = inst.port_widths.get(port) else {
+                continue;
+            };
+            if let Some(lw) = design.lvalue_width(lv) {
+                if lw != pw {
+                    return Err(SimError::WidthMismatch {
+                        signal: format!("{}.{}", inst.name, port),
+                        expected: pw,
+                        got: lw,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[allow(dead_code)]

@@ -34,11 +34,13 @@
 mod compile;
 mod engine;
 mod eval;
+pub mod fault;
 pub mod format;
 mod state;
 pub mod vcd;
 
 pub use engine::{Checkpoint, SettleMode, SimConfig, Simulator};
+pub use fault::{run_with_faults, step_with_faults, Fault, FaultKind, FaultPlan};
 pub use eval::{effective_mem_addr, eval_expr, expr_width, is_signed};
 pub use state::{RegInit, SimState};
 pub use vcd::VcdWriter;
@@ -119,7 +121,11 @@ pub enum SimError {
     /// A part-select or replication whose bounds are not constant.
     NonConstSelect,
     /// Combinational logic failed to reach a fixpoint.
-    CombLoop,
+    CombLoop {
+        /// Signals still changing value in the final settle iterations —
+        /// the cycle to break is among these.
+        unstable: Vec<String>,
+    },
     /// A procedural `for` loop exceeded the iteration cap.
     LoopCap(String),
     /// `run_until` hit its cycle budget — the design appears stuck.
@@ -129,6 +135,29 @@ pub enum SimError {
     },
     /// A blackbox instance has no behavioral model.
     NoModel(String),
+    /// A poke or connection whose value width does not match the signal.
+    WidthMismatch {
+        /// The signal being written.
+        signal: String,
+        /// The signal's declared width.
+        expected: u32,
+        /// The width actually supplied.
+        got: u32,
+    },
+    /// Strict-mode out-of-bounds memory or bit access.
+    OutOfBounds {
+        /// The memory or vector signal accessed.
+        signal: String,
+        /// The offending index.
+        index: u64,
+        /// The legal depth (memories) or width (vectors).
+        depth: u64,
+    },
+    /// A fault plan names an impossible target (unknown signal, bit out of
+    /// range, value wider than the signal).
+    BadFault(String),
+    /// An internal invariant broke; a bug in the simulator, not the design.
+    Internal(String),
 }
 
 impl fmt::Display for SimError {
@@ -136,14 +165,62 @@ impl fmt::Display for SimError {
         match self {
             SimError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
             SimError::NonConstSelect => write!(f, "non-constant select bounds"),
-            SimError::CombLoop => write!(f, "combinational loop: settle did not converge"),
+            SimError::CombLoop { unstable } => {
+                write!(f, "combinational loop: settle did not converge")?;
+                if !unstable.is_empty() {
+                    write!(f, " (unstable: {})", unstable.join(", "))?;
+                }
+                Ok(())
+            }
             SimError::LoopCap(v) => write!(f, "for-loop over `{v}` exceeded iteration cap"),
             SimError::Watchdog { cycles } => {
                 write!(f, "watchdog: design stuck after {cycles} cycles")
             }
             SimError::NoModel(m) => write!(f, "no behavioral model for blackbox `{m}`"),
+            SimError::WidthMismatch {
+                signal,
+                expected,
+                got,
+            } => write!(
+                f,
+                "width mismatch on `{signal}`: expected {expected} bits, got {got}"
+            ),
+            SimError::OutOfBounds {
+                signal,
+                index,
+                depth,
+            } => write!(
+                f,
+                "out-of-bounds access to `{signal}`: index {index}, depth {depth}"
+            ),
+            SimError::BadFault(m) => write!(f, "invalid fault: {m}"),
+            SimError::Internal(m) => write!(f, "internal simulator error: {m}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<SimError> for hwdbg_diag::HwdbgError {
+    fn from(e: SimError) -> Self {
+        use hwdbg_diag::{ErrorCode, HwdbgError};
+        let message = e.to_string();
+        let (code, signals): (ErrorCode, Vec<String>) = match &e {
+            SimError::UnknownSignal(n) => (ErrorCode::UnknownSignal, vec![n.clone()]),
+            SimError::NonConstSelect => (ErrorCode::NonConstSelect, vec![]),
+            SimError::CombLoop { unstable } => (ErrorCode::CombLoop, unstable.clone()),
+            SimError::LoopCap(v) => (ErrorCode::LoopCap, vec![v.clone()]),
+            SimError::Watchdog { .. } => (ErrorCode::Watchdog, vec![]),
+            SimError::NoModel(m) => (ErrorCode::NoModel, vec![m.clone()]),
+            SimError::WidthMismatch { signal, .. } => {
+                (ErrorCode::WidthMismatch, vec![signal.clone()])
+            }
+            SimError::OutOfBounds { signal, .. } => {
+                (ErrorCode::OutOfBounds, vec![signal.clone()])
+            }
+            SimError::BadFault(_) => (ErrorCode::BadFaultPlan, vec![]),
+            SimError::Internal(_) => (ErrorCode::Internal, vec![]),
+        };
+        HwdbgError::new(code, message).with_signals(signals)
+    }
+}

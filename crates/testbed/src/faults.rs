@@ -1,0 +1,153 @@
+//! Design-driven fault plans for the resilience suite.
+//!
+//! The paper's premise (§2) is that deployed FPGA logic misbehaves in ways
+//! the developer did not anticipate — bit flips from marginal timing, stuck
+//! nets from partial reconfiguration, dropped handshakes from clock-domain
+//! asynchrony. The debugging tools must keep producing *useful* output when
+//! the design under observation is actively being perturbed. This module
+//! derives one [`FaultPlan`] per fault class from a design's own signal
+//! table, so every testbed bug can be stressed uniformly without
+//! hand-curated per-bug plans.
+//!
+//! Target selection is deterministic: signals are drawn from the design's
+//! sorted signal map, skipping clocks, resets, and tool-generated (`__`)
+//! names, so a given (design, class, seed) triple always yields the same
+//! plan.
+
+use hwdbg_bits::Bits;
+use hwdbg_dataflow::{Design, SigInfo, SigKind};
+use hwdbg_sim::FaultPlan;
+
+/// The four fault classes the resilience suite injects (ISSUE: stuck-at,
+/// single-bit flip, handshake drop, forced unknown state on reset).
+pub const FAULT_CLASSES: [&str; 4] = ["stuck-at", "bit-flip", "handshake-drop", "force-x"];
+
+/// Cycle at which injected faults switch on. Late enough that every
+/// workload is past reset and mid-stream.
+const FAULT_FROM: u64 = 8;
+
+/// Window length for bounded faults (stuck-at, handshake-drop, force-x).
+const FAULT_SPAN: u64 = 12;
+
+fn is_control(name: &str) -> bool {
+    name == "clk"
+        || name == "rst"
+        || name == "rst_n"
+        || name == "reset"
+        || name.ends_with("_clk")
+        || name.ends_with("_rst")
+}
+
+fn injectable(s: &SigInfo) -> bool {
+    !s.name.starts_with("__") && !is_control(&s.name) && s.mem_depth.is_none() && s.width > 0
+}
+
+/// First state register (sorted by name) that is safe to perturb.
+fn pick_register(design: &Design) -> Option<&SigInfo> {
+    design
+        .signals
+        .values()
+        .find(|s| injectable(s) && s.kind == SigKind::Reg)
+}
+
+/// Widest injectable register, for the force-X class (maximum blast
+/// radius when scrambled).
+fn pick_wide_register(design: &Design) -> Option<&SigInfo> {
+    design
+        .signals
+        .values()
+        .filter(|s| injectable(s) && s.kind == SigKind::Reg)
+        .max_by_key(|s| (s.width, std::cmp::Reverse(s.name.clone())))
+}
+
+/// A 1-bit signal that looks like a handshake strobe (valid/ready/etc.).
+fn pick_handshake(design: &Design) -> Option<&SigInfo> {
+    const STROBES: [&str; 8] = ["valid", "ready", "req", "ack", "go", "start", "en", "done"];
+    design.signals.values().find(|s| {
+        injectable(s)
+            && s.width == 1
+            && s.kind != SigKind::Undriven
+            && STROBES.iter().any(|k| s.name.contains(k))
+    })
+}
+
+/// Builds the fault plan for one class against one design, or `None` if
+/// the design offers no suitable target (e.g. no handshake strobes).
+///
+/// The returned plan is already validated against the design.
+pub fn build_plan(design: &Design, class: &str, seed: u64) -> Option<FaultPlan> {
+    let until = Some(FAULT_FROM + FAULT_SPAN);
+    let plan = match class {
+        "stuck-at" => {
+            let reg = pick_register(design)?;
+            // Stuck at all-ones: maximally far from the usual reset value.
+            let ones = Bits::from_u64(64.min(reg.width), u64::MAX).resize(reg.width);
+            FaultPlan::new().stuck_at(&reg.name, ones, FAULT_FROM, until)
+        }
+        "bit-flip" => {
+            let reg = pick_register(design)?;
+            let bit = (seed % u64::from(reg.width)) as u32;
+            FaultPlan::new().bit_flip(&reg.name, bit, FAULT_FROM + seed % FAULT_SPAN)
+        }
+        "handshake-drop" => {
+            let strobe = pick_handshake(design)?;
+            FaultPlan::new().handshake_drop(&strobe.name, FAULT_FROM, until)
+        }
+        "force-x" => {
+            let reg = pick_wide_register(design)?;
+            FaultPlan::new().force_random(&reg.name, seed | 1, FAULT_FROM, until)
+        }
+        _ => return None,
+    };
+    plan.validate(design).ok()?;
+    Some(plan)
+}
+
+/// Every applicable `(class, plan)` pair for a design. Designs always have
+/// at least one register, so at minimum the stuck-at, bit-flip, and
+/// force-x classes apply.
+pub fn all_plans(design: &Design, seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    FAULT_CLASSES
+        .iter()
+        .filter_map(|class| build_plan(design, class, seed).map(|p| (*class, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{buggy_design, BugId};
+
+    #[test]
+    fn every_bug_gets_every_class() {
+        for id in BugId::ALL {
+            let design = buggy_design(id).unwrap();
+            let plans = all_plans(&design, 7);
+            assert_eq!(
+                plans.len(),
+                FAULT_CLASSES.len(),
+                "{id}: only {} fault classes applied",
+                plans.len()
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let design = buggy_design(BugId::D2).unwrap();
+        let a = all_plans(&design, 3);
+        let b = all_plans(&design, 3);
+        let fmt = |v: &[(&str, FaultPlan)]| {
+            v.iter()
+                .map(|(c, p)| format!("{c}: {:?}", p.faults))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fmt(&a), fmt(&b));
+    }
+
+    #[test]
+    fn unknown_class_is_none() {
+        let design = buggy_design(BugId::D1).unwrap();
+        assert!(build_plan(&design, "meteor-strike", 0).is_none());
+    }
+}

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod snippets;
 pub mod study;
 pub mod workloads;

@@ -681,7 +681,9 @@ fn c1_sdspi(sim: &mut Simulator) -> Result<Outcome, SimError> {
     sim.poke_u64("go", 1)?;
     sim.step("clk")?;
     sim.poke_u64("go", 0)?;
-    match sim.run_until("clk", 100, |s| s.peek("done").unwrap().to_bool()) {
+    match sim.run_until("clk", 100, |s| {
+        s.peek("done").is_ok_and(|v| v.to_bool())
+    }) {
         Ok(_) => Ok(Outcome::Pass),
         Err(SimError::Watchdog { cycles }) => {
             let st = sim.peek("state_dbg")?.to_u64();

@@ -67,7 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 4: LossCheck localizes the loss.
     let graph = PropGraph::build(&design, &lib)?;
-    let spec = metadata(BugId::D2).loss.expect("D2 is a loss bug");
+    let Some(spec) = metadata(BugId::D2).loss else {
+        return Err("D2 metadata is missing its loss spec".into());
+    };
     let cfg = LossCheckConfig {
         source: spec.source.into(),
         sink: spec.sink.into(),

@@ -10,11 +10,18 @@
 //!                                                   emit instrumented Verilog (§4.5)
 //! hwdbg resources <file.v> [--top NAME] [--platform harp|kc705]
 //! hwdbg testbed [BUG_ID|all]                        reproduce testbed bugs (§6.1)
+//! hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]
+//!                                                   inject faults mid-simulation
 //! ```
+//!
+//! All errors surface as rendered [`hwdbg::diag::HwdbgError`] diagnostics
+//! (stable `EXXYY` codes, source excerpts for spanned errors) rather than
+//! panics or bare `Debug` dumps.
 
 use hwdbg::dataflow::{elaborate, DepKind, Design, PropGraph};
+use hwdbg::diag::HwdbgError;
 use hwdbg::ip::{StdIpLib, StdModels};
-use hwdbg::sim::{SimConfig, Simulator};
+use hwdbg::sim::{run_with_faults, FaultPlan, SimConfig, Simulator};
 use hwdbg::synth::{estimate, estimate_timing, Platform};
 use hwdbg::testbed::{reproduce, BugId};
 use hwdbg::tools::losscheck::LossCheckConfig;
@@ -50,6 +57,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         "losscheck" => cmd_losscheck(rest),
         "resources" => cmd_resources(rest),
         "testbed" => cmd_testbed(rest),
+        "faults" => cmd_faults(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -69,7 +77,8 @@ fn print_usage() {
          hwdbg signalcat <file.v> [--top NAME] [--depth N]\n  \
          hwdbg losscheck <file.v> --source S --sink K --valid V [--top NAME]\n  \
          hwdbg resources <file.v> [--top NAME] [--platform harp|kc705]\n  \
-         hwdbg testbed [BUG_ID|all]"
+         hwdbg testbed [BUG_ID|all]\n  \
+         hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]"
     );
 }
 
@@ -112,10 +121,17 @@ impl Opts {
     }
 }
 
+/// Renders a typed diagnostic against the source it points into — the
+/// `error[EXXYY]` header plus a `--> path:line:col` excerpt for spanned
+/// errors — and boxes it for the CLI error path.
+fn rendered(diag: HwdbgError, src: &str, path: &str) -> Anyhow {
+    diag.with_path(path).render(Some(src)).into()
+}
+
 fn load(opts: &Opts) -> Result<Design, Anyhow> {
     let path = opts.file()?;
     let src = std::fs::read_to_string(path)?;
-    let file = hwdbg::rtl::parse(&src).map_err(|e| e.render(&src))?;
+    let file = hwdbg::rtl::parse(&src).map_err(|e| rendered(e.into(), &src, path))?;
     let top = match opts.get("top") {
         Some(t) => t.to_owned(),
         None => {
@@ -126,7 +142,12 @@ fn load(opts: &Opts) -> Result<Design, Anyhow> {
                 .clone()
         }
     };
-    Ok(elaborate(&file, &top, &StdIpLib::new())?)
+    let design = elaborate(&file, &top, &StdIpLib::new())
+        .map_err(|e| rendered(e.into(), &src, path))?;
+    for warn in design.lints() {
+        eprintln!("{}", warn.with_path(path).render(Some(&src)));
+    }
+    Ok(design)
 }
 
 fn cmd_parse(args: &[String]) -> Result<(), Anyhow> {
@@ -289,4 +310,48 @@ fn cmd_testbed(args: &[String]) -> Result<(), Anyhow> {
         return Err(format!("{failures} bug(s) failed to reproduce").into());
     }
     Ok(())
+}
+
+fn cmd_faults(args: &[String]) -> Result<(), Anyhow> {
+    let opts = Opts::parse(args)?;
+    let design = load(&opts)?;
+    let plan_path = opts.get("plan").ok_or("missing --plan PLAN")?;
+    let plan_src = std::fs::read_to_string(plan_path)?;
+    let plan = FaultPlan::parse(&plan_src)
+        .map_err(|e| rendered(e.into(), &plan_src, plan_path))?;
+    plan.validate(&design)
+        .map_err(|e| rendered(e.into(), &plan_src, plan_path))?;
+    let clock = opts.get("clock").unwrap_or("clk").to_owned();
+    let cycles: u64 = opts.get("cycles").unwrap_or("100").parse()?;
+
+    eprintln!("injecting {} fault(s):", plan.faults.len());
+    for f in &plan.faults {
+        eprintln!("  {f}");
+    }
+    let mut sim = Simulator::new(design, &StdModels, SimConfig::default())?;
+    match run_with_faults(&mut sim, &clock, cycles, &plan) {
+        Ok(ran) => {
+            for rec in sim.logs() {
+                println!("{rec}");
+            }
+            let forced = sim.forced_signals();
+            eprintln!(
+                "ran {ran} cycles of `{clock}` under faults; {} log records{}{}",
+                sim.logs().len(),
+                if sim.finished() { "; $finish reached" } else { "" },
+                if forced.is_empty() {
+                    String::new()
+                } else {
+                    format!("; still forced at exit: {}", forced.join(", "))
+                }
+            );
+            Ok(())
+        }
+        // A typed simulation error under faults is a *finding*, not a
+        // crash: render it with its code and the signals involved.
+        Err(e) => {
+            let diag: HwdbgError = e.into();
+            Err(diag.render(None).into())
+        }
+    }
 }

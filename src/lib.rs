@@ -5,6 +5,7 @@
 //! whole workspace so applications can depend on a single crate:
 //!
 //! * [`bits`] — arbitrary-width two-state bit vectors
+//! * [`diag`] — typed diagnostics ([`diag::HwdbgError`]) shared by every layer
 //! * [`rtl`] — Verilog-subset lexer, parser, AST, and pretty-printer
 //! * [`dataflow`] — elaboration and propagation/dependency analysis
 //! * [`sim`] — cycle-accurate simulator with `$display` capture and VCD
@@ -28,6 +29,7 @@
 
 pub use hwdbg_bits as bits;
 pub use hwdbg_dataflow as dataflow;
+pub use hwdbg_diag as diag;
 pub use hwdbg_ip as ip;
 pub use hwdbg_rtl as rtl;
 pub use hwdbg_sim as sim;
