@@ -8,23 +8,35 @@
 //! clock cycles/s for grayscale); `wall_ms` is the mean wall time of one
 //! benchmark iteration.
 //!
+//! Two `+metrics` companion records rerun the largest comb chain and the
+//! grayscale pipeline with the observability counters enabled. They carry
+//! three extra fields: `metrics_overhead_pct` (per-iteration slowdown vs
+//! the metrics-off record — the budget is ≤5%), `counters` (the
+//! [`hwdbg_obs::SimCounters`] registry after the run), and, for grayscale,
+//! `stages` (per-pipeline-stage wall times of one elaborate → compile →
+//! simulate pass).
+//!
 //! Usage: `cargo run --release -p hwdbg-bench --bin perfsuite`
-
 
 // Developer-facing report generator: aborting with a message on a broken
 // fixture is the desired behavior, not a robustness hole.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use hwdbg_bench::harness::{bench, json_escape, Measurement};
+use hwdbg_bench::harness::{bench, json_escape, paired_overhead_pct, Measurement};
 use hwdbg_dataflow::elaborate;
 use hwdbg_ip::StdModels;
+use hwdbg_obs::{counters_json, stages_json, StageTimer};
 use hwdbg_sim::{SimConfig, Simulator};
 use hwdbg_testbed::{buggy_design, BugId};
 
-/// `(measurement, simulated units of work per iteration)`.
+/// `(measurement, simulated units of work per iteration, extra JSON)`.
+///
+/// `extra` is a pre-rendered fragment of additional `"key": value` pairs
+/// (starting with `, `) appended to the record, or empty.
 struct Record {
     m: Measurement,
     work_per_iter: u64,
+    extra: String,
 }
 
 fn comb_chain(n: usize) -> hwdbg_dataflow::Design {
@@ -42,6 +54,34 @@ fn comb_chain(n: usize) -> hwdbg_dataflow::Design {
     .unwrap()
 }
 
+/// One settle of the comb chain: the steady-state hot path.
+fn bench_comb_chain(name: &str, config: SimConfig) -> (Measurement, Simulator) {
+    let design = comb_chain(256);
+    let mut sim = Simulator::new(design, &hwdbg_sim::NoModels, config).unwrap();
+    let mut toggle = 0u64;
+    let m = bench(name, || {
+        toggle = toggle.wrapping_add(1);
+        sim.poke_u64("d", 7 + (toggle & 1)).unwrap();
+        sim.settle().unwrap();
+        sim.peek("q").unwrap().to_u64()
+    });
+    (m, sim)
+}
+
+const GRAYSCALE_CYCLES: u64 = 1000;
+
+/// One cold run of the grayscale pipeline: build the simulator, then step
+/// 1000 clock cycles of pixel traffic.
+fn grayscale_iter(design: &hwdbg_dataflow::Design, config: SimConfig) -> Simulator {
+    let mut sim = Simulator::new(design.clone(), &StdModels, config).unwrap();
+    sim.poke_u64("pix_in_valid", 1).unwrap();
+    for i in 0..GRAYSCALE_CYCLES {
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    }
+    sim
+}
+
 fn main() {
     let mut records = Vec::new();
 
@@ -57,33 +97,110 @@ fn main() {
             sim.settle().unwrap();
             sim.peek("q").unwrap().to_u64()
         });
-        records.push(Record { m, work_per_iter: 1 });
+        records.push(Record {
+            m,
+            work_per_iter: 1,
+            extra: String::new(),
+        });
     }
 
+    let design = buggy_design(BugId::D2).unwrap();
     {
-        const CYCLES: u64 = 1000;
-        let design = buggy_design(BugId::D2).unwrap();
         let m = bench("sim_grayscale_1000_cycles", || {
-            let mut sim =
-                Simulator::new(design.clone(), &StdModels, SimConfig::default()).unwrap();
+            grayscale_iter(&design, SimConfig::default()).cycle("clk")
+        });
+        records.push(Record {
+            m,
+            work_per_iter: GRAYSCALE_CYCLES,
+            extra: String::new(),
+        });
+    }
+
+    // Metrics-on companions: same workloads with the counter registry
+    // live. The overhead comes from a paired measurement (not from
+    // comparing the two separately-benched means, which folds machine
+    // drift into the delta).
+    {
+        let (m, mut on) =
+            bench_comb_chain("sim_comb_chain/256+metrics", SimConfig::default().with_metrics(true));
+        let counters = *on.counters().unwrap();
+        let mut off =
+            Simulator::new(comb_chain(256), &hwdbg_sim::NoModels, SimConfig::default()).unwrap();
+        let (mut t0, mut t1) = (0u64, 0u64);
+        let pct = paired_overhead_pct(
+            &mut || {
+                t0 = t0.wrapping_add(1);
+                off.poke_u64("d", 7 + (t0 & 1)).unwrap();
+                off.settle().unwrap();
+                std::hint::black_box(off.peek("q").unwrap().to_u64());
+            },
+            &mut || {
+                t1 = t1.wrapping_add(1);
+                on.poke_u64("d", 7 + (t1 & 1)).unwrap();
+                on.settle().unwrap();
+                std::hint::black_box(on.peek("q").unwrap().to_u64());
+            },
+        );
+        let extra = format!(
+            ", \"metrics_overhead_pct\": {pct:.2}, \"counters\": {}",
+            counters_json(&counters)
+        );
+        records.push(Record {
+            m,
+            work_per_iter: 1,
+            extra,
+        });
+    }
+    {
+        let m = bench("sim_grayscale_1000_cycles+metrics", || {
+            grayscale_iter(&design, SimConfig::default().with_metrics(true)).cycle("clk")
+        });
+        let pct = paired_overhead_pct(
+            &mut || {
+                std::hint::black_box(grayscale_iter(&design, SimConfig::default()).cycle("clk"));
+            },
+            &mut || {
+                std::hint::black_box(
+                    grayscale_iter(&design, SimConfig::default().with_metrics(true)).cycle("clk"),
+                );
+            },
+        );
+        // One instrumented pass with per-stage wall times, outside the
+        // measurement window so the timer itself is not benchmarked.
+        let mut timer = StageTimer::new();
+        let d = timer.time("elaborate", || buggy_design(BugId::D2).unwrap());
+        let mut sim = timer.time("compile", || {
+            Simulator::new(d, &StdModels, SimConfig::default().with_metrics(true)).unwrap()
+        });
+        timer.time("simulate", || {
             sim.poke_u64("pix_in_valid", 1).unwrap();
-            for i in 0..CYCLES {
+            for i in 0..GRAYSCALE_CYCLES {
                 sim.poke_u64("pix_in", i).unwrap();
                 sim.step("clk").unwrap();
             }
-            sim.cycle("clk")
         });
-        records.push(Record { m, work_per_iter: CYCLES });
+        let counters = *sim.counters().unwrap();
+        let extra = format!(
+            ", \"metrics_overhead_pct\": {pct:.2}, \"stages\": {}, \"counters\": {}",
+            stages_json(&timer),
+            counters_json(&counters)
+        );
+        records.push(Record {
+            m,
+            work_per_iter: GRAYSCALE_CYCLES,
+            extra,
+        });
     }
 
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let per_sec = r.m.iters_per_sec() * r.work_per_iter as f64;
         json.push_str(&format!(
-            "  {{\"bench\": \"{}\", \"cycles_per_sec\": {:.1}, \"wall_ms\": {:.4}}}{}\n",
+            "  {{\"bench\": \"{}\", \"cycles_per_sec\": {:.1}, \"wall_ms\": {:.4}{}}}{}\n",
             json_escape(&r.m.name),
             per_sec,
             r.m.ms_per_iter(),
+            r.extra,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }

@@ -89,6 +89,39 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
     m
 }
 
+/// Measures the per-iteration slowdown of `with` relative to `base`, in
+/// percent, robustly against machine drift (frequency scaling, noisy
+/// neighbors): the two closures run in short paired windows with the order
+/// alternated each pair, and the result is the median of the per-pair
+/// ratios. A separately-benched mean comparison would fold several
+/// seconds of drift into the delta; pairing bounds it to one window.
+pub fn paired_overhead_pct(base: &mut dyn FnMut(), with: &mut dyn FnMut()) -> f64 {
+    const WINDOW: Duration = Duration::from_millis(80);
+    fn window(f: &mut dyn FnMut(), dur: Duration) -> f64 {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < dur {
+            f();
+            iters += 1;
+        }
+        start.elapsed().as_nanos() as f64 / iters.max(1) as f64
+    }
+    window(base, WINDOW);
+    window(with, WINDOW);
+    let mut ratios = Vec::new();
+    for i in 0..11 {
+        let (a, b) = if i % 2 == 0 {
+            (window(base, WINDOW), window(with, WINDOW))
+        } else {
+            let b = window(with, WINDOW);
+            (window(base, WINDOW), b)
+        };
+        ratios.push(b / a);
+    }
+    ratios.sort_by(f64::total_cmp);
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
 /// Minimal JSON string escaping for the hand-rolled output files.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -120,5 +153,17 @@ mod tests {
     #[test]
     fn escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn paired_overhead_of_identical_work_is_small() {
+        let mut a = || {
+            std::hint::black_box((0..500u64).sum::<u64>());
+        };
+        let mut b = || {
+            std::hint::black_box((0..500u64).sum::<u64>());
+        };
+        let pct = paired_overhead_pct(&mut a, &mut b);
+        assert!(pct.abs() < 50.0, "identical closures diverged: {pct}%");
     }
 }

@@ -218,6 +218,12 @@ impl DependencyMonitor {
     pub fn trace(sim: &Simulator) -> Vec<DepUpdate> {
         Self::reconstruct(sim.logs())
     }
+
+    /// Accumulates the number of observed dependency-chain updates into
+    /// the observability registry.
+    pub fn observe(sim: &Simulator, counters: &mut hwdbg_obs::SimCounters) {
+        counters.dep_updates += Self::trace(sim).len() as u64;
+    }
 }
 
 fn conj(conds: &[Expr]) -> Expr {

@@ -326,6 +326,16 @@ impl FsmMonitor {
         checked.value = transitions;
         checked
     }
+
+    /// Accumulates the number of observed state transitions into the
+    /// observability registry.
+    pub fn observe(
+        info: &FsmInstrumented,
+        sim: &Simulator,
+        counters: &mut hwdbg_obs::SimCounters,
+    ) {
+        counters.fsm_transitions += Self::trace(info, sim).len() as u64;
+    }
 }
 
 /// Facts accumulated about each assigned signal during the scan.

@@ -309,6 +309,16 @@ impl LossCheck {
             .collect()
     }
 
+    /// Accumulates the number of shadow-state loss reports fired during a
+    /// run into the observability registry. Unlike [`LossCheck::reports`]
+    /// this counts every firing, not the deduplicated register set.
+    pub fn observe(logs: &[LogRecord], counters: &mut hwdbg_obs::SimCounters) {
+        counters.shadow_updates += logs
+            .iter()
+            .filter(|l| l.message.starts_with("LOSSCHECK "))
+            .count() as u64;
+    }
+
     /// Ground-truth filtering (§4.5.3): suppress registers that also fire
     /// on the design's passing test case — those are intentional drops.
     pub fn filter(

@@ -338,6 +338,25 @@ impl SignalCat {
         }
         checked
     }
+
+    /// Accumulates recording-buffer occupancy into the observability
+    /// registry: captured entries and ring-wrap overwrites per buffer.
+    pub fn observe(
+        info: &SignalCatInstrumented,
+        sim: &Simulator,
+        counters: &mut hwdbg_obs::SimCounters,
+    ) {
+        for buf in &info.buffers {
+            let Some(tb) = sim
+                .blackbox(&buf.inst)
+                .and_then(|bb| bb.as_any().downcast_ref::<TraceBuffer>())
+            else {
+                continue;
+            };
+            counters.trace_entries += tb.len() as u64;
+            counters.trace_wraps += tb.overwritten();
+        }
+    }
 }
 
 fn cond_wire(id: usize) -> String {
@@ -549,6 +568,19 @@ mod tests {
         let rec = SignalCat::reconstruct(&info, &sim);
         assert_eq!(rec.len(), 2, "ring keeps only the last DEPTH entries");
         assert!(rec[1].message.contains("d=4"));
+    }
+
+    #[test]
+    fn observe_reports_buffer_occupancy() {
+        let lib = StdIpLib::new();
+        let info = SignalCat::instrument(&design(), &SignalCatConfig::default()).unwrap();
+        let d2 = hwdbg_dataflow::resolve(info.module.clone(), &lib).unwrap();
+        let mut sim = Simulator::new(d2, &StdModels, SimConfig::default()).unwrap();
+        drive(&mut sim);
+        let mut c = hwdbg_obs::SimCounters::default();
+        SignalCat::observe(&info, &sim, &mut c);
+        assert_eq!(c.trace_entries, 5, "one record per driven cycle");
+        assert_eq!(c.trace_wraps, 0);
     }
 
     #[test]

@@ -132,6 +132,16 @@ impl StatisticsMonitor {
         }
         out
     }
+
+    /// Accumulates the total number of counted statistic events into the
+    /// observability registry.
+    pub fn observe(
+        info: &StatInstrumented,
+        sim: &Simulator,
+        counters: &mut hwdbg_obs::SimCounters,
+    ) {
+        counters.stat_events += Self::counts(info, sim).values().sum::<u64>();
+    }
 }
 
 #[cfg(test)]

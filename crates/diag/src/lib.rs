@@ -114,6 +114,8 @@ pub enum ErrorCode {
     Watchdog,
     /// A memory access was out of bounds (strict-bounds mode).
     OutOfBounds,
+    /// `$finish` executed before the awaited condition held.
+    EarlyFinish,
     // E05xx: tools.
     /// The design has no clocked logic to instrument.
     NoClock,
@@ -164,6 +166,7 @@ impl ErrorCode {
             LoopCap => "E0403",
             Watchdog => "E0404",
             OutOfBounds => "E0405",
+            EarlyFinish => "E0406",
             NoClock => "E0501",
             NothingToInstrument => "E0502",
             ToolElaboration => "E0503",
@@ -362,7 +365,8 @@ mod tests {
             BadOutputConnection, ConflictingDrivers, DuplicateDriver,
             UndrivenSignal, RecursionLimit, Unsupported, NoModel,
             WidthMismatch, NonConstSelect, CombLoop, LoopCap, Watchdog,
-            OutOfBounds, NoClock, NothingToInstrument, ToolElaboration,
+            OutOfBounds, EarlyFinish, NoClock, NothingToInstrument,
+            ToolElaboration,
             NoPath, DegradedOutput, BadFaultTarget, BadFaultPlan, Io,
             Internal,
         ];

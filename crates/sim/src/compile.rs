@@ -728,6 +728,9 @@ pub(crate) struct CExec<'a> {
     pub forced: Option<&'a std::collections::BTreeMap<SigId, Bits>>,
     /// Turn silently-dropped out-of-bounds writes into typed errors.
     pub strict_bounds: bool,
+    /// Hot-path metrics sink; `None` (metrics off) costs nothing here
+    /// because counter bumps live on paths already gated by `forced`.
+    pub counters: Option<&'a mut hwdbg_obs::SimCounters>,
 }
 
 impl CExec<'_> {
@@ -834,6 +837,9 @@ impl CExec<'_> {
     fn set_sig(&mut self, id: SigId, value: Bits) {
         if let Some(f) = self.forced {
             if f.contains_key(&id) {
+                if let Some(c) = self.counters.as_deref_mut() {
+                    c.force_hits += 1;
+                }
                 return;
             }
         }

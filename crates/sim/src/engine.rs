@@ -14,6 +14,7 @@ use crate::state::{RegInit, SimState};
 use crate::{Blackbox, BlackboxFactory, LogRecord, SimError};
 use hwdbg_bits::Bits;
 use hwdbg_dataflow::{Design, SigId};
+use hwdbg_obs::SimCounters;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
@@ -56,6 +57,11 @@ pub struct SimConfig {
     /// from the port spec are rejected at build time with
     /// [`SimError::WidthMismatch`] instead of being resized on the fly.
     pub strict_width: bool,
+    /// When true, the simulator maintains a [`SimCounters`] registry of
+    /// hot-path event counts, readable via [`Simulator::counters`]. Off by
+    /// default: the disabled path pays one branch per settle/step, the
+    /// same pattern the `forces` map uses.
+    pub metrics: bool,
 }
 
 impl Default for SimConfig {
@@ -68,7 +74,17 @@ impl Default for SimConfig {
             settle_mode: SettleMode::EventDriven,
             strict_bounds: false,
             strict_width: false,
+            metrics: false,
         }
+    }
+}
+
+impl SimConfig {
+    /// Builder-style toggle for [`SimConfig::metrics`].
+    #[must_use]
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
     }
 }
 
@@ -117,6 +133,9 @@ pub struct Simulator {
     /// change them until released. Empty in fault-free runs, so the hot
     /// path pays one `is_empty` check.
     forces: BTreeMap<SigId, Bits>,
+    /// Hot-path event counters, allocated only when [`SimConfig::metrics`]
+    /// is set. `None` keeps the disabled path to one branch per site.
+    counters: Option<Box<SimCounters>>,
 }
 
 /// A full simulation snapshot produced by [`Simulator::checkpoint`].
@@ -127,6 +146,10 @@ pub struct Checkpoint {
     finished: bool,
     logs_len: usize,
     bb_states: Vec<Box<dyn std::any::Any>>,
+    /// Active [`Simulator::force`] pins at capture time. Restoring puts the
+    /// pin set back exactly: forces applied after the checkpoint (e.g. a
+    /// fault plan's stuck-at) must not survive a rewind.
+    forces: BTreeMap<SigId, Bits>,
 }
 
 impl std::fmt::Debug for Checkpoint {
@@ -175,6 +198,7 @@ impl Simulator {
         }
         let state = SimState::new(&design, config.init);
         let compiled = Compiled::build(&design, &state)?;
+        let config_metrics = config.metrics;
         Ok(Simulator {
             design,
             state,
@@ -193,6 +217,11 @@ impl Simulator {
             force_full: true,
             changed_scratch: Vec::new(),
             forces: BTreeMap::new(),
+            counters: if config_metrics {
+                Some(Box::default())
+            } else {
+                None
+            },
         })
     }
 
@@ -246,6 +275,28 @@ impl Simulator {
         self.dropped_logs
     }
 
+    /// Hot-path event counters; `None` unless [`SimConfig::metrics`] was
+    /// set when the simulator was built.
+    pub fn counters(&self) -> Option<&SimCounters> {
+        self.counters.as_deref()
+    }
+
+    /// Zeroes the counters (e.g. to measure only a window of interest).
+    /// No-op when metrics are disabled.
+    pub fn reset_counters(&mut self) {
+        if let Some(c) = &mut self.counters {
+            **c = SimCounters::default();
+        }
+    }
+
+    /// One fault-plan transition (force/flip/release/random poke) was
+    /// applied; called by [`crate::fault`].
+    pub(crate) fn count_fault_event(&mut self) {
+        if let Some(c) = &mut self.counters {
+            c.fault_events += 1;
+        }
+    }
+
     /// Sets a signal's value (normally a top-level input). The value's
     /// width must match the signal's declared width; a mismatch would
     /// silently corrupt every downstream expression width, so it is a
@@ -282,9 +333,15 @@ impl Simulator {
     /// unit that writes the signal. Forced signals swallow the write.
     fn poke_id(&mut self, id: SigId, value: Bits) {
         if !self.forces.is_empty() && self.forces.contains_key(&id) {
+            if let Some(c) = &mut self.counters {
+                c.force_hits += 1;
+            }
             return;
         }
         if self.state.set_id(id, value) {
+            if let Some(c) = &mut self.counters {
+                c.pokes += 1;
+            }
             self.dirty_sigs.push(id);
             self.dirty_units
                 .extend_from_slice(&self.compiled.writers[id.index()]);
@@ -411,6 +468,7 @@ impl Simulator {
                 changed: &mut self.changed_scratch,
                 forced: forced_view(&self.forces),
                 strict_bounds: self.config.strict_bounds,
+                counters: self.counters.as_deref_mut(),
             };
             exec.stmt(body)?;
         } else {
@@ -434,6 +492,7 @@ impl Simulator {
                         changed: &mut self.changed_scratch,
                         forced: forced_view(&self.forces),
                         strict_bounds: self.config.strict_bounds,
+                        counters: self.counters.as_deref_mut(),
                     };
                     exec.write(lv, v.clone())?;
                 }
@@ -459,7 +518,9 @@ impl Simulator {
     /// iteration, in declaration order.
     fn settle_full(&mut self) -> Result<(), SimError> {
         let n_units = self.compiled.n_units() as u32;
+        let mut iters = 0u64;
         for _ in 0..self.config.max_comb_iters {
+            iters += 1;
             self.changed_scratch.clear();
             for u in 0..n_units {
                 self.run_unit(u)?;
@@ -468,6 +529,11 @@ impl Simulator {
                 self.dirty_sigs.clear();
                 self.dirty_units.clear();
                 self.force_full = false;
+                if let Some(c) = &mut self.counters {
+                    c.settles += 1;
+                    c.full_settles += iters;
+                    c.units_executed += iters * u64::from(n_units);
+                }
                 return Ok(());
             }
         }
@@ -494,12 +560,20 @@ impl Simulator {
     fn settle_event(&mut self) -> Result<(), SimError> {
         let n_units = self.compiled.n_units() as u32;
         let mut queue: BTreeSet<u32> = BTreeSet::new();
+        // Push counts accumulate in a local and flush to the counters once
+        // at the end, so the loop itself carries no metrics branch.
+        let mut pushes = 0u64;
+        let was_full = self.force_full;
         if self.force_full {
             queue.extend(0..n_units);
+            pushes += u64::from(n_units);
         } else {
             for id in std::mem::take(&mut self.dirty_sigs) {
-                queue.extend(self.compiled.readers[id.index()].iter().copied());
+                let readers = &self.compiled.readers[id.index()];
+                pushes += readers.len() as u64;
+                queue.extend(readers.iter().copied());
             }
+            pushes += self.dirty_units.len() as u64;
             queue.extend(self.dirty_units.iter().copied());
         }
         self.dirty_sigs.clear();
@@ -526,7 +600,17 @@ impl Simulator {
             }
             for i in 0..self.changed_scratch.len() {
                 let id = self.changed_scratch[i];
-                queue.extend(self.compiled.readers[id.index()].iter().copied());
+                let readers = &self.compiled.readers[id.index()];
+                pushes += readers.len() as u64;
+                queue.extend(readers.iter().copied());
+            }
+        }
+        if let Some(c) = &mut self.counters {
+            c.settles += 1;
+            c.units_executed += runs;
+            c.worklist_pushes += pushes;
+            if was_full {
+                c.full_settles += 1;
             }
         }
         Ok(())
@@ -581,6 +665,7 @@ impl Simulator {
                 changed: &mut self.dirty_sigs,
                 forced: forced_view(&self.forces),
                 strict_bounds: self.config.strict_bounds,
+                counters: self.counters.as_deref_mut(),
             };
             if exec.stmt(body)? == Flow::Finished {
                 finished = true;
@@ -597,6 +682,7 @@ impl Simulator {
         }
 
         // Commit nonblocking writes in program order.
+        let nb_len = nb.len() as u64;
         {
             let mut exec = CExec {
                 state: &mut self.state,
@@ -606,6 +692,7 @@ impl Simulator {
                 changed: &mut self.dirty_sigs,
                 forced: forced_view(&self.forces),
                 strict_bounds: self.config.strict_bounds,
+                counters: self.counters.as_deref_mut(),
             };
             for w in nb {
                 exec.commit(w);
@@ -621,6 +708,11 @@ impl Simulator {
         }
         if finished {
             self.finished = true;
+        }
+        if let Some(c) = &mut self.counters {
+            c.steps += 1;
+            c.proc_runs += plan.procs.len() as u64;
+            c.nb_commits += nb_len;
         }
         self.time += 1;
         self.settle()?;
@@ -713,6 +805,7 @@ impl Simulator {
             finished: self.finished,
             logs_len: self.logs.len(),
             bb_states,
+            forces: self.forces.clone(),
         })
     }
 
@@ -739,6 +832,9 @@ impl Simulator {
         self.cycles = cp.cycles.clone();
         self.finished = cp.finished;
         self.logs.truncate(cp.logs_len);
+        // Force pins are simulation state too: a stuck-at applied after the
+        // checkpoint would otherwise keep pinning the signal after rewind.
+        self.forces = cp.forces.clone();
         // The whole value store was replaced: rebuild from scratch on the
         // next settle rather than trusting stale dirty sets.
         self.dirty_sigs.clear();
@@ -768,7 +864,10 @@ impl Simulator {
     /// # Errors
     ///
     /// [`SimError::Watchdog`] on timeout — the "Stuck" symptom of the
-    /// paper's bug study.
+    /// paper's bug study. [`SimError::EarlyFinish`] if the design executed
+    /// `$finish` while `cond` still did not hold: success used to be
+    /// reported here, masking testbenches that terminated before reaching
+    /// the awaited condition.
     pub fn run_until(
         &mut self,
         clock: &str,
@@ -780,12 +879,15 @@ impl Simulator {
                 return Ok(i);
             }
             if self.finished {
-                return Ok(i);
+                return Err(SimError::EarlyFinish { cycles: i });
             }
             self.step(clock)?;
         }
         if cond(self) {
             return Ok(max_cycles);
+        }
+        if self.finished {
+            return Err(SimError::EarlyFinish { cycles: max_cycles });
         }
         Err(SimError::Watchdog {
             cycles: max_cycles,

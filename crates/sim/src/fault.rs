@@ -328,9 +328,11 @@ pub fn step_with_faults(
             FaultKind::StuckAt(v) => {
                 if now == f.from {
                     sim.force(&f.signal, v.resize(width))?;
+                    sim.count_fault_event();
                 }
                 if f.until == Some(now) {
                     sim.release(&f.signal)?;
+                    sim.count_fault_event();
                 }
             }
             FaultKind::BitFlip { bit } => {
@@ -339,14 +341,17 @@ pub fn step_with_faults(
                     let old = v.bit(*bit);
                     v.splice(*bit, &Bits::from_bool(!old));
                     sim.poke(&f.signal, v)?;
+                    sim.count_fault_event();
                 }
             }
             FaultKind::HandshakeDrop => {
                 if now == f.from {
                     sim.force(&f.signal, Bits::from_u64(width, 0))?;
+                    sim.count_fault_event();
                 }
                 if f.until == Some(now) {
                     sim.release(&f.signal)?;
+                    sim.count_fault_event();
                 }
             }
             FaultKind::ForceRandom { seed } => {
@@ -357,8 +362,10 @@ pub fn step_with_faults(
                     // pinned, so release the old pin first.
                     sim.release(&f.signal)?;
                     sim.force(&f.signal, v)?;
+                    sim.count_fault_event();
                 } else if f.until == Some(now) {
                     sim.release(&f.signal)?;
+                    sim.count_fault_event();
                 }
             }
         }

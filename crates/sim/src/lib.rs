@@ -133,6 +133,13 @@ pub enum SimError {
         /// How many cycles were executed before giving up.
         cycles: u64,
     },
+    /// The design executed `$finish` before the `run_until` condition ever
+    /// held — the testbench terminated early rather than reaching the
+    /// awaited state.
+    EarlyFinish {
+        /// How many cycles were executed before `$finish`.
+        cycles: u64,
+    },
     /// A blackbox instance has no behavioral model.
     NoModel(String),
     /// A poke or connection whose value width does not match the signal.
@@ -176,6 +183,10 @@ impl fmt::Display for SimError {
             SimError::Watchdog { cycles } => {
                 write!(f, "watchdog: design stuck after {cycles} cycles")
             }
+            SimError::EarlyFinish { cycles } => write!(
+                f,
+                "$finish after {cycles} cycles before the awaited condition held"
+            ),
             SimError::NoModel(m) => write!(f, "no behavioral model for blackbox `{m}`"),
             SimError::WidthMismatch {
                 signal,
@@ -211,6 +222,7 @@ impl From<SimError> for hwdbg_diag::HwdbgError {
             SimError::CombLoop { unstable } => (ErrorCode::CombLoop, unstable.clone()),
             SimError::LoopCap(v) => (ErrorCode::LoopCap, vec![v.clone()]),
             SimError::Watchdog { .. } => (ErrorCode::Watchdog, vec![]),
+            SimError::EarlyFinish { .. } => (ErrorCode::EarlyFinish, vec![]),
             SimError::NoModel(m) => (ErrorCode::NoModel, vec![m.clone()]),
             SimError::WidthMismatch { signal, .. } => {
                 (ErrorCode::WidthMismatch, vec![signal.clone()])

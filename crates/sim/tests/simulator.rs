@@ -517,6 +517,119 @@ fn poke_and_peek_unknown_signal_error() {
 }
 
 #[test]
+fn restore_unpins_forces_applied_after_checkpoint() {
+    // Regression: `Checkpoint` used to omit the force map, so a stuck-at
+    // applied after the checkpoint kept pinning the signal after rewind.
+    let mut s = sim(
+        "module m(input clk, output reg [7:0] q);
+            always @(posedge clk) q <= q + 8'd1;
+         endmodule",
+        "m",
+    );
+    s.run("clk", 3).unwrap();
+    let cp = s.checkpoint().unwrap();
+    s.force("q", Bits::from_u64(8, 0xAA)).unwrap();
+    s.run("clk", 2).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 0xAA, "pinned while forced");
+    s.restore(&cp).unwrap();
+    assert!(
+        s.forced_signals().is_empty(),
+        "restore must rewind the force set"
+    );
+    assert_eq!(s.peek("q").unwrap().to_u64(), 3);
+    s.run("clk", 2).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 5, "q must advance, not stay pinned");
+}
+
+#[test]
+fn checkpoint_preserves_forces_active_at_capture() {
+    // The dual direction: a force active when the checkpoint was taken
+    // must still be active after restore.
+    let mut s = sim(
+        "module m(input clk, output reg [7:0] q);
+            always @(posedge clk) q <= q + 8'd1;
+         endmodule",
+        "m",
+    );
+    s.force("q", Bits::from_u64(8, 7)).unwrap();
+    s.run("clk", 2).unwrap();
+    let cp = s.checkpoint().unwrap();
+    s.release("q").unwrap();
+    s.run("clk", 2).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 9);
+    s.restore(&cp).unwrap();
+    assert_eq!(s.forced_signals(), vec!["q".to_string()]);
+    s.run("clk", 2).unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 7, "restored force still pins");
+}
+
+#[test]
+fn run_until_reports_early_finish() {
+    // Regression: `$finish` before the condition used to return Ok, so a
+    // watchdog for the "Stuck" symptom silently passed on premature
+    // termination.
+    let mut s = sim(
+        "module m(input clk, output reg [3:0] n, output done);
+            assign done = n == 4'd9;
+            always @(posedge clk) begin
+                n <= n + 4'd1;
+                if (n == 4'd2) $finish;
+            end
+         endmodule",
+        "m",
+    );
+    let err = s
+        .run_until("clk", 50, |s| s.peek("done").unwrap().to_bool())
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::EarlyFinish { cycles: 3 }),
+        "expected EarlyFinish after 3 cycles, got {err:?}"
+    );
+    // And it maps to the stable diagnostic code.
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code.as_str(), "E0406");
+}
+
+#[test]
+fn metrics_counters_track_hot_path() {
+    let src = "module m(input clk, input rst, output reg [7:0] q, output [7:0] y);
+            assign y = q ^ 8'h5A;
+            always @(posedge clk) begin
+                if (rst) q <= 8'd0;
+                else q <= q + 8'd1;
+            end
+         endmodule";
+    let design = elaborate(&parse(src).unwrap(), "m", &NoBlackboxes).unwrap();
+    let mut s = Simulator::new(
+        design,
+        &NoModels,
+        SimConfig::default().with_metrics(true),
+    )
+    .unwrap();
+    s.poke_u64("rst", 0).unwrap();
+    s.run("clk", 10).unwrap();
+    s.force("q", Bits::from_u64(8, 3)).unwrap();
+    s.run("clk", 2).unwrap();
+    let c = *s.counters().expect("metrics enabled");
+    assert_eq!(c.steps, 12);
+    assert!(c.settles >= 24, "two settles per step: {c:?}");
+    assert!(c.full_settles >= 1, "initial settle is a full pass: {c:?}");
+    assert!(c.units_executed > 0, "{c:?}");
+    assert!(c.worklist_pushes > 0, "{c:?}");
+    assert_eq!(c.proc_runs, 12);
+    assert!(c.nb_commits >= 12, "{c:?}");
+    assert!(c.pokes > 0, "{c:?}");
+    assert!(c.force_hits > 0, "forced q swallows clocked writes: {c:?}");
+    s.reset_counters();
+    assert_eq!(*s.counters().unwrap(), Default::default());
+
+    // Metrics off (the default): no registry is allocated at all.
+    let mut off = sim(src, "m");
+    off.run("clk", 2).unwrap();
+    assert!(off.counters().is_none());
+}
+
+#[test]
 fn step_after_finish_is_a_no_op() {
     let mut s = sim(
         "module m(input clk, output reg [3:0] n);

@@ -12,21 +12,27 @@
 //! hwdbg testbed [BUG_ID|all]                        reproduce testbed bugs (§6.1)
 //! hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]
 //!                                                   inject faults mid-simulation
+//! hwdbg profile <file.v|BUG_ID> [--cycles N] [--clock CLK] [--json]
+//!                                                   stage timings + hot-path counters
 //! ```
 //!
 //! All errors surface as rendered [`hwdbg::diag::HwdbgError`] diagnostics
 //! (stable `EXXYY` codes, source excerpts for spanned errors) rather than
 //! panics or bare `Debug` dumps.
 
-use hwdbg::dataflow::{elaborate, DepKind, Design, PropGraph};
+use hwdbg::dataflow::{elaborate, flatten, resolve, DepKind, Design, PropGraph};
 use hwdbg::diag::HwdbgError;
 use hwdbg::ip::{StdIpLib, StdModels};
+use hwdbg::obs::{counters_json, json_escape, render_human, stages_json, StageTimer};
 use hwdbg::sim::{run_with_faults, FaultPlan, SimConfig, Simulator};
 use hwdbg::synth::{estimate, estimate_timing, Platform};
-use hwdbg::testbed::{reproduce, BugId};
+use hwdbg::testbed::{metadata, reproduce, BugId};
 use hwdbg::tools::losscheck::LossCheckConfig;
 use hwdbg::tools::signalcat::SignalCatConfig;
-use hwdbg::tools::{DependencyMonitor, FsmMonitor, LossCheck, SignalCat};
+use hwdbg::tools::statmon::Event;
+use hwdbg::tools::{
+    clock_map, DependencyMonitor, FsmMonitor, LossCheck, SignalCat, StatisticsMonitor,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -58,6 +64,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         "resources" => cmd_resources(rest),
         "testbed" => cmd_testbed(rest),
         "faults" => cmd_faults(rest),
+        "profile" => cmd_profile(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -78,7 +85,8 @@ fn print_usage() {
          hwdbg losscheck <file.v> --source S --sink K --valid V [--top NAME]\n  \
          hwdbg resources <file.v> [--top NAME] [--platform harp|kc705]\n  \
          hwdbg testbed [BUG_ID|all]\n  \
-         hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]"
+         hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]\n  \
+         hwdbg profile <file.v|BUG_ID> [--top NAME] [--cycles N] [--clock CLK] [--json]"
     );
 }
 
@@ -308,6 +316,205 @@ fn cmd_testbed(args: &[String]) -> Result<(), Anyhow> {
     }
     if failures > 0 {
         return Err(format!("{failures} bug(s) failed to reproduce").into());
+    }
+    Ok(())
+}
+
+/// `hwdbg profile`: run the whole pipeline — parse, elaborate (flatten +
+/// resolve), compile, simulate, analyze — with per-stage wall-clock spans
+/// and the simulator's hot-path counters enabled, then report both.
+///
+/// The target is either a Verilog file or a testbed bug id (`d2`, `c1`,
+/// ...). Analysis sub-spans run each paper tool that applies to the design
+/// and fold its tool-side counters into the same registry; tools that do
+/// not apply (no `$display`s, no FSM, no loss spec) are skipped silently —
+/// profiling reports what ran, it does not fail on what cannot.
+fn cmd_profile(args: &[String]) -> Result<(), Anyhow> {
+    let json = args.iter().any(|a| a == "--json");
+    let filtered: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--json")
+        .cloned()
+        .collect();
+    let opts = Opts::parse(&filtered)?;
+    let target = opts.file()?;
+
+    // Testbed bug id or path on disk.
+    let bug = BugId::ALL
+        .into_iter()
+        .find(|id| id.to_string().eq_ignore_ascii_case(target));
+    let (label, src, top, loss) = match bug {
+        Some(id) => {
+            let meta = metadata(id);
+            (
+                format!("testbed:{id}"),
+                meta.source.to_owned(),
+                Some(meta.top.to_owned()),
+                meta.loss,
+            )
+        }
+        None => (
+            target.to_owned(),
+            std::fs::read_to_string(target)?,
+            opts.get("top").map(str::to_owned),
+            None,
+        ),
+    };
+
+    let lib = StdIpLib::new();
+    let mut timer = StageTimer::new();
+    let file = timer
+        .time("parse", || hwdbg::rtl::parse(&src))
+        .map_err(|e| rendered(e.into(), &src, &label))?;
+    let top = match top {
+        Some(t) => t,
+        None => {
+            file.modules
+                .last()
+                .ok_or("file contains no modules")?
+                .name
+                .clone()
+        }
+    };
+    timer.start("elaborate");
+    let design = timer
+        .time("flatten", || flatten(&file, &top, &lib))
+        .and_then(|flat| timer.time("resolve", || resolve(flat, &lib)));
+    timer.finish();
+    let design = design.map_err(|e| rendered(e.into(), &src, &label))?;
+
+    let clock = match opts.get("clock") {
+        Some(c) => c.to_owned(),
+        None => clock_map(&design).1.unwrap_or_else(|| "clk".into()),
+    };
+    let cycles: u64 = opts.get("cycles").unwrap_or("200").parse()?;
+
+    let mut sim = timer.time("compile", || {
+        Simulator::new(
+            design.clone(),
+            &StdModels,
+            SimConfig::default().with_metrics(true),
+        )
+    })?;
+    // Testbed bugs run their push-button workload (the profile then covers
+    // a representative stimulus, and a symptom is an outcome, not a crash);
+    // plain files free-run the clock.
+    let outcome = match bug {
+        Some(id) => match timer.time("simulate", || hwdbg::testbed::workloads::run(id, &mut sim))
+        {
+            Ok(hwdbg::testbed::Outcome::Pass) => "pass".to_owned(),
+            Ok(hwdbg::testbed::Outcome::Fail { symptom, .. }) => format!("fail ({symptom})"),
+            Err(e) => format!("error ({e})"),
+        },
+        None => {
+            timer.time("simulate", || sim.run(&clock, cycles))?;
+            if sim.finished() {
+                "$finish".to_owned()
+            } else {
+                "ran".to_owned()
+            }
+        }
+    };
+    let mut counters = sim.counters().copied().unwrap_or_default();
+    // Analysis re-simulations use the same stimulus as the profiled run.
+    let drive = |s: &mut Simulator| -> bool {
+        match bug {
+            Some(id) => hwdbg::testbed::workloads::run(id, s).is_ok(),
+            None => s.run(&clock, cycles).is_ok(),
+        }
+    };
+
+    timer.start("analyze");
+    timer.time("signalcat", || {
+        let Ok(info) = SignalCat::instrument(&design, &SignalCatConfig::default()) else {
+            return;
+        };
+        let Ok(d2) = resolve(info.module.clone(), &lib) else {
+            return;
+        };
+        let Ok(mut s) = Simulator::new(d2, &StdModels, SimConfig::default()) else {
+            return;
+        };
+        if !drive(&mut s) {
+            return;
+        }
+        SignalCat::observe(&info, &s, &mut counters);
+    });
+    timer.time("fsm", || {
+        let Ok(info) = FsmMonitor::new().instrument(&design) else {
+            return;
+        };
+        let Ok(d2) = resolve(info.module.clone(), &lib) else {
+            return;
+        };
+        let Ok(mut s) = Simulator::new(d2, &StdModels, SimConfig::default()) else {
+            return;
+        };
+        if !drive(&mut s) {
+            return;
+        }
+        FsmMonitor::observe(&info, &s, &mut counters);
+    });
+    timer.time("depmon", || DependencyMonitor::observe(&sim, &mut counters));
+    if let Some(loss) = &loss {
+        timer.time("losscheck", || {
+            let cfg = LossCheckConfig {
+                source: loss.source.to_owned(),
+                sink: loss.sink.to_owned(),
+                source_valid: loss.valid.to_owned(),
+            };
+            let Ok(graph) = PropGraph::build(&design, &lib) else {
+                return;
+            };
+            let Ok(info) = LossCheck::instrument(&design, &graph, &cfg) else {
+                return;
+            };
+            let Ok(d2) = resolve(info.module.clone(), &lib) else {
+                return;
+            };
+            let Ok(mut s) = Simulator::new(d2, &StdModels, SimConfig::default()) else {
+                return;
+            };
+            if s.run(&clock, cycles).is_err() {
+                return;
+            }
+            LossCheck::observe(s.logs(), &mut counters);
+        });
+        timer.time("statmon", || {
+            let Ok(expr) = hwdbg::rtl::parse_expr(loss.valid) else {
+                return;
+            };
+            let events = vec![Event::new("valid", expr)];
+            let Ok(info) = StatisticsMonitor::instrument(&design, &events, None) else {
+                return;
+            };
+            let Ok(d2) = resolve(info.module.clone(), &lib) else {
+                return;
+            };
+            let Ok(mut s) = Simulator::new(d2, &StdModels, SimConfig::default()) else {
+                return;
+            };
+            if s.run(&clock, cycles).is_err() {
+                return;
+            }
+            StatisticsMonitor::observe(&info, &s, &mut counters);
+        });
+    }
+    timer.finish();
+
+    if json {
+        println!(
+            "{{\"design\": \"{}\", \"clock\": \"{}\", \"cycles\": {cycles}, \
+             \"outcome\": \"{}\", \"stages\": {}, \"counters\": {}}}",
+            json_escape(&label),
+            json_escape(&clock),
+            json_escape(&outcome),
+            stages_json(&timer),
+            counters_json(&counters),
+        );
+    } else {
+        println!("profile of {label} — clock `{clock}`, outcome: {outcome}");
+        println!("{}", render_human(&timer, &counters));
     }
     Ok(())
 }

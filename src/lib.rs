@@ -6,6 +6,7 @@
 //!
 //! * [`bits`] — arbitrary-width two-state bit vectors
 //! * [`diag`] — typed diagnostics ([`diag::HwdbgError`]) shared by every layer
+//! * [`obs`] — observability: stage timers and hot-path counters
 //! * [`rtl`] — Verilog-subset lexer, parser, AST, and pretty-printer
 //! * [`dataflow`] — elaboration and propagation/dependency analysis
 //! * [`sim`] — cycle-accurate simulator with `$display` capture and VCD
@@ -31,6 +32,7 @@ pub use hwdbg_bits as bits;
 pub use hwdbg_dataflow as dataflow;
 pub use hwdbg_diag as diag;
 pub use hwdbg_ip as ip;
+pub use hwdbg_obs as obs;
 pub use hwdbg_rtl as rtl;
 pub use hwdbg_sim as sim;
 pub use hwdbg_synth as synth;

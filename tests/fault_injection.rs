@@ -256,6 +256,82 @@ fn losscheck_survives_faults() {
     }
 }
 
+/// Peeks every observable (non-generated, non-memory) signal of the
+/// design, giving one bit-for-bit snapshot of the architectural state.
+fn snapshot(sim: &Simulator, design: &hwdbg::dataflow::Design) -> Vec<(String, hwdbg::bits::Bits)> {
+    design
+        .signals
+        .values()
+        .filter(|s| !s.name.starts_with("__"))
+        .filter_map(|s| Some((s.name.clone(), sim.peek(&s.name).ok()?.clone())))
+        .collect()
+}
+
+/// Checkpoint/restore must erase a fault's footprint completely: run to a
+/// checkpoint, let a fault plan force registers (window still open — the
+/// force is live at restore time), restore, and rerun fault-free. The
+/// rerun's cycle-by-cycle state must match a never-faulted run bit for
+/// bit. Guards the `Checkpoint`-captures-`forces` fix: before it, the
+/// leaked force pinned the register through the rerun.
+#[test]
+fn restore_after_faulted_run_replays_bit_for_bit() {
+    const PREFIX: u64 = 10;
+    const FAULTED: u64 = 12;
+    const REPLAY: u64 = 20;
+
+    let design = buggy_design(BugId::D2).unwrap();
+    let clock = clock_of(&design).unwrap_or_else(|| "clk".into());
+    let (target, width) = design
+        .signals
+        .values()
+        .find(|s| s.kind == SigKind::Reg && !s.name.starts_with("__"))
+        .map(|s| (s.name.clone(), s.width))
+        .unwrap();
+
+    // Ground truth: the same stimulus with no fault ever injected.
+    let mut clean = Simulator::new(design.clone(), &StdModels, SimConfig::default()).unwrap();
+    clean.run(&clock, PREFIX).unwrap();
+    let mut expected = Vec::new();
+    for _ in 0..REPLAY {
+        clean.step(&clock).unwrap();
+        expected.push(snapshot(&clean, &design));
+    }
+
+    // Candidate: checkpoint, simulate under an open-ended stuck-at force
+    // (until=None — still pinned when we restore), then rewind and replay.
+    let mut sim = Simulator::new(design.clone(), &StdModels, SimConfig::default()).unwrap();
+    sim.run(&clock, PREFIX).unwrap();
+    let cp = sim.checkpoint().unwrap();
+    // Fault cycles are absolute clock cycles; the window opens shortly
+    // after the checkpoint (taken at cycle PREFIX) and never closes.
+    let plan = FaultPlan::new().stuck_at(
+        &target,
+        hwdbg::bits::Bits::from_u64(width, 0xA5),
+        PREFIX + 2,
+        None,
+    );
+    for _ in 0..FAULTED {
+        hwdbg::sim::step_with_faults(&mut sim, &clock, &plan).unwrap();
+    }
+    assert!(
+        !sim.forced_signals().is_empty(),
+        "the fault window must still be open at restore time"
+    );
+    sim.restore(&cp).unwrap();
+    assert!(
+        sim.forced_signals().is_empty(),
+        "restore must drop forces applied after the checkpoint"
+    );
+    for (cycle, want) in expected.iter().enumerate() {
+        sim.step(&clock).unwrap();
+        let got = snapshot(&sim, &design);
+        assert_eq!(
+            &got, want,
+            "cycle {cycle} after restore diverged from the never-faulted run"
+        );
+    }
+}
+
 /// A fault plan that names a signal the design does not have is rejected
 /// with a typed error naming the culprit, not a panic downstream.
 #[test]
