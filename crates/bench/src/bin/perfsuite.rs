@@ -1,20 +1,27 @@
 //! Machine-readable simulation performance suite.
 //!
 //! Runs the simulator hot-path benchmarks — the comb-chain settle ablation
-//! (n ∈ {8, 64, 256}) and 1000 cycles of the grayscale pipeline — and
-//! writes `BENCH_sim.json` in the current directory: a JSON array of
-//! `{"bench", "cycles_per_sec", "wall_ms"}` records. `cycles_per_sec` is
-//! simulated work per wall-clock second (settles/s for the comb chains,
-//! clock cycles/s for grayscale); `wall_ms` is the mean wall time of one
-//! benchmark iteration.
+//! (n ∈ {8, 64, 256}), a width sweep of a combinational ALU
+//! (`sim_wide_alu/{32,64,128,256}`: add/xor/shift/sub, the ops the
+//! value plane keeps allocation-free at any width), and 1000 cycles of
+//! the grayscale pipeline — and writes `BENCH_sim.json` in the current
+//! directory: a JSON array of `{"bench", "cycles_per_sec", "wall_ms",
+//! "allocs_per_cycle"}` records. `cycles_per_sec` is simulated work per
+//! wall-clock second (settles/s for the comb chains and ALU sweep, clock
+//! cycles/s for grayscale); `wall_ms` is the mean wall time of one
+//! benchmark iteration; `allocs_per_cycle` is heap allocations per unit
+//! of steady-state work, counted by a delegating global allocator over a
+//! 100-iteration window — the zero-allocation invariant makes 0.0 the
+//! expected value, so any nonzero figure is a regression signal.
 //!
 //! Two `+metrics` companion records rerun the largest comb chain and the
 //! grayscale pipeline with the observability counters enabled. They carry
-//! three extra fields: `metrics_overhead_pct` (per-iteration slowdown vs
-//! the metrics-off record — the budget is ≤5%), `counters` (the
-//! [`hwdbg_obs::SimCounters`] registry after the run), and, for grayscale,
-//! `stages` (per-pipeline-stage wall times of one elaborate → compile →
-//! simulate pass).
+//! extra fields: `metrics_overhead_pct` (per-iteration slowdown vs the
+//! metrics-off record, from an ABBA-paired median — the budget is ≤5%),
+//! `overhead_noisy` (true when the raw median came out negative and was
+//! clamped to 0), `counters` (the [`hwdbg_obs::SimCounters`] registry
+//! after the run), and, for grayscale, `stages` (per-pipeline-stage wall
+//! times of one elaborate → compile → simulate pass).
 //!
 //! Usage: `cargo run --release -p hwdbg-bench --bin perfsuite`
 
@@ -25,18 +32,38 @@
 use hwdbg_bench::harness::{bench, json_escape, paired_overhead_pct, Measurement};
 use hwdbg_dataflow::elaborate;
 use hwdbg_ip::StdModels;
-use hwdbg_obs::{counters_json, stages_json, StageTimer};
+use hwdbg_obs::{counters_json, stages_json, thread_allocs, CountingAlloc, StageTimer};
 use hwdbg_sim::{SimConfig, Simulator};
 use hwdbg_testbed::{buggy_design, BugId};
 
-/// `(measurement, simulated units of work per iteration, extra JSON)`.
+// Counts allocations for the `allocs_per_cycle` column. Steady-state
+// windows allocate nothing, so the counter's TLS bump never runs inside
+// the timed loops and the throughput numbers are unaffected.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// `(measurement, simulated units of work per iteration, steady-state
+/// allocations per unit of work, extra JSON)`.
 ///
 /// `extra` is a pre-rendered fragment of additional `"key": value` pairs
 /// (starting with `, `) appended to the record, or empty.
 struct Record {
     m: Measurement,
     work_per_iter: u64,
+    allocs_per_cycle: f64,
     extra: String,
+}
+
+/// Heap allocations per unit of work over a 100-iteration window of `f`.
+/// Call only after the workload is warm — cold-start allocations (pool
+/// growth, map nodes) belong to construction, not the steady state.
+fn allocs_per_cycle(work_per_iter: u64, mut f: impl FnMut()) -> f64 {
+    const REPS: u64 = 100;
+    let before = thread_allocs();
+    for _ in 0..REPS {
+        f();
+    }
+    (thread_allocs() - before) as f64 / (REPS * work_per_iter) as f64
 }
 
 fn comb_chain(n: usize) -> hwdbg_dataflow::Design {
@@ -46,6 +73,28 @@ fn comb_chain(n: usize) -> hwdbg_dataflow::Design {
         src.push_str(&format!("wire [31:0] w{i}; assign w{i} = {prev} + 32'd1;\n"));
     }
     src.push_str(&format!("assign q = w{};\nendmodule", n - 1));
+    elaborate(
+        &hwdbg_rtl::parse(&src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap()
+}
+
+/// A four-stage combinational ALU at width `w`: add, xor, shift, sub.
+/// Deliberately no multiply or divide — those are the op families the
+/// value plane documents as allocating above 128 bits, and this sweep
+/// exists to show the allocation-free width scaling of everything else.
+fn wide_alu(w: usize) -> hwdbg_dataflow::Design {
+    let hi = w - 1;
+    let src = format!(
+        "module m(input clk, input [{hi}:0] a, input [{hi}:0] b, output [{hi}:0] q);\n\
+         wire [{hi}:0] s; assign s = a + b;\n\
+         wire [{hi}:0] x; assign x = s ^ a;\n\
+         wire [{hi}:0] sh; assign sh = x >> 5;\n\
+         wire [{hi}:0] d; assign d = sh - b;\n\
+         assign q = d;\nendmodule"
+    );
     elaborate(
         &hwdbg_rtl::parse(&src).unwrap(),
         "m",
@@ -82,6 +131,25 @@ fn grayscale_iter(design: &hwdbg_dataflow::Design, config: SimConfig) -> Simulat
     sim
 }
 
+/// Steady-state allocations per grayscale cycle: one warm simulator
+/// stepped in place — the invariant under test — not the cold
+/// build-and-run loop the throughput bench times.
+fn grayscale_steady_apc(design: &hwdbg_dataflow::Design, config: SimConfig) -> f64 {
+    let mut sim = Simulator::new(design.clone(), &StdModels, config).unwrap();
+    sim.poke_u64("pix_in_valid", 1).unwrap();
+    let mut i = 0u64;
+    for _ in 0..200 {
+        i += 1;
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    }
+    allocs_per_cycle(1, || {
+        i += 1;
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    })
+}
+
 fn main() {
     let mut records = Vec::new();
 
@@ -97,9 +165,42 @@ fn main() {
             sim.settle().unwrap();
             sim.peek("q").unwrap().to_u64()
         });
+        let apc = allocs_per_cycle(1, || {
+            toggle = toggle.wrapping_add(1);
+            sim.poke_u64("d", 7 + (toggle & 1)).unwrap();
+            sim.settle().unwrap();
+            std::hint::black_box(sim.peek("q").unwrap().to_u64());
+        });
         records.push(Record {
             m,
             work_per_iter: 1,
+            allocs_per_cycle: apc,
+            extra: String::new(),
+        });
+    }
+
+    for w in [32usize, 64, 128, 256] {
+        let design = wide_alu(w);
+        let mut sim =
+            Simulator::new(design, &hwdbg_sim::NoModels, SimConfig::default()).unwrap();
+        let mut toggle = 0u64;
+        let m = bench(&format!("sim_wide_alu/{w}"), || {
+            toggle = toggle.wrapping_add(1);
+            sim.poke_u64("a", 0x00C0_FFEE ^ (toggle & 1)).unwrap();
+            sim.poke_u64("b", 0x0BAD_F00D).unwrap();
+            sim.settle().unwrap();
+            sim.peek("q").unwrap().to_u64()
+        });
+        let apc = allocs_per_cycle(1, || {
+            toggle = toggle.wrapping_add(1);
+            sim.poke_u64("a", 0x00C0_FFEE ^ (toggle & 1)).unwrap();
+            sim.settle().unwrap();
+            std::hint::black_box(sim.peek("q").unwrap().to_u64());
+        });
+        records.push(Record {
+            m,
+            work_per_iter: 1,
+            allocs_per_cycle: apc,
             extra: String::new(),
         });
     }
@@ -109,25 +210,34 @@ fn main() {
         let m = bench("sim_grayscale_1000_cycles", || {
             grayscale_iter(&design, SimConfig::default()).cycle("clk")
         });
+        let apc = grayscale_steady_apc(&design, SimConfig::default());
         records.push(Record {
             m,
             work_per_iter: GRAYSCALE_CYCLES,
+            allocs_per_cycle: apc,
             extra: String::new(),
         });
     }
 
     // Metrics-on companions: same workloads with the counter registry
-    // live. The overhead comes from a paired measurement (not from
+    // live. The overhead comes from an ABBA-paired median (not from
     // comparing the two separately-benched means, which folds machine
-    // drift into the delta).
+    // drift into the delta and can even drive it negative).
     {
         let (m, mut on) =
             bench_comb_chain("sim_comb_chain/256+metrics", SimConfig::default().with_metrics(true));
         let counters = *on.counters().unwrap();
+        let mut t1 = 0u64;
+        let apc = allocs_per_cycle(1, || {
+            t1 = t1.wrapping_add(1);
+            on.poke_u64("d", 7 + (t1 & 1)).unwrap();
+            on.settle().unwrap();
+            std::hint::black_box(on.peek("q").unwrap().to_u64());
+        });
         let mut off =
             Simulator::new(comb_chain(256), &hwdbg_sim::NoModels, SimConfig::default()).unwrap();
-        let (mut t0, mut t1) = (0u64, 0u64);
-        let pct = paired_overhead_pct(
+        let mut t0 = 0u64;
+        let oh = paired_overhead_pct(
             &mut || {
                 t0 = t0.wrapping_add(1);
                 off.poke_u64("d", 7 + (t0 & 1)).unwrap();
@@ -142,12 +252,15 @@ fn main() {
             },
         );
         let extra = format!(
-            ", \"metrics_overhead_pct\": {pct:.2}, \"counters\": {}",
+            ", \"metrics_overhead_pct\": {:.2}, \"overhead_noisy\": {}, \"counters\": {}",
+            oh.pct,
+            oh.noisy,
             counters_json(&counters)
         );
         records.push(Record {
             m,
             work_per_iter: 1,
+            allocs_per_cycle: apc,
             extra,
         });
     }
@@ -155,7 +268,8 @@ fn main() {
         let m = bench("sim_grayscale_1000_cycles+metrics", || {
             grayscale_iter(&design, SimConfig::default().with_metrics(true)).cycle("clk")
         });
-        let pct = paired_overhead_pct(
+        let apc = grayscale_steady_apc(&design, SimConfig::default().with_metrics(true));
+        let oh = paired_overhead_pct(
             &mut || {
                 std::hint::black_box(grayscale_iter(&design, SimConfig::default()).cycle("clk"));
             },
@@ -181,13 +295,16 @@ fn main() {
         });
         let counters = *sim.counters().unwrap();
         let extra = format!(
-            ", \"metrics_overhead_pct\": {pct:.2}, \"stages\": {}, \"counters\": {}",
+            ", \"metrics_overhead_pct\": {:.2}, \"overhead_noisy\": {}, \"stages\": {}, \"counters\": {}",
+            oh.pct,
+            oh.noisy,
             stages_json(&timer),
             counters_json(&counters)
         );
         records.push(Record {
             m,
             work_per_iter: GRAYSCALE_CYCLES,
+            allocs_per_cycle: apc,
             extra,
         });
     }
@@ -196,10 +313,11 @@ fn main() {
     for (i, r) in records.iter().enumerate() {
         let per_sec = r.m.iters_per_sec() * r.work_per_iter as f64;
         json.push_str(&format!(
-            "  {{\"bench\": \"{}\", \"cycles_per_sec\": {:.1}, \"wall_ms\": {:.4}{}}}{}\n",
+            "  {{\"bench\": \"{}\", \"cycles_per_sec\": {:.1}, \"wall_ms\": {:.4}, \"allocs_per_cycle\": {:.4}{}}}{}\n",
             json_escape(&r.m.name),
             per_sec,
             r.m.ms_per_iter(),
+            r.allocs_per_cycle,
             r.extra,
             if i + 1 < records.len() { "," } else { "" }
         ));

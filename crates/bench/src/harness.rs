@@ -89,14 +89,36 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
     m
 }
 
-/// Measures the per-iteration slowdown of `with` relative to `base`, in
-/// percent, robustly against machine drift (frequency scaling, noisy
-/// neighbors): the two closures run in short paired windows with the order
-/// alternated each pair, and the result is the median of the per-pair
-/// ratios. A separately-benched mean comparison would fold several
-/// seconds of drift into the delta; pairing bounds it to one window.
-pub fn paired_overhead_pct(base: &mut dyn FnMut(), with: &mut dyn FnMut()) -> f64 {
-    const WINDOW: Duration = Duration::from_millis(80);
+/// Result of a paired overhead measurement.
+///
+/// `pct` is the number to report: the median paired slowdown, clamped to
+/// ≥ 0 because a real overhead cannot be negative — a negative median
+/// means measurement noise exceeded the effect. `raw_pct` keeps the
+/// unclamped median for diagnostics, and `noisy` records that the clamp
+/// fired so downstream JSON can flag the record.
+#[derive(Debug, Clone, Copy)]
+pub struct Overhead {
+    /// Median paired slowdown in percent, clamped to `max(raw_pct, 0)`.
+    pub pct: f64,
+    /// Unclamped median, possibly negative under noise.
+    pub raw_pct: f64,
+    /// True when the raw median came out negative and was clamped.
+    pub noisy: bool,
+}
+
+/// Measures the per-iteration slowdown of `with` relative to `base`,
+/// robustly against machine drift (frequency scaling, noisy neighbors).
+///
+/// Each repetition runs the closures in an ABBA quad — base, with, with,
+/// base — so linear drift within the quad cancels to first order, and the
+/// per-quad ratio is `(b₁+b₂)/(a₁+a₂)`. The reported overhead is the
+/// median over 25 quads. A separately-benched mean comparison would fold
+/// seconds of drift into the delta; even simple AB pairing leaves a
+/// first-order drift term, which is how earlier runs recorded a
+/// physically impossible −7% overhead.
+pub fn paired_overhead_pct(base: &mut dyn FnMut(), with: &mut dyn FnMut()) -> Overhead {
+    const WINDOW: Duration = Duration::from_millis(40);
+    const QUADS: usize = 25;
     fn window(f: &mut dyn FnMut(), dur: Duration) -> f64 {
         let start = Instant::now();
         let mut iters = 0u64;
@@ -108,18 +130,28 @@ pub fn paired_overhead_pct(base: &mut dyn FnMut(), with: &mut dyn FnMut()) -> f6
     }
     window(base, WINDOW);
     window(with, WINDOW);
-    let mut ratios = Vec::new();
-    for i in 0..11 {
-        let (a, b) = if i % 2 == 0 {
-            (window(base, WINDOW), window(with, WINDOW))
-        } else {
-            let b = window(with, WINDOW);
-            (window(base, WINDOW), b)
-        };
-        ratios.push(b / a);
+    let mut ratios = Vec::with_capacity(QUADS);
+    for _ in 0..QUADS {
+        let a1 = window(base, WINDOW);
+        let b1 = window(with, WINDOW);
+        let b2 = window(with, WINDOW);
+        let a2 = window(base, WINDOW);
+        ratios.push((b1 + b2) / (a1 + a2));
     }
     ratios.sort_by(f64::total_cmp);
-    (ratios[ratios.len() / 2] - 1.0) * 100.0
+    let raw_pct = (ratios[QUADS / 2] - 1.0) * 100.0;
+    let noisy = raw_pct < 0.0;
+    if noisy {
+        eprintln!(
+            "warning: paired overhead measured negative ({raw_pct:.2}%); \
+             noise dominates the effect, clamping to 0"
+        );
+    }
+    Overhead {
+        pct: raw_pct.max(0.0),
+        raw_pct,
+        noisy,
+    }
 }
 
 /// Minimal JSON string escaping for the hand-rolled output files.
@@ -156,14 +188,31 @@ mod tests {
     }
 
     #[test]
-    fn paired_overhead_of_identical_work_is_small() {
+    fn paired_overhead_of_identical_work_is_small_and_never_negative() {
         let mut a = || {
             std::hint::black_box((0..500u64).sum::<u64>());
         };
         let mut b = || {
             std::hint::black_box((0..500u64).sum::<u64>());
         };
-        let pct = paired_overhead_pct(&mut a, &mut b);
-        assert!(pct.abs() < 50.0, "identical closures diverged: {pct}%");
+        let oh = paired_overhead_pct(&mut a, &mut b);
+        assert!(oh.pct >= 0.0, "reported overhead must be clamped: {oh:?}");
+        assert!(
+            oh.raw_pct.abs() < 50.0,
+            "identical closures diverged: {oh:?}"
+        );
+    }
+
+    #[test]
+    fn real_overhead_is_detected() {
+        let mut a = || {
+            std::hint::black_box((0..200u64).sum::<u64>());
+        };
+        let mut b = || {
+            std::hint::black_box((0..4000u64).sum::<u64>());
+        };
+        let oh = paired_overhead_pct(&mut a, &mut b);
+        assert!(!oh.noisy, "a 20x slowdown must not read as noise: {oh:?}");
+        assert!(oh.pct > 100.0, "expected a large overhead: {oh:?}");
     }
 }

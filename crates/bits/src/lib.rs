@@ -9,6 +9,21 @@
 //! little-endian `u64` limbs. All bits above `width` are kept at zero
 //! (a crate invariant maintained by every operation).
 //!
+//! # Representation
+//!
+//! Values of `width <= 64` — virtually every RTL signal in practice — are
+//! stored *inline* as a single `u64`, with no heap allocation. Wider values
+//! spill to a limb vector. The representation is intentionally lazy in one
+//! direction: a heap-backed value that is narrowed (e.g. a reused scratch
+//! buffer) may stay heap-backed rather than churn its allocation, so
+//! equality and hashing are defined over `(width, limbs)` and never over
+//! the storage kind. Constructors always produce the inline form when the
+//! width permits.
+//!
+//! The in-place API (`assign_from`, `resize_in_place`, the `*_into`
+//! operations in [`ops`](self)) writes results into caller-owned storage
+//! and is what the simulator's hot path uses to run allocation-free.
+//!
 //! # Examples
 //!
 //! ```
@@ -31,15 +46,25 @@ pub use literal::LiteralError;
 pub use prng::SplitMix64;
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Storage for the limb payload: one inline limb for narrow values, a heap
+/// vector for wide ones. `Inline` is only legal for `width <= 64`;
+/// `Spilled` is legal at any width (see the module docs on laziness).
+#[derive(Clone)]
+enum Repr {
+    Inline(u64),
+    Spilled(Vec<u64>),
+}
 
 /// A fixed-width, two-state bit vector.
 ///
 /// Widths are at least 1. Arithmetic wraps modulo `2^width`, matching
 /// synthesizable Verilog semantics for unsigned operands.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Bits {
     width: u32,
-    limbs: Vec<u64>,
+    repr: Repr,
 }
 
 #[inline]
@@ -48,6 +73,27 @@ fn limbs_for(width: u32) -> usize {
 }
 
 impl Bits {
+    /// Bit mask covering a width of 1..=64 bits.
+    #[inline]
+    fn mask(width: u32) -> u64 {
+        debug_assert!((1..=64).contains(&width));
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Inline constructor for `width <= 64`; masks `raw` to `width`.
+    #[inline]
+    fn small(width: u32, raw: u64) -> Self {
+        debug_assert!((1..=64).contains(&width));
+        Bits {
+            width,
+            repr: Repr::Inline(raw & Self::mask(width)),
+        }
+    }
+
     /// Creates an all-zero vector of `width` bits.
     ///
     /// # Panics
@@ -55,36 +101,54 @@ impl Bits {
     /// Panics if `width == 0`.
     pub fn zero(width: u32) -> Self {
         assert!(width > 0, "Bits width must be at least 1");
-        Bits {
-            width,
-            limbs: vec![0; limbs_for(width)],
+        if width <= 64 {
+            Bits::small(width, 0)
+        } else {
+            Bits {
+                width,
+                repr: Repr::Spilled(vec![0; limbs_for(width)]),
+            }
         }
     }
 
     /// Creates an all-ones vector of `width` bits.
     pub fn ones(width: u32) -> Self {
-        let mut b = Bits::zero(width);
-        for l in &mut b.limbs {
-            *l = u64::MAX;
+        assert!(width > 0, "Bits width must be at least 1");
+        if width <= 64 {
+            return Bits::small(width, u64::MAX);
         }
+        let mut b = Bits {
+            width,
+            repr: Repr::Spilled(vec![u64::MAX; limbs_for(width)]),
+        };
         b.mask_top();
         b
     }
 
     /// Creates a vector holding `value` truncated to `width` bits.
     pub fn from_u64(width: u32, value: u64) -> Self {
+        assert!(width > 0, "Bits width must be at least 1");
+        if width <= 64 {
+            return Bits::small(width, value);
+        }
         let mut b = Bits::zero(width);
-        b.limbs[0] = value;
-        b.mask_top();
+        b.limbs_mut()[0] = value;
         b
     }
 
     /// Creates a vector holding `value` truncated to `width` bits.
     pub fn from_u128(width: u32, value: u128) -> Self {
+        assert!(width > 0, "Bits width must be at least 1");
+        if width <= 64 {
+            return Bits::small(width, value as u64);
+        }
         let mut b = Bits::zero(width);
-        b.limbs[0] = value as u64;
-        if b.limbs.len() > 1 {
-            b.limbs[1] = (value >> 64) as u64;
+        {
+            let limbs = b.limbs_mut();
+            limbs[0] = value as u64;
+            if limbs.len() > 1 {
+                limbs[1] = (value >> 64) as u64;
+            }
         }
         b.mask_top();
         b
@@ -92,7 +156,7 @@ impl Bits {
 
     /// Creates a 1-bit vector from a boolean.
     pub fn from_bool(v: bool) -> Self {
-        Bits::from_u64(1, v as u64)
+        Bits::small(1, v as u64)
     }
 
     /// The width in bits.
@@ -104,15 +168,194 @@ impl Bits {
     /// Raw little-endian limbs (bits above `width` are zero).
     #[inline]
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        match &self.repr {
+            Repr::Inline(v) => std::slice::from_ref(v),
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Mutable view of the limbs; callers must re-establish the masked-top
+    /// invariant before the borrow ends.
+    #[inline]
+    fn limbs_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline(v) => std::slice::from_mut(v),
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// The lowest limb without branching on representation.
+    #[inline]
+    pub(crate) fn limb0(&self) -> u64 {
+        match &self.repr {
+            Repr::Inline(v) => *v,
+            Repr::Spilled(v) => v[0],
+        }
+    }
+
+    /// True iff the value is stored inline (no heap allocation backs it).
+    ///
+    /// Diagnostic/testing aid; semantics never depend on the storage kind.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+
+    /// Returns a copy forced onto the spilled (heap-backed) representation
+    /// even when the value fits inline. Differential tests use this to run
+    /// every operation over both representations; production code never
+    /// needs it.
+    #[must_use]
+    pub fn spilled(&self) -> Bits {
+        Bits {
+            width: self.width,
+            repr: Repr::Spilled(self.limbs().to_vec()),
+        }
+    }
+
+    /// Re-dimensions `self` to an all-zero value of `width` bits, reusing
+    /// existing heap storage where possible. The previous value is lost.
+    fn reshape(&mut self, width: u32) {
+        debug_assert!(width > 0, "Bits width must be at least 1");
+        self.width = width;
+        if width <= 64 {
+            match &mut self.repr {
+                Repr::Inline(v) => *v = 0,
+                Repr::Spilled(v) => {
+                    v.truncate(1);
+                    v[0] = 0;
+                }
+            }
+        } else {
+            let n = limbs_for(width);
+            match &mut self.repr {
+                Repr::Inline(_) => self.repr = Repr::Spilled(vec![0; n]),
+                Repr::Spilled(v) => {
+                    v.clear();
+                    v.resize(n, 0);
+                }
+            }
+        }
+    }
+
+    /// Stores a narrow value (`width <= 64`), masking `raw`, reusing any
+    /// existing heap storage.
+    #[inline]
+    pub(crate) fn store_small(&mut self, width: u32, raw: u64) {
+        debug_assert!((1..=64).contains(&width));
+        self.width = width;
+        let m = raw & Self::mask(width);
+        match &mut self.repr {
+            Repr::Inline(v) => *v = m,
+            Repr::Spilled(v) => {
+                v.truncate(1);
+                v[0] = m;
+            }
+        }
+    }
+
+    /// Becomes an all-zero value of `width` bits (in place, storage reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn set_zero(&mut self, width: u32) {
+        assert!(width > 0, "Bits width must be at least 1");
+        self.reshape(width);
+    }
+
+    /// Becomes `value` truncated to `width` bits (in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn set_u64(&mut self, width: u32, value: u64) {
+        assert!(width > 0, "Bits width must be at least 1");
+        if width <= 64 {
+            self.store_small(width, value);
+        } else {
+            self.reshape(width);
+            self.limbs_mut()[0] = value;
+        }
+    }
+
+    /// Becomes the 1-bit value `v` (in place).
+    pub fn set_bool(&mut self, v: bool) {
+        self.store_small(1, v as u64);
+    }
+
+    /// Sets the value to `value` truncated to the *current* width, keeping
+    /// both width and storage; returns true if the stored value changed.
+    ///
+    /// Never allocates regardless of width — this is the poke-an-integer
+    /// hot path, where constructing a temporary wide `Bits` would cost a
+    /// heap allocation per call.
+    pub fn update_u64(&mut self, value: u64) -> bool {
+        let m = if self.width >= 64 {
+            value
+        } else {
+            value & Self::mask(self.width)
+        };
+        match &mut self.repr {
+            Repr::Inline(v) => {
+                if *v == m {
+                    return false;
+                }
+                *v = m;
+            }
+            Repr::Spilled(v) => {
+                if v[0] == m && v[1..].iter().all(|&l| l == 0) {
+                    return false;
+                }
+                v[1..].fill(0);
+                v[0] = m;
+            }
+        }
+        true
+    }
+
+    /// Becomes a copy of `src` (width and value), reusing storage; only
+    /// allocates when growing a wide value past existing capacity.
+    pub fn assign_from(&mut self, src: &Bits) {
+        self.assign_resized(src, src.width);
+    }
+
+    /// Becomes `src.resize(width)` without the intermediate allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn assign_resized(&mut self, src: &Bits, width: u32) {
+        assert!(width > 0, "Bits width must be at least 1");
+        if width <= 64 {
+            self.store_small(width, src.limb0());
+            return;
+        }
+        let n = limbs_for(width);
+        self.width = width;
+        let s = src.limbs();
+        let k = n.min(s.len());
+        match &mut self.repr {
+            Repr::Inline(_) => {
+                let mut v = vec![0u64; n];
+                v[..k].copy_from_slice(&s[..k]);
+                self.repr = Repr::Spilled(v);
+            }
+            Repr::Spilled(v) => {
+                v.clear();
+                v.resize(n, 0);
+                v[..k].copy_from_slice(&s[..k]);
+            }
+        }
+        self.mask_top();
     }
 
     /// Zeroes any bits above `width` in the top limb.
-    fn mask_top(&mut self) {
+    pub(crate) fn mask_top(&mut self) {
         let rem = self.width % 64;
         if rem != 0 {
-            let last = self.limbs.len() - 1;
-            self.limbs[last] &= (1u64 << rem) - 1;
+            let limbs = self.limbs_mut();
+            let last = limbs.len() - 1;
+            limbs[last] &= (1u64 << rem) - 1;
         }
     }
 
@@ -121,7 +364,7 @@ impl Bits {
         if i >= self.width {
             return false;
         }
-        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+        (self.limbs()[(i / 64) as usize] >> (i % 64)) & 1 == 1
     }
 
     /// Sets bit `i` to `v`. Out-of-range indices are ignored, mirroring the
@@ -130,7 +373,7 @@ impl Bits {
         if i >= self.width {
             return;
         }
-        let limb = &mut self.limbs[(i / 64) as usize];
+        let limb = &mut self.limbs_mut()[(i / 64) as usize];
         if v {
             *limb |= 1 << (i % 64);
         } else {
@@ -140,27 +383,29 @@ impl Bits {
 
     /// True iff every bit is zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.iter().all(|&l| l == 0)
+        match &self.repr {
+            Repr::Inline(v) => *v == 0,
+            Repr::Spilled(v) => v.iter().all(|&l| l == 0),
+        }
     }
 
     /// True iff the value is exactly 1.
     pub fn is_one(&self) -> bool {
-        self.limbs[0] == 1 && self.limbs[1..].iter().all(|&l| l == 0)
+        let l = self.limbs();
+        l[0] == 1 && l[1..].iter().all(|&l| l == 0)
     }
 
     /// The value truncated to 64 bits.
+    #[inline]
     pub fn to_u64(&self) -> u64 {
-        self.limbs[0]
+        self.limb0()
     }
 
     /// The value truncated to 128 bits.
     pub fn to_u128(&self) -> u128 {
-        let lo = self.limbs[0] as u128;
-        let hi = if self.limbs.len() > 1 {
-            self.limbs[1] as u128
-        } else {
-            0
-        };
+        let l = self.limbs();
+        let lo = l[0] as u128;
+        let hi = if l.len() > 1 { l[1] as u128 } else { 0 };
         (hi << 64) | lo
     }
 
@@ -171,12 +416,46 @@ impl Bits {
 
     /// Returns a copy resized to `width`, zero-extending or truncating.
     pub fn resize(&self, width: u32) -> Bits {
-        assert!(width > 0, "Bits width must be at least 1");
-        let mut out = Bits::zero(width);
-        let n = out.limbs.len().min(self.limbs.len());
-        out.limbs[..n].copy_from_slice(&self.limbs[..n]);
-        out.mask_top();
+        let mut out = Bits::default();
+        out.assign_resized(self, width);
         out
+    }
+
+    /// Resizes in place, zero-extending or truncating, reusing storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn resize_in_place(&mut self, width: u32) {
+        assert!(width > 0, "Bits width must be at least 1");
+        if width == self.width {
+            return;
+        }
+        if width <= 64 {
+            let v = self.limb0() & Self::mask(width);
+            self.store_small(width, v);
+        } else if width < self.width {
+            // Shrinking a wide value: stay spilled, drop surplus limbs.
+            self.width = width;
+            let n = limbs_for(width);
+            if let Repr::Spilled(v) = &mut self.repr {
+                v.truncate(n);
+            }
+            self.mask_top();
+        } else {
+            // Growing past 64 bits: the one place widening can allocate.
+            let n = limbs_for(width);
+            self.width = width;
+            match &mut self.repr {
+                Repr::Inline(v0) => {
+                    let lo = *v0;
+                    let mut v = vec![0u64; n];
+                    v[0] = lo;
+                    self.repr = Repr::Spilled(v);
+                }
+                Repr::Spilled(v) => v.resize(n, 0),
+            }
+        }
     }
 
     /// Returns a copy resized to `width`, sign-extending from the current
@@ -184,38 +463,174 @@ impl Bits {
     pub fn resize_signed(&self, width: u32) -> Bits {
         let mut out = self.resize(width);
         if width > self.width && self.bit(self.width - 1) {
-            for i in self.width..width {
-                out.set_bit(i, true);
-            }
+            out.fill_ones(self.width, width);
         }
         out
+    }
+
+    /// Resizes in place with sign extension when growing.
+    pub fn resize_signed_in_place(&mut self, width: u32) {
+        let old = self.width;
+        let negative = width > old && self.bit(old - 1);
+        self.resize_in_place(width);
+        if negative {
+            self.fill_ones(old, width);
+        }
+    }
+
+    /// Sets bits `[from, to)` to one, word-wise. Bounds are clamped to the
+    /// current width by the limb loop.
+    fn fill_ones(&mut self, from: u32, to: u32) {
+        if from >= to {
+            return;
+        }
+        let first = (from / 64) as usize;
+        let limbs = self.limbs_mut();
+        for (i, limb) in limbs.iter_mut().enumerate().skip(first) {
+            let base = i as u32 * 64;
+            if base >= to {
+                break;
+            }
+            let lo = from.saturating_sub(base).min(64);
+            let hi = (to - base).min(64);
+            if lo >= hi {
+                continue;
+            }
+            let m = if hi - lo == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << (hi - lo)) - 1) << lo
+            };
+            *limb |= m;
+        }
+        self.mask_top();
     }
 
     /// Extracts `width` bits starting at bit `lo` (bits past the end read
     /// as zero).
     pub fn slice(&self, lo: u32, width: u32) -> Bits {
-        let mut out = Bits::zero(width.max(1));
-        for i in 0..width {
-            out.set_bit(i, self.bit(lo + i));
-        }
+        let mut out = Bits::default();
+        self.slice_into(lo, width, &mut out);
         out
+    }
+
+    /// In-place [`slice`](Bits::slice): writes `self[lo +: width]` into
+    /// `out`, reusing its storage. A zero `width` yields a 1-bit zero,
+    /// matching `slice`.
+    pub fn slice_into(&self, lo: u32, width: u32, out: &mut Bits) {
+        if width == 0 {
+            out.set_zero(1);
+            return;
+        }
+        out.reshape(width);
+        let limb_off = (lo / 64) as usize;
+        let bit_off = lo % 64;
+        let src = self.limbs();
+        let dst = out.limbs_mut();
+        for (i, d) in dst.iter_mut().enumerate() {
+            let lo_limb = src.get(limb_off + i).copied().unwrap_or(0);
+            *d = if bit_off == 0 {
+                lo_limb
+            } else {
+                let hi_limb = src.get(limb_off + i + 1).copied().unwrap_or(0);
+                (lo_limb >> bit_off) | (hi_limb << (64 - bit_off))
+            };
+        }
+        out.mask_top();
     }
 
     /// Writes `value` into bits `[lo +: value.width]` of `self`; bits past
     /// the end of `self` are dropped.
     pub fn splice(&mut self, lo: u32, value: &Bits) {
+        if lo >= self.width {
+            return;
+        }
+        if self.width <= 64 {
+            let n = value.width.min(self.width - lo);
+            let m = Self::mask(n) << lo;
+            let w = self.width;
+            let merged = (self.limb0() & !m) | ((value.limb0() << lo) & m);
+            self.store_small(w, merged);
+            return;
+        }
         for i in 0..value.width {
             self.set_bit(lo + i, value.bit(i));
         }
     }
 
+    /// True iff `splice(lo, value)` would leave `self` unchanged: the
+    /// in-range window already equals `value` (out-of-range bits of `value`
+    /// are ignored, as `splice` drops them).
+    pub fn slice_eq(&self, lo: u32, value: &Bits) -> bool {
+        if lo >= self.width {
+            return true;
+        }
+        for i in 0..value.width {
+            let pos = lo + i;
+            if pos >= self.width {
+                break;
+            }
+            if self.bit(pos) != value.bit(i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True iff `self == src.resize(self.width)`, without allocating.
+    pub fn eq_truncated(&self, src: &Bits) -> bool {
+        if self.width <= 64 {
+            return self.limb0() == src.limb0() & Self::mask(self.width);
+        }
+        let a = self.limbs();
+        let s = src.limbs();
+        let rem = self.width % 64;
+        for (i, &av) in a.iter().enumerate() {
+            let mut sv = s.get(i).copied().unwrap_or(0);
+            if i == a.len() - 1 && rem != 0 {
+                sv &= (1u64 << rem) - 1;
+            }
+            if av != sv {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Equality after zero-extending both operands to the wider width,
+    /// without allocating.
+    pub fn eq_zero_ext(&self, other: &Bits) -> bool {
+        let a = self.limbs();
+        let b = other.limbs();
+        let n = a.len().max(b.len());
+        (0..n).all(|i| a.get(i).copied().unwrap_or(0) == b.get(i).copied().unwrap_or(0))
+    }
+
     /// Concatenates `{ self, low }` — `self` occupies the high bits, as in
     /// a Verilog concatenation written `{self, low}`.
     pub fn concat(&self, low: &Bits) -> Bits {
-        let mut out = Bits::zero(self.width + low.width);
-        out.splice(0, low);
-        out.splice(low.width, self);
+        let mut out = self.clone();
+        out.push_low(low);
         out
+    }
+
+    /// In-place concatenation step: `self` becomes `{ self, low }`. Used to
+    /// fold a Verilog concatenation left-to-right without temporaries.
+    pub fn push_low(&mut self, low: &Bits) {
+        let lw = low.width;
+        self.resize_in_place(self.width + lw);
+        self.shl_in_place(lw);
+        if self.width <= 64 {
+            let w = self.width;
+            let v = self.limb0() | low.limb0();
+            self.store_small(w, v);
+        } else {
+            let src = low.limbs();
+            let dst = self.limbs_mut();
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d |= s;
+            }
+        }
     }
 
     /// Repeats the vector `n` times (Verilog replication `{n{v}}`).
@@ -224,17 +639,27 @@ impl Bits {
     ///
     /// Panics if `n == 0`.
     pub fn repeat(&self, n: u32) -> Bits {
+        let mut out = Bits::default();
+        self.repeat_into(n, &mut out);
+        out
+    }
+
+    /// In-place [`repeat`](Bits::repeat), reusing `out`'s storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn repeat_into(&self, n: u32, out: &mut Bits) {
         assert!(n > 0, "replication count must be positive");
-        let mut out = Bits::zero(self.width * n);
+        out.set_zero(self.width * n);
         for k in 0..n {
             out.splice(k * self.width, self);
         }
-        out
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> u32 {
-        self.limbs.iter().map(|l| l.count_ones()).sum()
+        self.limbs().iter().map(|l| l.count_ones()).sum()
     }
 
     /// Divides in place by a small divisor, returning the remainder.
@@ -242,7 +667,7 @@ impl Bits {
     fn divmod_small(&mut self, div: u64) -> u64 {
         debug_assert!(div != 0);
         let mut rem: u128 = 0;
-        for limb in self.limbs.iter_mut().rev() {
+        for limb in self.limbs_mut().iter_mut().rev() {
             let cur = (rem << 64) | (*limb as u128);
             *limb = (cur / div as u128) as u64;
             rem = cur % div as u128;
@@ -269,7 +694,10 @@ impl Bits {
         let digits = self.width.div_ceil(4) as usize;
         let mut s = String::with_capacity(digits);
         for d in (0..digits).rev() {
-            let nib = self.slice(d as u32 * 4, 4).to_u64();
+            // Nibbles are 4-aligned, so none straddles a 64-bit limb.
+            let bit = d as u32 * 4;
+            let limb = self.limbs().get((bit / 64) as usize).copied().unwrap_or(0);
+            let nib = limb >> (bit % 64);
             s.push(char::from(b"0123456789abcdef"[(nib & 0xF) as usize]));
         }
         s
@@ -281,6 +709,31 @@ impl Bits {
             .rev()
             .map(|i| if self.bit(i) { '1' } else { '0' })
             .collect()
+    }
+}
+
+impl PartialEq for Bits {
+    /// Value equality over `(width, limbs)`; independent of whether either
+    /// side is inline or spilled.
+    fn eq(&self, other: &Self) -> bool {
+        if self.width != other.width {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => a == b,
+            _ => self.limbs() == other.limbs(),
+        }
+    }
+}
+
+impl Eq for Bits {}
+
+impl Hash for Bits {
+    /// Hashes `(width, limbs)` so inline and spilled forms of the same
+    /// value hash identically (required by the `Eq` impl).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.width.hash(state);
+        self.limbs().hash(state);
     }
 }
 
@@ -309,9 +762,9 @@ impl fmt::Binary for Bits {
 }
 
 impl Default for Bits {
-    /// A single zero bit.
+    /// A single zero bit (inline; `Bits::default()` never allocates).
     fn default() -> Self {
-        Bits::zero(1)
+        Bits::small(1, 0)
     }
 }
 
@@ -356,6 +809,30 @@ mod tests {
     }
 
     #[test]
+    fn narrow_values_are_inline() {
+        assert!(Bits::zero(1).is_inline());
+        assert!(Bits::zero(64).is_inline());
+        assert!(!Bits::zero(65).is_inline());
+        assert!(Bits::from_u64(32, 7).is_inline());
+        assert!(Bits::default().is_inline());
+    }
+
+    #[test]
+    fn inline_and_spilled_compare_equal() {
+        let a = Bits::from_u64(32, 0xDEAD);
+        let b = a.spilled();
+        assert!(!b.is_inline());
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |v: &Bits| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
     fn bit_get_set() {
         let mut b = Bits::zero(70);
         b.set_bit(69, true);
@@ -377,6 +854,17 @@ mod tests {
     }
 
     #[test]
+    fn slice_eq_matches_splice() {
+        let mut b = Bits::from_u64(16, 0xABCD);
+        assert!(b.slice_eq(4, &Bits::from_u64(8, 0xBC)));
+        assert!(!b.slice_eq(4, &Bits::from_u64(8, 0xBD)));
+        // Out-of-range window bits are ignored, like splice drops them.
+        assert!(b.slice_eq(12, &Bits::from_u64(8, 0x0A)));
+        b.splice(12, &Bits::from_u64(8, 0x0A));
+        assert_eq!(b.to_u64(), 0xABCD);
+    }
+
+    #[test]
     fn concat_and_repeat() {
         let hi = Bits::from_u64(4, 0xA);
         let lo = Bits::from_u64(4, 0x5);
@@ -385,11 +873,56 @@ mod tests {
     }
 
     #[test]
+    fn push_low_across_limb_boundary() {
+        let mut acc = Bits::from_u64(40, 0xAB_CDEF_0123);
+        acc.push_low(&Bits::from_u64(40, 0x45_6789_ABCD));
+        assert_eq!(acc.width(), 80);
+        assert_eq!(acc.to_u128(), (0xAB_CDEF_0123u128 << 40) | 0x45_6789_ABCD);
+    }
+
+    #[test]
     fn resize_signed_extends() {
         let b = Bits::from_u64(4, 0b1000);
         assert_eq!(b.resize_signed(8).to_u64(), 0xF8);
         assert_eq!(b.resize(8).to_u64(), 0x08);
         assert_eq!(Bits::from_u64(4, 0b0100).resize_signed(8).to_u64(), 0x04);
+    }
+
+    #[test]
+    fn resize_in_place_round_trip() {
+        let mut b = Bits::from_u64(32, 0xDEAD_BEEF);
+        b.resize_in_place(128);
+        assert_eq!(b.to_u128(), 0xDEAD_BEEF);
+        b.set_bit(100, true);
+        b.resize_in_place(32);
+        assert_eq!(b.to_u64(), 0xDEAD_BEEF);
+        assert_eq!(b.width(), 32);
+        // Narrowed wide storage may stay spilled; value semantics identical.
+        assert_eq!(b, Bits::from_u64(32, 0xDEAD_BEEF));
+        b.resize_in_place(16);
+        assert_eq!(b.to_u64(), 0xBEEF);
+    }
+
+    #[test]
+    fn resize_signed_in_place_wide() {
+        let mut b = Bits::from_u64(8, 0x80);
+        b.resize_signed_in_place(200);
+        assert_eq!(b.count_ones(), 193);
+        assert!(b.bit(199));
+        let mut p = Bits::from_u64(8, 0x7F);
+        p.resize_signed_in_place(200);
+        assert_eq!(p.to_u64(), 0x7F);
+        assert_eq!(p.count_ones(), 7);
+    }
+
+    #[test]
+    fn assign_resized_matches_resize() {
+        let src = Bits::from_u128(100, 0xFFFF_FFFF_FFFF_FFFF_FFFFu128);
+        for w in [1u32, 16, 63, 64, 65, 100, 128, 192] {
+            let mut dst = Bits::default();
+            dst.assign_resized(&src, w);
+            assert_eq!(dst, src.resize(w), "width {w}");
+        }
     }
 
     #[test]
@@ -405,5 +938,8 @@ mod tests {
         assert_eq!(b.to_hex_string(), "abc");
         assert_eq!(b.to_bin_string(), "101010111100");
         assert_eq!(format!("{b:?}"), "12'habc");
+        // Nibbles straddling the 64-bit limb boundary.
+        let wide = Bits::from_u128(68, 0xF_0123_4567_89AB_CDEFu128);
+        assert_eq!(wide.to_hex_string(), "f0123456789abcdef");
     }
 }

@@ -83,6 +83,28 @@ fn from_digits(
     digits: &str,
     unsized_literal: bool,
 ) -> Result<Bits, LiteralError> {
+    // Narrow fast path: accumulate in a u128 (same modulus as the Bits
+    // accumulator below — `width + 64` headroom bits) without allocating.
+    if width <= 64 {
+        let head = width + 64;
+        let modulus_mask = if head == 128 {
+            u128::MAX
+        } else {
+            (1u128 << head) - 1
+        };
+        let mut acc: u128 = 0;
+        for ch in digits.chars() {
+            let d = ch
+                .to_digit(36)
+                .filter(|&d| (d as u64) < base)
+                .ok_or_else(|| err(orig, "digit invalid for base"))?;
+            acc = (acc.wrapping_mul(base as u128).wrapping_add(d as u128)) & modulus_mask;
+        }
+        if !unsized_literal && acc >> width != 0 {
+            return Err(err(orig, "value does not fit in the given width"));
+        }
+        return Ok(Bits::from_u128(width, acc));
+    }
     let mut acc = Bits::zero(width.max(1) + 64); // headroom to detect overflow
     let base_b = Bits::from_u64(acc.width(), base);
     for ch in digits.chars() {

@@ -4,8 +4,17 @@
 //! width-extending operands per Verilog's context rules); mixing widths is a
 //! programming error and panics in debug and release alike, because silently
 //! truncating here would mask exactly the class of bugs this toolkit hunts.
+//!
+//! Every binary operation exists in two forms: a by-value form (`add`,
+//! `mul`, the `std::ops` impls) that returns a fresh `Bits`, and an
+//! in-place `*_into` form that writes the result into caller-owned storage.
+//! The by-value forms are thin wrappers over the `*_into` forms, so there
+//! is exactly one implementation of each operation's semantics. For widths
+//! `<= 64` — the inline representation — every `*_into` operation is a few
+//! register ops and never touches the heap; that is the invariant the
+//! simulator's zero-allocation hot path rests on (see DESIGN.md §7).
 
-use crate::{Bits, limbs_for};
+use crate::Bits;
 use std::cmp::Ordering;
 use std::ops::{BitAnd, BitOr, BitXor, Not};
 
@@ -13,9 +22,11 @@ impl Bits {
     #[track_caller]
     fn check_same_width(&self, rhs: &Bits, op: &str) {
         assert_eq!(
-            self.width, rhs.width,
+            self.width(),
+            rhs.width(),
             "width mismatch in Bits::{op}: {} vs {}",
-            self.width, rhs.width
+            self.width(),
+            rhs.width()
         );
     }
 
@@ -23,106 +34,223 @@ impl Bits {
     #[track_caller]
     #[allow(clippy::should_implement_trait)] // width-checked domain API, not std::ops
     pub fn add(&self, rhs: &Bits) -> Bits {
+        let mut out = Bits::default();
+        self.add_into(rhs, &mut out);
+        out
+    }
+
+    /// In-place [`add`](Bits::add): `out = self + rhs`, reusing `out`'s
+    /// storage.
+    #[track_caller]
+    pub fn add_into(&self, rhs: &Bits, out: &mut Bits) {
         self.check_same_width(rhs, "add");
-        let mut out = Bits::zero(self.width);
+        let w = self.width();
+        if w <= 64 {
+            out.store_small(w, self.limb0().wrapping_add(rhs.limb0()));
+            return;
+        }
+        out.set_zero(w);
+        let (a, b) = (self.limbs(), rhs.limbs());
+        let o = out.limbs_mut();
         let mut carry = 0u64;
-        for i in 0..self.limbs.len() {
-            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+        for i in 0..o.len() {
+            let (s1, c1) = a[i].overflowing_add(b[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out.limbs[i] = s2;
+            o[i] = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         out.mask_top();
-        out
     }
 
     /// Wrapping subtraction modulo `2^width`.
     #[track_caller]
     pub fn sub(&self, rhs: &Bits) -> Bits {
+        let mut out = Bits::default();
+        self.sub_into(rhs, &mut out);
+        out
+    }
+
+    /// In-place [`sub`](Bits::sub): `out = self - rhs` (borrow chain, no
+    /// negation temporary).
+    #[track_caller]
+    pub fn sub_into(&self, rhs: &Bits, out: &mut Bits) {
         self.check_same_width(rhs, "sub");
-        self.add(&rhs.neg())
+        let w = self.width();
+        if w <= 64 {
+            out.store_small(w, self.limb0().wrapping_sub(rhs.limb0()));
+            return;
+        }
+        out.set_zero(w);
+        let (a, b) = (self.limbs(), rhs.limbs());
+        let o = out.limbs_mut();
+        let mut borrow = 0u64;
+        for i in 0..o.len() {
+            let (d1, b1) = a[i].overflowing_sub(b[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            o[i] = d2;
+            borrow = (b1 | b2) as u64;
+        }
+        out.mask_top();
     }
 
     /// Two's-complement negation modulo `2^width`.
     pub fn neg(&self) -> Bits {
-        let mut out = !self;
-        let one = Bits::from_u64(self.width, 1);
-        out = out.add(&one);
+        let mut out = self.clone();
+        out.neg_in_place();
         out
+    }
+
+    /// Negates in place: `self = -self` modulo `2^width`.
+    pub fn neg_in_place(&mut self) {
+        let w = self.width();
+        if w <= 64 {
+            let v = self.limb0().wrapping_neg();
+            self.store_small(w, v);
+            return;
+        }
+        let mut carry = 1u64;
+        for l in self.limbs_mut() {
+            let (s, c) = (!*l).overflowing_add(carry);
+            *l = s;
+            carry = c as u64;
+        }
+        self.mask_top();
+    }
+
+    /// Inverts every bit in place: `self = !self`.
+    pub fn not_in_place(&mut self) {
+        let w = self.width();
+        if w <= 64 {
+            let v = !self.limb0();
+            self.store_small(w, v);
+            return;
+        }
+        for l in self.limbs_mut() {
+            *l = !*l;
+        }
+        self.mask_top();
+    }
+
+    /// In-place bitwise NOT into `out`.
+    pub fn not_into(&self, out: &mut Bits) {
+        let w = self.width();
+        if w <= 64 {
+            out.store_small(w, !self.limb0());
+            return;
+        }
+        out.set_zero(w);
+        let a = self.limbs();
+        let o = out.limbs_mut();
+        for i in 0..o.len() {
+            o[i] = !a[i];
+        }
+        out.mask_top();
     }
 
     /// Wrapping multiplication modulo `2^width` (schoolbook over limbs).
     #[track_caller]
     pub fn mul(&self, rhs: &Bits) -> Bits {
+        let mut out = Bits::default();
+        self.mul_into(rhs, &mut out);
+        out
+    }
+
+    /// In-place [`mul`](Bits::mul): schoolbook product accumulated directly
+    /// into `out`'s limbs — no side accumulator.
+    #[track_caller]
+    pub fn mul_into(&self, rhs: &Bits, out: &mut Bits) {
         self.check_same_width(rhs, "mul");
-        let n = self.limbs.len();
-        let mut acc = vec![0u128; n + 1];
+        let w = self.width();
+        if w <= 64 {
+            out.store_small(w, self.limb0().wrapping_mul(rhs.limb0()));
+            return;
+        }
+        out.set_zero(w);
+        let (a, b) = (self.limbs(), rhs.limbs());
+        let o = out.limbs_mut();
+        let n = o.len();
         for i in 0..n {
-            if self.limbs[i] == 0 {
+            let ai = a[i];
+            if ai == 0 {
                 continue;
             }
-            for j in 0..n {
-                if i + j >= n {
-                    break; // contributions beyond the width are discarded
-                }
-                let p = (self.limbs[i] as u128) * (rhs.limbs[j] as u128);
-                let lo = p as u64 as u128;
-                let hi = p >> 64;
-                acc[i + j] += lo;
-                acc[i + j + 1] += hi;
+            let mut carry = 0u64;
+            for j in 0..(n - i) {
+                // ai*bj + limb + carry < 2^128: never overflows u128.
+                let p = (ai as u128) * (b[j] as u128) + (o[i + j] as u128) + (carry as u128);
+                o[i + j] = p as u64;
+                carry = (p >> 64) as u64;
             }
         }
-        let mut out = Bits::zero(self.width);
-        let mut carry: u128 = 0;
-        for (limb, a) in out.limbs.iter_mut().zip(&acc) {
-            let v = a + carry;
-            *limb = v as u64;
-            carry = v >> 64;
-        }
         out.mask_top();
-        out
     }
 
     /// Unsigned division. Division by zero yields all-zeros (the two-state
     /// convention used by Verilator for `/ 0`).
     #[track_caller]
     pub fn div(&self, rhs: &Bits) -> Bits {
+        let mut out = Bits::default();
+        self.div_into(rhs, &mut out);
+        out
+    }
+
+    /// In-place [`div`](Bits::div). Allocation-free through 128 bits; the
+    /// restoring divider for wider values allocates temporaries.
+    #[track_caller]
+    pub fn div_into(&self, rhs: &Bits, out: &mut Bits) {
         self.check_same_width(rhs, "div");
+        let w = self.width();
         if rhs.is_zero() {
-            return Bits::zero(self.width);
+            out.set_zero(w);
+            return;
         }
-        self.divmod(rhs).0
+        if w <= 64 {
+            out.store_small(w, self.limb0() / rhs.limb0());
+        } else if w <= 128 {
+            out.assign_from(&Bits::from_u128(w, self.to_u128() / rhs.to_u128()));
+        } else {
+            out.assign_from(&self.divmod_wide(rhs).0);
+        }
     }
 
     /// Unsigned remainder. Remainder by zero yields all-zeros.
     #[track_caller]
     pub fn rem(&self, rhs: &Bits) -> Bits {
-        self.check_same_width(rhs, "rem");
-        if rhs.is_zero() {
-            return Bits::zero(self.width);
-        }
-        self.divmod(rhs).1
+        let mut out = Bits::default();
+        self.rem_into(rhs, &mut out);
+        out
     }
 
-    /// Long division: `(quotient, remainder)`. Caller ensures `rhs != 0`.
-    fn divmod(&self, rhs: &Bits) -> (Bits, Bits) {
-        // Fast path: both fit in u128.
-        if self.width <= 128 {
-            let a = self.to_u128();
-            let b = rhs.to_u128();
-            return (
-                Bits::from_u128(self.width, a / b),
-                Bits::from_u128(self.width, a % b),
-            );
+    /// In-place [`rem`](Bits::rem). Allocation-free through 128 bits; the
+    /// restoring divider for wider values allocates temporaries.
+    #[track_caller]
+    pub fn rem_into(&self, rhs: &Bits, out: &mut Bits) {
+        self.check_same_width(rhs, "rem");
+        let w = self.width();
+        if rhs.is_zero() {
+            out.set_zero(w);
+            return;
         }
-        // Bitwise restoring division for wide values.
-        let mut quo = Bits::zero(self.width);
-        let mut rem = Bits::zero(self.width);
-        for i in (0..self.width).rev() {
-            rem = rem.shl(1);
+        if w <= 64 {
+            out.store_small(w, self.limb0() % rhs.limb0());
+        } else if w <= 128 {
+            out.assign_from(&Bits::from_u128(w, self.to_u128() % rhs.to_u128()));
+        } else {
+            out.assign_from(&self.divmod_wide(rhs).1);
+        }
+    }
+
+    /// Bitwise restoring division for > 128-bit operands: `(quo, rem)`.
+    /// Caller ensures `rhs != 0`.
+    fn divmod_wide(&self, rhs: &Bits) -> (Bits, Bits) {
+        let mut quo = Bits::zero(self.width());
+        let mut rem = Bits::zero(self.width());
+        for i in (0..self.width()).rev() {
+            rem.shl_in_place(1);
             rem.set_bit(0, self.bit(i));
             if rem.cmp_unsigned(rhs) != Ordering::Less {
-                rem = rem.sub(rhs);
+                let next = rem.sub(rhs);
+                rem = next;
                 quo.set_bit(i, true);
             }
         }
@@ -131,65 +259,127 @@ impl Bits {
 
     /// Logical shift left by `n` (bits shifted past the top are lost).
     pub fn shl(&self, n: u32) -> Bits {
-        let mut out = Bits::zero(self.width);
-        if n >= self.width {
-            return out;
+        let mut out = Bits::default();
+        self.shl_into(n, &mut out);
+        out
+    }
+
+    /// In-place [`shl`](Bits::shl): `out = self << n`.
+    pub fn shl_into(&self, n: u32, out: &mut Bits) {
+        let w = self.width();
+        if w <= 64 {
+            let v = if n >= w { 0 } else { self.limb0() << n };
+            out.store_small(w, v);
+            return;
+        }
+        out.set_zero(w);
+        if n >= w {
+            return;
         }
         let limb_shift = (n / 64) as usize;
         let bit_shift = n % 64;
-        for i in (0..out.limbs.len()).rev() {
-            if i < limb_shift {
-                continue;
-            }
-            let mut v = self.limbs[i - limb_shift] << bit_shift;
+        let a = self.limbs();
+        let o = out.limbs_mut();
+        for i in (limb_shift..o.len()).rev() {
+            let mut v = a[i - limb_shift] << bit_shift;
             if bit_shift > 0 && i > limb_shift {
-                v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+                v |= a[i - limb_shift - 1] >> (64 - bit_shift);
             }
-            out.limbs[i] = v;
+            o[i] = v;
         }
         out.mask_top();
-        out
+    }
+
+    /// Shifts left in place: `self <<= n`.
+    pub fn shl_in_place(&mut self, n: u32) {
+        let w = self.width();
+        if w <= 64 {
+            let v = if n >= w { 0 } else { self.limb0() << n };
+            self.store_small(w, v);
+            return;
+        }
+        if n >= w {
+            for l in self.limbs_mut() {
+                *l = 0;
+            }
+            return;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let limbs = self.limbs_mut();
+        // Descending order only reads indices not yet overwritten.
+        for i in (0..limbs.len()).rev() {
+            if i < limb_shift {
+                limbs[i] = 0;
+                continue;
+            }
+            let mut v = limbs[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= limbs[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            limbs[i] = v;
+        }
+        self.mask_top();
     }
 
     /// Logical shift right by `n` (zero fill).
     pub fn shr(&self, n: u32) -> Bits {
-        let mut out = Bits::zero(self.width);
-        if n >= self.width {
-            return out;
+        let mut out = Bits::default();
+        self.shr_into(n, &mut out);
+        out
+    }
+
+    /// In-place [`shr`](Bits::shr): `out = self >> n` (zero fill).
+    pub fn shr_into(&self, n: u32, out: &mut Bits) {
+        let w = self.width();
+        if w <= 64 {
+            let v = if n >= w { 0 } else { self.limb0() >> n };
+            out.store_small(w, v);
+            return;
+        }
+        out.set_zero(w);
+        if n >= w {
+            return;
         }
         let limb_shift = (n / 64) as usize;
         let bit_shift = n % 64;
-        for i in 0..out.limbs.len() {
-            if i + limb_shift >= self.limbs.len() {
+        let a = self.limbs();
+        let o = out.limbs_mut();
+        for i in 0..o.len() {
+            if i + limb_shift >= a.len() {
                 break;
             }
-            let mut v = self.limbs[i + limb_shift] >> bit_shift;
-            if bit_shift > 0 && i + limb_shift + 1 < self.limbs.len() {
-                v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+            let mut v = a[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < a.len() {
+                v |= a[i + limb_shift + 1] << (64 - bit_shift);
             }
-            out.limbs[i] = v;
+            o[i] = v;
         }
-        out
     }
 
     /// Arithmetic shift right by `n` (sign fill from the current top bit).
     pub fn shr_arith(&self, n: u32) -> Bits {
-        let mut out = self.shr(n);
-        if self.bit(self.width - 1) {
-            let n = n.min(self.width);
-            for i in (self.width - n)..self.width {
-                out.set_bit(i, true);
-            }
-        }
+        let mut out = Bits::default();
+        self.shr_arith_into(n, &mut out);
         out
+    }
+
+    /// In-place [`shr_arith`](Bits::shr_arith): `out = self >>> n`.
+    pub fn shr_arith_into(&self, n: u32, out: &mut Bits) {
+        self.shr_into(n, out);
+        if self.bit(self.width() - 1) {
+            let n = n.min(self.width());
+            out.fill_ones(self.width() - n, self.width());
+        }
     }
 
     /// Unsigned comparison.
     #[track_caller]
     pub fn cmp_unsigned(&self, rhs: &Bits) -> Ordering {
         self.check_same_width(rhs, "cmp_unsigned");
-        for i in (0..self.limbs.len()).rev() {
-            match self.limbs[i].cmp(&rhs.limbs[i]) {
+        let (a, b) = (self.limbs(), rhs.limbs());
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
                 Ordering::Equal => continue,
                 ord => return ord,
             }
@@ -201,8 +391,8 @@ impl Bits {
     #[track_caller]
     pub fn cmp_signed(&self, rhs: &Bits) -> Ordering {
         self.check_same_width(rhs, "cmp_signed");
-        let sa = self.bit(self.width - 1);
-        let sb = rhs.bit(self.width - 1);
+        let sa = self.bit(self.width() - 1);
+        let sb = rhs.bit(rhs.width() - 1);
         match (sa, sb) {
             (true, false) => Ordering::Less,
             (false, true) => Ordering::Greater,
@@ -212,7 +402,7 @@ impl Bits {
 
     /// Reduction AND: 1 iff all bits set.
     pub fn reduce_and(&self) -> bool {
-        self.count_ones() == self.width
+        self.count_ones() == self.width()
     }
 
     /// Reduction OR: 1 iff any bit set.
@@ -226,18 +416,51 @@ impl Bits {
     }
 }
 
+macro_rules! bitwise_into_impl {
+    ($(#[$meta:meta])* $into:ident, $name:literal, $op:tt) => {
+        impl Bits {
+            $(#[$meta])*
+            #[track_caller]
+            pub fn $into(&self, rhs: &Bits, out: &mut Bits) {
+                self.check_same_width(rhs, $name);
+                let w = self.width();
+                if w <= 64 {
+                    out.store_small(w, self.limb0() $op rhs.limb0());
+                    return;
+                }
+                out.set_zero(w);
+                let (a, b) = (self.limbs(), rhs.limbs());
+                let o = out.limbs_mut();
+                for i in 0..o.len() {
+                    o[i] = a[i] $op b[i];
+                }
+                out.mask_top();
+            }
+        }
+    };
+}
+
+bitwise_into_impl!(
+    /// In-place bitwise AND: `out = self & rhs`.
+    and_into, "and", &
+);
+bitwise_into_impl!(
+    /// In-place bitwise OR: `out = self | rhs`.
+    or_into, "or", |
+);
+bitwise_into_impl!(
+    /// In-place bitwise XOR: `out = self ^ rhs`.
+    xor_into, "xor", ^
+);
+
 macro_rules! bitwise_impl {
-    ($trait:ident, $method:ident, $op:tt) => {
+    ($trait:ident, $method:ident, $into:ident) => {
         impl $trait for &Bits {
             type Output = Bits;
             #[track_caller]
             fn $method(self, rhs: &Bits) -> Bits {
-                self.check_same_width(rhs, stringify!($method));
-                let mut out = Bits::zero(self.width);
-                for i in 0..self.limbs.len() {
-                    out.limbs[i] = self.limbs[i] $op rhs.limbs[i];
-                }
-                out.mask_top();
+                let mut out = Bits::default();
+                self.$into(rhs, &mut out);
                 out
             }
         }
@@ -251,34 +474,25 @@ macro_rules! bitwise_impl {
     };
 }
 
-bitwise_impl!(BitAnd, bitand, &);
-bitwise_impl!(BitOr, bitor, |);
-bitwise_impl!(BitXor, bitxor, ^);
+bitwise_impl!(BitAnd, bitand, and_into);
+bitwise_impl!(BitOr, bitor, or_into);
+bitwise_impl!(BitXor, bitxor, xor_into);
 
 impl Not for &Bits {
     type Output = Bits;
     fn not(self) -> Bits {
-        let mut out = Bits {
-            width: self.width,
-            limbs: self.limbs.iter().map(|&l| !l).collect(),
-        };
-        out.mask_top();
+        let mut out = Bits::default();
+        self.not_into(&mut out);
         out
     }
 }
 
 impl Not for Bits {
     type Output = Bits;
-    fn not(self) -> Bits {
-        !&self
+    fn not(mut self) -> Bits {
+        self.not_in_place();
+        self
     }
-}
-
-// `limbs_for` is used by the parent module; re-reference to silence the
-// unused-import lint when building without debug assertions.
-#[allow(dead_code)]
-fn _touch() {
-    let _ = limbs_for(1);
 }
 
 #[cfg(test)]
@@ -307,6 +521,13 @@ mod tests {
         assert_eq!(b(8, 5).sub(&b(8, 7)).to_u64(), 0xFE);
         assert_eq!(b(8, 1).neg().to_u64(), 0xFF);
         assert_eq!(b(8, 0).neg().to_u64(), 0);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = b(128, 1u128 << 64);
+        assert_eq!(a.sub(&b(128, 1)).to_u128(), u64::MAX as u128);
+        assert_eq!(b(128, 0).sub(&b(128, 1)).count_ones(), 128);
     }
 
     #[test]
@@ -347,6 +568,18 @@ mod tests {
     }
 
     #[test]
+    fn shl_in_place_matches_shl() {
+        for w in [8u32, 64, 65, 128, 200] {
+            for n in [0u32, 1, 7, 63, 64, 65, 127, 199, 300] {
+                let v = Bits::ones(w);
+                let mut ip = v.clone();
+                ip.shl_in_place(n);
+                assert_eq!(ip, v.shl(n), "w={w} n={n}");
+            }
+        }
+    }
+
+    #[test]
     fn comparisons() {
         assert_eq!(b(8, 5).cmp_unsigned(&b(8, 7)), Ordering::Less);
         assert_eq!(b(8, 0xFE).cmp_signed(&b(8, 1)), Ordering::Less); // -2 < 1
@@ -370,6 +603,21 @@ mod tests {
         assert_eq!((&b(8, 0xF0) | &b(8, 0x3C)).to_u64(), 0xFC);
         assert_eq!((&b(8, 0xF0) ^ &b(8, 0x3C)).to_u64(), 0xCC);
         assert_eq!((!&b(8, 0xF0)).to_u64(), 0x0F);
+    }
+
+    #[test]
+    fn into_ops_never_allocate_when_narrow() {
+        // Semantics-level check that the in-place forms agree with the
+        // by-value forms and keep the inline representation.
+        let a = b(64, u64::MAX as u128);
+        let c = b(64, 12345);
+        let mut out = Bits::default();
+        a.add_into(&c, &mut out);
+        assert!(out.is_inline());
+        assert_eq!(out, a.add(&c));
+        a.mul_into(&c, &mut out);
+        assert!(out.is_inline());
+        assert_eq!(out, a.mul(&c));
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Differential tests between the inline and spilled `Bits` representations.
+//!
+//! The value plane stores widths ≤ 64 inline (one `u64`, no heap) and
+//! wider values in a limb vector, but the two representations must be
+//! observationally identical: `spilled()` forces any value onto the
+//! heap-backed layout, and these seeded loops run every operation over
+//! all four operand-representation combinations and demand bit-for-bit
+//! equal results. Widths sweep 1..=192, crossing the 63/64/65 inline
+//! boundary and both limb-count boundaries (128/129), which is where a
+//! masking or limb-indexing bug in one representation would diverge.
+//!
+//! House style: seeded SplitMix64 loops, no property-testing framework —
+//! failures reproduce exactly from the printed seed context.
+
+use hwdbg_bits::{Bits, SplitMix64};
+
+/// A random value of exactly `width` bits, built 64-bit chunks at a time.
+fn rand_bits(rng: &mut SplitMix64, width: u32) -> Bits {
+    let mut v = Bits::zero(width);
+    let mut lo = 0;
+    while lo < width {
+        let chunk = (width - lo).min(64);
+        v.splice(lo, &Bits::from_u64(chunk, rng.next_u64()));
+        lo += chunk;
+    }
+    v
+}
+
+/// Asserts `f` computes the same result for every combination of inline
+/// and spilled operand representations.
+fn check_binary(name: &str, a: &Bits, b: &Bits, f: impl Fn(&Bits, &Bits) -> Bits) {
+    let expect = f(a, b);
+    for (x, y, tag) in [
+        (a.spilled(), b.clone(), "spilled/inline"),
+        (a.clone(), b.spilled(), "inline/spilled"),
+        (a.spilled(), b.spilled(), "spilled/spilled"),
+    ] {
+        let got = f(&x, &y);
+        assert_eq!(
+            got, expect,
+            "{name} diverged ({tag}) at width {}: a={} b={}",
+            a.width(),
+            a.to_hex_string(),
+            b.to_hex_string()
+        );
+    }
+}
+
+/// Asserts a unary `f` is representation-independent.
+fn check_unary(name: &str, a: &Bits, f: impl Fn(&Bits) -> Bits) {
+    let expect = f(a);
+    let got = f(&a.spilled());
+    assert_eq!(
+        got,
+        expect,
+        "{name} diverged at width {}: a={}",
+        a.width(),
+        a.to_hex_string()
+    );
+}
+
+/// Every width from 1 to 192 once, the inline/spill boundary widths with
+/// extra trials.
+fn width_schedule() -> Vec<(u32, usize)> {
+    let mut widths: Vec<(u32, usize)> = (1..=192).map(|w| (w, 2)).collect();
+    for boundary in [1, 31, 32, 33, 63, 64, 65, 127, 128, 129, 191, 192] {
+        widths.push((boundary, 16));
+    }
+    widths
+}
+
+#[test]
+fn arithmetic_ops_agree_across_representations() {
+    let mut rng = SplitMix64::new(0xD1FF_0001);
+    for (w, trials) in width_schedule() {
+        for _ in 0..trials {
+            let a = rand_bits(&mut rng, w);
+            let b = rand_bits(&mut rng, w);
+            check_binary("add", &a, &b, |x, y| x.add(y));
+            check_binary("sub", &a, &b, |x, y| x.sub(y));
+            check_binary("mul", &a, &b, |x, y| x.mul(y));
+            check_binary("div", &a, &b, |x, y| x.div(y));
+            check_binary("rem", &a, &b, |x, y| x.rem(y));
+            check_binary("div0", &a, &Bits::zero(w), |x, y| x.div(y));
+            check_binary("rem0", &a, &Bits::zero(w), |x, y| x.rem(y));
+            check_unary("neg", &a, |x| x.neg());
+        }
+    }
+}
+
+#[test]
+fn bitwise_and_shift_ops_agree_across_representations() {
+    let mut rng = SplitMix64::new(0xD1FF_0002);
+    for (w, trials) in width_schedule() {
+        for _ in 0..trials {
+            let a = rand_bits(&mut rng, w);
+            let b = rand_bits(&mut rng, w);
+            check_binary("and", &a, &b, |x, y| x & y);
+            check_binary("or", &a, &b, |x, y| x | y);
+            check_binary("xor", &a, &b, |x, y| x ^ y);
+            check_unary("not", &a, |x| {
+                let mut out = Bits::default();
+                x.not_into(&mut out);
+                out
+            });
+            // Shift amounts across the interesting range: inside the
+            // width, at it, and past it (must clear to zero / sign).
+            for n in [0, 1, w / 2, w.saturating_sub(1), w, w + 3, 64, 65] {
+                check_unary("shl", &a, |x| x.shl(n));
+                check_unary("shr", &a, |x| x.shr(n));
+                check_unary("shr_arith", &a, |x| x.shr_arith(n));
+            }
+        }
+    }
+}
+
+#[test]
+fn comparisons_and_reductions_agree_across_representations() {
+    let mut rng = SplitMix64::new(0xD1FF_0003);
+    for (w, trials) in width_schedule() {
+        for _ in 0..trials {
+            let a = rand_bits(&mut rng, w);
+            // Near-miss values exercise the top-limb compare path.
+            let b = if rng.next_bool() {
+                let mut c = a.clone();
+                c.set_bit(rng.below(w as u64) as u32, rng.next_bool());
+                c
+            } else {
+                rand_bits(&mut rng, w)
+            };
+            let (asp, bsp) = (a.spilled(), b.spilled());
+            assert_eq!(a.cmp_unsigned(&b), asp.cmp_unsigned(&bsp), "cmp_unsigned w={w}");
+            assert_eq!(a.cmp_signed(&b), asp.cmp_signed(&bsp), "cmp_signed w={w}");
+            assert_eq!(a.reduce_and(), asp.reduce_and(), "reduce_and w={w}");
+            assert_eq!(a.reduce_or(), asp.reduce_or(), "reduce_or w={w}");
+            assert_eq!(a.reduce_xor(), asp.reduce_xor(), "reduce_xor w={w}");
+            assert_eq!(a.count_ones(), asp.count_ones(), "count_ones w={w}");
+            assert_eq!(a.is_zero(), asp.is_zero(), "is_zero w={w}");
+            assert_eq!(a.to_u64(), asp.to_u64(), "to_u64 w={w}");
+            assert_eq!(a.to_u128(), asp.to_u128(), "to_u128 w={w}");
+            // Value equality and hashing must be representation-blind.
+            assert_eq!(a, asp, "PartialEq inline vs spilled w={w}");
+            assert_eq!(hash_of(&a), hash_of(&asp), "Hash inline vs spilled w={w}");
+            assert_eq!(a == b, asp == bsp, "PartialEq consistency w={w}");
+        }
+    }
+}
+
+#[test]
+fn structural_ops_agree_across_representations() {
+    let mut rng = SplitMix64::new(0xD1FF_0004);
+    for (w, trials) in width_schedule() {
+        for _ in 0..trials {
+            let a = rand_bits(&mut rng, w);
+            for target in [1, w / 2 + 1, w, w + 1, w + 63, w + 64, w + 65] {
+                check_unary("resize", &a, |x| x.resize(target));
+                check_unary("resize_signed", &a, |x| x.resize_signed(target));
+                check_unary("resize_in_place", &a, |x| {
+                    let mut c = x.clone();
+                    c.resize_in_place(target);
+                    c
+                });
+                check_unary("resize_signed_in_place", &a, |x| {
+                    let mut c = x.clone();
+                    c.resize_signed_in_place(target);
+                    c
+                });
+            }
+            let lo = rng.below(w as u64) as u32;
+            let slice_w = 1 + rng.below((w - lo) as u64) as u32;
+            check_unary("slice", &a, |x| x.slice(lo, slice_w));
+            let patch = rand_bits(&mut rng, slice_w);
+            check_binary("splice", &a, &patch, |x, y| {
+                let mut c = x.clone();
+                c.splice(lo, y);
+                c
+            });
+            assert_eq!(
+                a.slice_eq(lo, &patch),
+                a.spilled().slice_eq(lo, &patch.spilled()),
+                "slice_eq w={w} lo={lo}"
+            );
+            let bw = 1 + rng.below(192) as u32;
+            let b = rand_bits(&mut rng, bw);
+            check_binary("concat", &a, &b, |x, y| x.concat(y));
+            check_binary("push_low", &a, &b, |x, y| {
+                let mut c = x.clone();
+                c.push_low(y);
+                c
+            });
+            let reps = 1 + rng.below(4) as u32;
+            check_unary("repeat", &a, |x| x.repeat(reps));
+            assert_eq!(
+                a.eq_truncated(&b),
+                a.spilled().eq_truncated(&b.spilled()),
+                "eq_truncated w={w}"
+            );
+            assert_eq!(
+                a.eq_zero_ext(&b),
+                a.spilled().eq_zero_ext(&b.spilled()),
+                "eq_zero_ext w={w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn in_place_ops_match_by_value_ops() {
+    let mut rng = SplitMix64::new(0xD1FF_0005);
+    for (w, trials) in width_schedule() {
+        for _ in 0..trials {
+            let a = rand_bits(&mut rng, w);
+            let b = rand_bits(&mut rng, w);
+            // Reuse one out buffer across ops and widths — exactly how the
+            // compiled eval scratch pool drives these — so stale width or
+            // stale limbs from the previous op would be caught here.
+            let ow = 1 + rng.below(192) as u32;
+            let mut out = rand_bits(&mut rng, ow).spilled();
+            type BinOp = fn(&Bits, &Bits) -> Bits;
+            type BinInto = fn(&Bits, &Bits, &mut Bits);
+            let cases: &[(&str, BinOp, BinInto)] = &[
+                ("add", |x, y| x.add(y), |x, y, o| x.add_into(y, o)),
+                ("sub", |x, y| x.sub(y), |x, y, o| x.sub_into(y, o)),
+                ("mul", |x, y| x.mul(y), |x, y, o| x.mul_into(y, o)),
+                ("div", |x, y| x.div(y), |x, y, o| x.div_into(y, o)),
+                ("rem", |x, y| x.rem(y), |x, y, o| x.rem_into(y, o)),
+                ("and", |x, y| x & y, |x, y, o| x.and_into(y, o)),
+                ("or", |x, y| x | y, |x, y, o| x.or_into(y, o)),
+                ("xor", |x, y| x ^ y, |x, y, o| x.xor_into(y, o)),
+            ];
+            for (name, by_value, into) in cases {
+                let expect = by_value(&a, &b);
+                into(&a, &b, &mut out);
+                assert_eq!(out, expect, "{name}_into vs {name} at width {w}");
+            }
+            for n in [0, 1, w - 1, w, w + 7] {
+                let mut c = a.clone();
+                c.shl_in_place(n);
+                assert_eq!(c, a.shl(n), "shl_in_place w={w} n={n}");
+                a.shl_into(n, &mut out);
+                assert_eq!(out, a.shl(n), "shl_into w={w} n={n}");
+                a.shr_into(n, &mut out);
+                assert_eq!(out, a.shr(n), "shr_into w={w} n={n}");
+                a.shr_arith_into(n, &mut out);
+                assert_eq!(out, a.shr_arith(n), "shr_arith_into w={w} n={n}");
+            }
+            let mut c = a.clone();
+            c.neg_in_place();
+            assert_eq!(c, a.neg(), "neg_in_place w={w}");
+            let mut c = a.spilled();
+            c.not_in_place();
+            let mut expect = Bits::default();
+            a.not_into(&mut expect);
+            assert_eq!(c, expect, "not_in_place w={w}");
+            // assign_from / assign_resized into a reused buffer.
+            out.assign_from(&a);
+            assert_eq!(out, a, "assign_from w={w}");
+            let target = 1 + rng.below(192) as u32;
+            out.assign_resized(&a, target);
+            assert_eq!(out, a.resize(target), "assign_resized w={w} -> {target}");
+            // update_u64 == set to from_u64 at the same width, with a
+            // correct changed-flag.
+            let raw = rng.next_u64();
+            let mut c = a.clone();
+            let changed = c.update_u64(raw);
+            assert_eq!(c, Bits::from_u64(64.min(w), raw).resize(w), "update_u64 w={w}");
+            assert_eq!(changed, c != a, "update_u64 changed flag w={w}");
+        }
+    }
+}
+
+#[test]
+fn parse_literal_round_trips_both_representations() {
+    let mut rng = SplitMix64::new(0xD1FF_0006);
+    for (w, trials) in width_schedule() {
+        for _ in 0..trials {
+            let a = rand_bits(&mut rng, w);
+            for (base, digits) in [
+                ('h', a.to_hex_string()),
+                ('b', a.to_bin_string()),
+                ('d', a.to_dec_string()),
+            ] {
+                let text = format!("{w}'{base}{digits}");
+                let parsed = Bits::parse_literal(&text)
+                    .unwrap_or_else(|e| panic!("reparse of {text} failed: {e}"));
+                assert_eq!(parsed, a, "round trip via {text}");
+                // Formatting must be representation-independent too.
+                let sp = a.spilled();
+                let sp_digits = match base {
+                    'h' => sp.to_hex_string(),
+                    'b' => sp.to_bin_string(),
+                    _ => sp.to_dec_string(),
+                };
+                assert_eq!(sp_digits, digits, "to-string diverged at width {w}");
+            }
+        }
+    }
+}
+
+fn hash_of(b: &Bits) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    b.hash(&mut h);
+    h.finish()
+}

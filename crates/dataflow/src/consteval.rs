@@ -88,36 +88,59 @@ pub fn eval_const(expr: &Expr, env: &ConstEnv) -> Result<Bits, DataflowError> {
 /// operands are zero-extended to the wider of the two, comparisons and
 /// logical operators produce one bit, shifts keep the left operand's width.
 pub fn apply_binary(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
+    let mut x = a.clone();
+    let mut y = b.clone();
+    let mut out = Bits::default();
+    apply_binary_into(op, &mut x, &mut y, &mut out);
+    out
+}
+
+/// In-place [`apply_binary`]: writes the result into `out`, reusing its
+/// storage. The operands are *scratch*: they may be width-extended in
+/// place (which is why they are `&mut`), so callers must not rely on their
+/// widths afterwards. This is the simulator's hot-path entry point — for
+/// `<= 64`-bit operands nothing here allocates.
+pub fn apply_binary_into(op: BinaryOp, a: &mut Bits, b: &mut Bits, out: &mut Bits) {
     use BinaryOp::*;
-    let w = a.width().max(b.width());
-    let wide = |x: &Bits| x.resize(w);
+    // Shifts keep the left operand's width and read `b` as a plain
+    // amount; logical ops only need truthiness. Neither widens.
     match op {
-        Add => wide(a).add(&wide(b)),
-        Sub => wide(a).sub(&wide(b)),
-        Mul => wide(a).mul(&wide(b)),
-        Div => wide(a).div(&wide(b)),
-        Mod => wide(a).rem(&wide(b)),
-        Shl => a.shl(shift_amount(b)),
-        Shr => a.shr(shift_amount(b)),
-        AShr => a.shr_arith(shift_amount(b)),
-        Lt => Bits::from_bool(wide(a).cmp_unsigned(&wide(b)).is_lt()),
-        Le => Bits::from_bool(wide(a).cmp_unsigned(&wide(b)).is_le()),
-        Gt => Bits::from_bool(wide(a).cmp_unsigned(&wide(b)).is_gt()),
-        Ge => Bits::from_bool(wide(a).cmp_unsigned(&wide(b)).is_ge()),
-        Eq => Bits::from_bool(wide(a) == wide(b)),
-        Ne => Bits::from_bool(wide(a) != wide(b)),
-        LogAnd => Bits::from_bool(a.to_bool() && b.to_bool()),
-        LogOr => Bits::from_bool(a.to_bool() || b.to_bool()),
-        And => &wide(a) & &wide(b),
-        Or => &wide(a) | &wide(b),
-        Xor => &wide(a) ^ &wide(b),
-        Xnor => !(&wide(a) ^ &wide(b)),
+        Shl => return a.shl_into(shift_amount(b), out),
+        Shr => return a.shr_into(shift_amount(b), out),
+        AShr => return a.shr_arith_into(shift_amount(b), out),
+        LogAnd => return out.set_bool(a.to_bool() && b.to_bool()),
+        LogOr => return out.set_bool(a.to_bool() || b.to_bool()),
+        Eq => return out.set_bool(a.eq_zero_ext(b)),
+        Ne => return out.set_bool(!a.eq_zero_ext(b)),
+        _ => {}
+    }
+    let w = a.width().max(b.width());
+    a.resize_in_place(w);
+    b.resize_in_place(w);
+    match op {
+        Add => a.add_into(b, out),
+        Sub => a.sub_into(b, out),
+        Mul => a.mul_into(b, out),
+        Div => a.div_into(b, out),
+        Mod => a.rem_into(b, out),
+        Lt => out.set_bool(a.cmp_unsigned(b).is_lt()),
+        Le => out.set_bool(a.cmp_unsigned(b).is_le()),
+        Gt => out.set_bool(a.cmp_unsigned(b).is_gt()),
+        Ge => out.set_bool(a.cmp_unsigned(b).is_ge()),
+        And => a.and_into(b, out),
+        Or => a.or_into(b, out),
+        Xor => a.xor_into(b, out),
+        Xnor => {
+            a.xor_into(b, out);
+            out.not_in_place();
+        }
+        Shl | Shr | AShr | LogAnd | LogOr | Eq | Ne => unreachable!("handled above"),
     }
 }
 
 /// Clamps a shift amount to something sane (a shift by ≥ width clears the
 /// value anyway; `Bits::shl`/`shr` handle that).
-fn shift_amount(b: &Bits) -> u32 {
+pub fn shift_amount(b: &Bits) -> u32 {
     b.to_u64().min(u32::MAX as u64) as u32
 }
 

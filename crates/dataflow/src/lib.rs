@@ -42,7 +42,7 @@ pub mod prop;
 pub mod rewrite;
 
 pub use blackbox::{BbDir, BbPort, BlackboxLib, BlackboxSpec, IpRelation, NoBlackboxes, WidthSpec, clog2};
-pub use consteval::{apply_binary, eval_const, range_width, ConstEnv};
+pub use consteval::{apply_binary, apply_binary_into, eval_const, range_width, shift_amount, ConstEnv};
 pub use design::{elaborate, resolve, BbInst, ClockedProc, CombDriver, Design, SigInfo, SigKind};
 pub use intern::{SigId, SignalTable};
 pub use flatten::{expr_to_lvalue, flatten};

@@ -57,30 +57,29 @@ impl Scfifo {
 }
 
 impl Blackbox for Scfifo {
-    fn eval(&mut self, _inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
+    fn eval(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
         let mut out = BTreeMap::new();
-        out.insert(
-            "empty".into(),
-            Bits::from_bool(self.queue.is_empty()),
-        );
-        out.insert(
-            "full".into(),
-            Bits::from_bool(self.queue.len() as u64 >= self.depth),
-        );
-        out.insert(
-            "usedw".into(),
-            Bits::from_u64(clog2(self.depth) + 1, self.queue.len() as u64),
-        );
-        let q = if self.showahead {
-            self.queue
-                .front()
-                .cloned()
-                .unwrap_or_else(|| Bits::zero(self.width))
-        } else {
-            self.q_reg.clone()
-        };
-        out.insert("q".into(), q);
+        for port in ["empty", "full", "usedw", "q"] {
+            let mut v = Bits::default();
+            self.eval_port(port, inputs, &mut v);
+            out.insert(port.into(), v);
+        }
         out
+    }
+
+    fn eval_port(&mut self, port: &str, _inputs: &BTreeMap<String, Bits>, out: &mut Bits) -> bool {
+        match port {
+            "empty" => out.set_bool(self.queue.is_empty()),
+            "full" => out.set_bool(self.queue.len() as u64 >= self.depth),
+            "usedw" => out.set_u64(clog2(self.depth) + 1, self.queue.len() as u64),
+            "q" if self.showahead => match self.queue.front() {
+                Some(head) => out.assign_from(head),
+                None => out.set_zero(self.width),
+            },
+            "q" => out.assign_from(&self.q_reg),
+            _ => return false,
+        }
+        true
     }
 
     fn tick(&mut self, _clock_port: &str, inputs: &BTreeMap<String, Bits>) {
@@ -144,25 +143,28 @@ impl Dcfifo {
 }
 
 impl Blackbox for Dcfifo {
-    fn eval(&mut self, _inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
+    fn eval(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
         let mut out = BTreeMap::new();
-        out.insert("rdempty".into(), Bits::from_bool(self.queue.is_empty()));
-        out.insert(
-            "wrfull".into(),
-            Bits::from_bool(self.queue.len() as u64 >= self.depth),
-        );
-        out.insert(
-            "wrusedw".into(),
-            Bits::from_u64(clog2(self.depth) + 1, self.queue.len() as u64),
-        );
-        out.insert(
-            "q".into(),
-            self.queue
-                .front()
-                .cloned()
-                .unwrap_or_else(|| Bits::zero(self.width)),
-        );
+        for port in ["rdempty", "wrfull", "wrusedw", "q"] {
+            let mut v = Bits::default();
+            self.eval_port(port, inputs, &mut v);
+            out.insert(port.into(), v);
+        }
         out
+    }
+
+    fn eval_port(&mut self, port: &str, _inputs: &BTreeMap<String, Bits>, out: &mut Bits) -> bool {
+        match port {
+            "rdempty" => out.set_bool(self.queue.is_empty()),
+            "wrfull" => out.set_bool(self.queue.len() as u64 >= self.depth),
+            "wrusedw" => out.set_u64(clog2(self.depth) + 1, self.queue.len() as u64),
+            "q" => match self.queue.front() {
+                Some(head) => out.assign_from(head),
+                None => out.set_zero(self.width),
+            },
+            _ => return false,
+        }
+        true
     }
 
     fn tick(&mut self, clock_port: &str, inputs: &BTreeMap<String, Bits>) {

@@ -39,10 +39,22 @@ impl Altsyncram {
 }
 
 impl Blackbox for Altsyncram {
-    fn eval(&mut self, _inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
+    fn eval(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
         let mut out = BTreeMap::new();
-        out.insert("q".into(), self.q_reg.clone());
+        let mut v = Bits::default();
+        self.eval_port("q", inputs, &mut v);
+        out.insert("q".into(), v);
         out
+    }
+
+    fn eval_port(&mut self, port: &str, _inputs: &BTreeMap<String, Bits>, out: &mut Bits) -> bool {
+        match port {
+            "q" => {
+                out.assign_from(&self.q_reg);
+                true
+            }
+            _ => false,
+        }
     }
 
     fn tick(&mut self, _clock_port: &str, inputs: &BTreeMap<String, Bits>) {

@@ -92,14 +92,23 @@ impl TraceBuffer {
 }
 
 impl Blackbox for TraceBuffer {
-    fn eval(&mut self, _inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
+    fn eval(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
         let mut out = BTreeMap::new();
-        out.insert(
-            "full".into(),
-            Bits::from_bool(self.entries.len() >= self.depth),
-        );
-        out.insert("count".into(), Bits::from_u64(32, self.entries.len() as u64));
+        for port in ["full", "count"] {
+            let mut v = Bits::default();
+            self.eval_port(port, inputs, &mut v);
+            out.insert(port.into(), v);
+        }
         out
+    }
+
+    fn eval_port(&mut self, port: &str, _inputs: &BTreeMap<String, Bits>, out: &mut Bits) -> bool {
+        match port {
+            "full" => out.set_bool(self.entries.len() >= self.depth),
+            "count" => out.set_u64(32, self.entries.len() as u64),
+            _ => return false,
+        }
+        true
     }
 
     fn tick(&mut self, _clock_port: &str, inputs: &BTreeMap<String, Bits>) {

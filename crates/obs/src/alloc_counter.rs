@@ -1,0 +1,88 @@
+//! A counting global allocator for zero-allocation regression tests.
+//!
+//! The simulator's hot path is specified to make *zero* heap allocations
+//! per cycle in steady state (ROADMAP: the compiled value plane). That
+//! claim is only worth having if a test can falsify it, so this module
+//! provides a delegating [`GlobalAlloc`] that counts allocations
+//! per-thread. A consuming test crate installs it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: hwdbg_obs::CountingAlloc = hwdbg_obs::CountingAlloc;
+//! ```
+//!
+//! then brackets the region of interest with [`thread_allocs`] snapshots.
+//! Counts are per-thread so parallel test runners don't bleed into each
+//! other's measurements.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and counts every
+/// allocation (including reallocations) on the calling thread.
+///
+/// Deallocations are not counted: the regression tests care about
+/// allocation pressure, and a free with no matching alloc in the window
+/// is not a defect.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAlloc;
+
+/// Heap allocations made by the current thread since it started (only
+/// meaningful when [`CountingAlloc`] is installed as the global
+/// allocator; always 0 otherwise).
+pub fn thread_allocs() -> u64 {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+#[inline]
+fn bump() {
+    // `try_with`: allocation can happen during thread teardown after the
+    // thread-local has been dropped; those events are uncountable but must
+    // not panic.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in this crate's own tests (that would
+    // tax every other test); we only check the counter plumbing.
+    #[test]
+    fn counter_starts_at_zero_without_installation() {
+        assert_eq!(thread_allocs(), 0);
+    }
+
+    #[test]
+    fn bump_increments_thread_counter() {
+        let before = thread_allocs();
+        bump();
+        bump();
+        assert_eq!(thread_allocs(), before + 2);
+    }
+}

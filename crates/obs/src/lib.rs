@@ -37,6 +37,10 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
+
+pub use alloc_counter::{thread_allocs, CountingAlloc};
+
 use std::time::{Duration, Instant};
 
 /// One completed (or still-open) pipeline stage span.

@@ -19,11 +19,11 @@
 //! interpreter; `crates/sim/tests/compiled_equivalence.rs` holds the
 //! differential proof against full-pass settling.
 
-use crate::eval::{effective_mem_addr, apply_binary_signed, expr_width, is_signed};
+use crate::eval::{apply_binary_signed_into, effective_mem_addr, expr_width, is_signed};
 use crate::state::SimState;
 use crate::{LogRecord, SimError};
 use hwdbg_bits::Bits;
-use hwdbg_dataflow::{apply_binary, Design, SigId};
+use hwdbg_dataflow::{apply_binary_into, Design, SigId};
 use hwdbg_rtl::{BinaryOp, Expr, LValue, Stmt, UnaryOp};
 
 /// A compiled expression: all names resolved, all static facts inlined.
@@ -606,86 +606,195 @@ impl Ctx<'_> {
     }
 }
 
-/// Evaluates a compiled expression against simulation state.
-pub(crate) fn eval(state: &SimState, e: &CExpr) -> Result<Bits, SimError> {
-    Ok(match e {
-        CExpr::Const(v) => v.clone(),
-        CExpr::Sig(id) => state.get_id(*id).clone(),
-        CExpr::Unary(op, inner) => {
-            let v = eval(state, inner)?;
-            match op {
-                UnaryOp::Not => !&v,
-                UnaryOp::LogNot => Bits::from_bool(v.is_zero()),
-                UnaryOp::Neg => v.neg(),
-                UnaryOp::RedAnd => Bits::from_bool(v.reduce_and()),
-                UnaryOp::RedOr => Bits::from_bool(v.reduce_or()),
-                UnaryOp::RedXor => Bits::from_bool(v.reduce_xor()),
-                UnaryOp::RedXnor => Bits::from_bool(!v.reduce_xor()),
-            }
+/// Reusable evaluation storage: a pool of `Bits` temporaries plus the
+/// resolved-write buffer for blocking assignments. One per simulator,
+/// allocated at compile time; in steady state every temporary an
+/// expression needs comes from here, so evaluation never allocates for
+/// `<= 64`-bit values (and, once the pool entries have spilled to the
+/// design's maximum width, not for wide values either).
+pub(crate) struct EvalScratch {
+    pool: Vec<Bits>,
+    /// Resolved-write buffer reused across blocking assignments.
+    writes: Vec<CNbWrite>,
+}
+
+/// Pool entries kept alive; extras returned beyond this are dropped.
+const POOL_CAP: usize = 64;
+
+impl EvalScratch {
+    /// A pool pre-sized to `max_width` so even wide designs reach
+    /// steady-state without allocating: 32 temporaries comfortably exceed
+    /// any realistic expression depth × concurrent lvalue resolution.
+    pub fn with_max_width(max_width: u32) -> Self {
+        let w = max_width.max(1);
+        EvalScratch {
+            pool: (0..32).map(|_| Bits::zero(w)).collect(),
+            writes: Vec::with_capacity(8),
         }
-        CExpr::Binary { op, signed, a, b } => {
-            let x = eval(state, a)?;
-            let y = eval(state, b)?;
-            if *signed {
-                apply_binary_signed(*op, &x, &y)
-            } else {
-                apply_binary(*op, &x, &y)
+    }
+
+    /// An empty pool (cold paths; temporaries start 1-bit and grow).
+    pub fn empty() -> Self {
+        EvalScratch {
+            pool: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn take(&mut self) -> Bits {
+        // `Bits::default()` is an inline 1-bit zero: refilling an exhausted
+        // pool costs nothing.
+        self.pool.pop().unwrap_or_default()
+    }
+
+    #[inline]
+    pub(crate) fn put(&mut self, b: Bits) {
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(b);
+        }
+    }
+}
+
+/// Evaluates a compiled expression against simulation state (cold-path
+/// convenience wrapper over [`eval_into`]).
+pub(crate) fn eval(state: &SimState, e: &CExpr) -> Result<Bits, SimError> {
+    let mut scratch = EvalScratch::empty();
+    let mut out = Bits::default();
+    eval_into(state, &mut scratch, e, &mut out)?;
+    Ok(out)
+}
+
+/// Evaluates a sub-expression that is consumed as a `u64` (indices, range
+/// bounds, replication counts).
+#[inline]
+fn eval_u64(state: &SimState, scratch: &mut EvalScratch, e: &CExpr) -> Result<u64, SimError> {
+    let mut t = scratch.take();
+    let res = eval_into(state, scratch, e, &mut t);
+    let v = t.to_u64();
+    scratch.put(t);
+    res.map(|()| v)
+}
+
+/// Evaluates a compiled expression into `out`, reusing its storage.
+///
+/// Temporaries for sub-expressions come from `scratch` and are returned to
+/// it on success; error paths may leak pool entries back to the allocator,
+/// which is fine — errors abort the run.
+pub(crate) fn eval_into(
+    state: &SimState,
+    scratch: &mut EvalScratch,
+    e: &CExpr,
+    out: &mut Bits,
+) -> Result<(), SimError> {
+    match e {
+        CExpr::Const(v) => out.assign_from(v),
+        CExpr::Sig(id) => out.assign_from(state.get_id(*id)),
+        CExpr::Unary(op, inner) => match op {
+            UnaryOp::Not => {
+                eval_into(state, scratch, inner, out)?;
+                out.not_in_place();
             }
+            UnaryOp::Neg => {
+                eval_into(state, scratch, inner, out)?;
+                out.neg_in_place();
+            }
+            UnaryOp::LogNot
+            | UnaryOp::RedAnd
+            | UnaryOp::RedOr
+            | UnaryOp::RedXor
+            | UnaryOp::RedXnor => {
+                let mut t = scratch.take();
+                eval_into(state, scratch, inner, &mut t)?;
+                out.set_bool(match op {
+                    UnaryOp::LogNot => t.is_zero(),
+                    UnaryOp::RedAnd => t.reduce_and(),
+                    UnaryOp::RedOr => t.reduce_or(),
+                    UnaryOp::RedXor => t.reduce_xor(),
+                    _ => !t.reduce_xor(),
+                });
+                scratch.put(t);
+            }
+        },
+        CExpr::Binary { op, signed, a, b } => {
+            let mut x = scratch.take();
+            let mut y = scratch.take();
+            eval_into(state, scratch, a, &mut x)?;
+            eval_into(state, scratch, b, &mut y)?;
+            if *signed {
+                apply_binary_signed_into(*op, &mut x, &mut y, out);
+            } else {
+                apply_binary_into(*op, &mut x, &mut y, out);
+            }
+            scratch.put(y);
+            scratch.put(x);
         }
         CExpr::Ternary { cond, t, f, width } => {
-            let c = eval(state, cond)?;
-            let v = if c.to_bool() {
-                eval(state, t)?
-            } else {
-                eval(state, f)?
-            };
-            v.resize(*width)
+            let mut c = scratch.take();
+            eval_into(state, scratch, cond, &mut c)?;
+            let take_then = c.to_bool();
+            scratch.put(c);
+            eval_into(state, scratch, if take_then { t } else { f }, out)?;
+            out.resize_in_place(*width);
         }
         CExpr::BitIndex { sig, width, idx } => {
-            let i = eval(state, idx)?.to_u64();
+            let i = eval_u64(state, scratch, idx)?;
             let v = state.get_id(*sig);
-            Bits::from_bool(i < u64::from(*width) && v.bit(i as u32))
+            out.set_bool(i < u64::from(*width) && v.bit(i as u32));
         }
         CExpr::MemIndex { slot, idx } => {
-            let i = eval(state, idx)?.to_u64();
-            state.read_mem_slot(*slot, i)
+            let i = eval_u64(state, scratch, idx)?;
+            state.read_mem_slot_into(*slot, i, out);
         }
         CExpr::RangeSig { sig, msb, lsb } => {
-            let m = eval(state, msb)?.to_u64();
-            let l = eval(state, lsb)?.to_u64();
+            let m = eval_u64(state, scratch, msb)?;
+            let l = eval_u64(state, scratch, lsb)?;
             if l > m {
                 return Err(SimError::NonConstSelect);
             }
-            state.get_id(*sig).slice(l as u32, (m - l + 1) as u32)
+            state.get_id(*sig).slice_into(l as u32, (m - l + 1) as u32, out);
         }
         CExpr::RangeConst { value, msb, lsb } => {
-            let m = eval(state, msb)?.to_u64();
-            let l = eval(state, lsb)?.to_u64();
+            let m = eval_u64(state, scratch, msb)?;
+            let l = eval_u64(state, scratch, lsb)?;
             if l > m {
                 return Err(SimError::NonConstSelect);
             }
-            value.slice(l as u32, (m - l + 1) as u32)
+            value.slice_into(l as u32, (m - l + 1) as u32, out);
         }
         CExpr::Concat(parts) => {
-            let mut acc: Option<Bits> = None;
+            let mut t = scratch.take();
+            let mut first = true;
             for p in parts {
-                let v = eval(state, p)?;
-                acc = Some(match acc {
-                    None => v,
-                    Some(hi) => hi.concat(&v),
-                });
+                eval_into(state, scratch, p, &mut t)?;
+                if first {
+                    out.assign_from(&t);
+                    first = false;
+                } else {
+                    out.push_low(&t);
+                }
             }
-            acc.ok_or(SimError::NonConstSelect)?
+            scratch.put(t);
+            if first {
+                return Err(SimError::NonConstSelect);
+            }
         }
         CExpr::Repeat { count, body } => {
-            let n = eval(state, count)?.to_u64() as u32;
+            let n = eval_u64(state, scratch, count)? as u32;
             if n == 0 {
                 return Err(SimError::NonConstSelect);
             }
-            eval(state, body)?.repeat(n)
+            let mut t = scratch.take();
+            eval_into(state, scratch, body, &mut t)?;
+            t.repeat_into(n, out);
+            scratch.put(t);
         }
-        CExpr::Resize(w, inner) => eval(state, inner)?.resize(*w),
-    })
+        CExpr::Resize(w, inner) => {
+            eval_into(state, scratch, inner, out)?;
+            out.resize_in_place(*w);
+        }
+    }
+    Ok(())
 }
 
 /// A deferred (nonblocking) write, resolved to a concrete target at the
@@ -717,6 +826,9 @@ pub(crate) enum Flow {
 /// `changed`, which drives the dirty-set scheduler.
 pub(crate) struct CExec<'a> {
     pub state: &'a mut SimState,
+    /// Reusable temporaries + resolved-write buffer (owned by the
+    /// simulator, threaded through every unit run).
+    pub scratch: &'a mut EvalScratch,
     /// `Some` in clocked context: nonblocking writes defer here.
     pub nb: Option<&'a mut Vec<CNbWrite>>,
     /// `Some((sink, time, cycle))` in clocked context: `$display` records.
@@ -745,8 +857,11 @@ impl CExec<'_> {
                 Ok(Flow::Continue)
             }
             CStmt::If { cond, then, els } => {
-                let c = eval(self.state, cond)?;
-                if c.to_bool() {
+                let mut c = self.scratch.take();
+                eval_into(self.state, self.scratch, cond, &mut c)?;
+                let taken = c.to_bool();
+                self.scratch.put(c);
+                if taken {
                     self.stmt(then)
                 } else if let Some(e) = els {
                     self.stmt(e)
@@ -755,19 +870,26 @@ impl CExec<'_> {
                 }
             }
             CStmt::Case { sel, arms, default } => {
-                let sv = eval(self.state, sel)?;
-                for arm in arms {
+                let mut sv = self.scratch.take();
+                eval_into(self.state, self.scratch, sel, &mut sv)?;
+                let mut lv = self.scratch.take();
+                let mut target: Option<&CStmt> = None;
+                'arms: for arm in arms {
                     for l in &arm.labels {
-                        let lv = eval(self.state, l)?;
-                        let w = sv.width().max(lv.width());
-                        if sv.resize(w) == lv.resize(w) {
-                            return self.stmt(&arm.body);
+                        eval_into(self.state, self.scratch, l, &mut lv)?;
+                        // Zero-extended equality at the common width.
+                        if sv.eq_zero_ext(&lv) {
+                            target = Some(&arm.body);
+                            break 'arms;
                         }
                     }
                 }
-                match default {
-                    Some(d) => self.stmt(d),
-                    None => Ok(Flow::Continue),
+                self.scratch.put(lv);
+                self.scratch.put(sv);
+                match (target, default) {
+                    (Some(body), _) => self.stmt(body),
+                    (None, Some(d)) => self.stmt(d),
+                    (None, None) => Ok(Flow::Continue),
                 }
             }
             CStmt::Assign {
@@ -775,7 +897,8 @@ impl CExec<'_> {
                 nonblocking,
                 rhs,
             } => {
-                let v = eval(self.state, rhs)?;
+                let mut v = self.scratch.take();
+                eval_into(self.state, self.scratch, rhs, &mut v)?;
                 if *nonblocking && self.nb.is_some() {
                     self.write_nb(lhs, v)?;
                 } else {
@@ -791,25 +914,30 @@ impl CExec<'_> {
                 step,
                 body,
             } => {
-                let v = eval(self.state, init)?;
-                self.set_sig(*var, v.resize(*var_width));
+                let mut v = self.scratch.take();
+                eval_into(self.state, self.scratch, init, &mut v)?;
+                v.resize_in_place(*var_width);
+                self.set_sig(*var, &v);
                 let mut iters = 0u64;
                 loop {
-                    let c = eval(self.state, cond)?;
-                    if !c.to_bool() {
+                    eval_into(self.state, self.scratch, cond, &mut v)?;
+                    if !v.to_bool() {
                         break;
                     }
                     if self.stmt(body)? == Flow::Finished {
+                        self.scratch.put(v);
                         return Ok(Flow::Finished);
                     }
-                    let s = eval(self.state, step)?;
-                    self.set_sig(*var, s.resize(*var_width));
+                    eval_into(self.state, self.scratch, step, &mut v)?;
+                    v.resize_in_place(*var_width);
+                    self.set_sig(*var, &v);
                     iters += 1;
                     if iters > self.for_cap {
                         let name = self.state.table().name(*var).to_owned();
                         return Err(SimError::LoopCap(name));
                     }
                 }
+                self.scratch.put(v);
                 Ok(Flow::Continue)
             }
             CStmt::Display { format, args } => {
@@ -834,7 +962,7 @@ impl CExec<'_> {
 
     /// Sets a scalar, recording the change for the scheduler. Writes to
     /// forced (fault-pinned) signals are discarded.
-    fn set_sig(&mut self, id: SigId, value: Bits) {
+    fn set_sig(&mut self, id: SigId, value: &Bits) {
         if let Some(f) = self.forced {
             if f.contains_key(&id) {
                 if let Some(c) = self.counters.as_deref_mut() {
@@ -848,27 +976,46 @@ impl CExec<'_> {
         }
     }
 
-    /// Immediate (blocking) write.
+    /// Immediate (blocking) write. All targets are resolved (lvalue index
+    /// expressions evaluated) before any commit mutates state, matching the
+    /// nonblocking path's ordering for concat lvalues.
     pub fn write(&mut self, lhs: &CLValue, value: Bits) -> Result<(), SimError> {
-        match self.resolve(lhs, value)? {
-            None => Ok(()),
-            Some(writes) => {
-                for w in writes {
-                    self.commit(w);
-                }
-                Ok(())
+        let mut writes = std::mem::take(&mut self.scratch.writes);
+        debug_assert!(writes.is_empty());
+        let res = self.resolve(lhs, value, &mut writes);
+        if res.is_ok() {
+            for w in writes.drain(..) {
+                self.commit(w);
             }
+        } else {
+            writes.clear(); // error: nothing committed (cold path)
         }
+        self.scratch.writes = writes;
+        res
     }
 
-    /// Applies one resolved write, tracking value changes.
+    /// Applies one resolved write, tracking value changes. The carried
+    /// value returns to the scratch pool.
     pub fn commit(&mut self, w: CNbWrite) {
         match w {
-            CNbWrite::Sig(id, v) => self.set_sig(id, v),
+            CNbWrite::Sig(id, v) => {
+                self.set_sig(id, &v);
+                self.scratch.put(v);
+            }
             CNbWrite::Slice(id, lo, v) => {
-                let mut cur = self.state.get_id(id).clone();
-                cur.splice(lo, &v);
-                self.set_sig(id, cur);
+                if let Some(f) = self.forced {
+                    if f.contains_key(&id) {
+                        if let Some(c) = self.counters.as_deref_mut() {
+                            c.force_hits += 1;
+                        }
+                        self.scratch.put(v);
+                        return;
+                    }
+                }
+                if self.state.splice_id(id, lo, &v) {
+                    self.changed.push(id);
+                }
+                self.scratch.put(v);
             }
             CNbWrite::Mem {
                 id,
@@ -876,9 +1023,10 @@ impl CExec<'_> {
                 addr,
                 value,
             } => {
-                if self.state.write_mem_slot(slot, addr, value) {
+                if self.state.write_mem_slot(slot, addr, &value) {
                     self.changed.push(id);
                 }
+                self.scratch.put(value);
             }
         }
     }
@@ -887,30 +1035,38 @@ impl CExec<'_> {
     /// sink) the write degrades to blocking, matching how a combinational
     /// `<=` behaves in the interpreter.
     fn write_nb(&mut self, lhs: &CLValue, value: Bits) -> Result<(), SimError> {
-        if let Some(writes) = self.resolve(lhs, value)? {
-            match self.nb.as_mut() {
-                Some(nb) => nb.extend(writes),
-                None => {
-                    for w in writes {
-                        self.commit(w);
-                    }
-                }
-            }
+        if self.nb.is_none() {
+            return self.write(lhs, value);
         }
-        Ok(())
+        let mut writes = std::mem::take(&mut self.scratch.writes);
+        debug_assert!(writes.is_empty());
+        let res = self.resolve(lhs, value, &mut writes);
+        match (self.nb.as_mut(), res.is_ok()) {
+            (Some(nb), true) => nb.append(&mut writes),
+            _ => writes.clear(),
+        }
+        self.scratch.writes = writes;
+        res
     }
 
     /// Resolves an lvalue + value into concrete write operations, applying
-    /// the paper's overflow semantics; `None` means the write is dropped.
-    fn resolve(&mut self, lhs: &CLValue, value: Bits) -> Result<Option<Vec<CNbWrite>>, SimError> {
-        Ok(match lhs {
+    /// the paper's overflow semantics; dropped writes push nothing.
+    fn resolve(
+        &mut self,
+        lhs: &CLValue,
+        mut value: Bits,
+        out: &mut Vec<CNbWrite>,
+    ) -> Result<(), SimError> {
+        match lhs {
             CLValue::Sig { id, width } => {
-                Some(vec![CNbWrite::Sig(*id, value.resize(*width))])
+                value.resize_in_place(*width);
+                out.push(CNbWrite::Sig(*id, value));
             }
             CLValue::BitIndex { id, width, idx } => {
-                let i = eval(self.state, idx)?.to_u64();
+                let i = eval_u64(self.state, self.scratch, idx)?;
                 if i < u64::from(*width) {
-                    Some(vec![CNbWrite::Slice(*id, i as u32, value.resize(1))])
+                    value.resize_in_place(1);
+                    out.push(CNbWrite::Slice(*id, i as u32, value));
                 } else if self.strict_bounds {
                     return Err(SimError::OutOfBounds {
                         signal: self.state.table().name(*id).to_owned(),
@@ -918,7 +1074,7 @@ impl CExec<'_> {
                         depth: u64::from(*width),
                     });
                 } else {
-                    None // out-of-range bit write ignored
+                    self.scratch.put(value); // out-of-range bit write ignored
                 }
             }
             CLValue::MemIndex {
@@ -928,33 +1084,36 @@ impl CExec<'_> {
                 width,
                 idx,
             } => {
-                let i = eval(self.state, idx)?.to_u64();
+                let i = eval_u64(self.state, self.scratch, idx)?;
                 // A None address is a dropped write: paper §3.2.1 outcome 2.
-                let addr = effective_mem_addr(i, *depth);
-                if addr.is_none() && self.strict_bounds {
-                    return Err(SimError::OutOfBounds {
-                        signal: self.state.table().name(*id).to_owned(),
-                        index: i,
-                        depth: *depth,
-                    });
+                match effective_mem_addr(i, *depth) {
+                    Some(addr) => {
+                        value.resize_in_place(*width);
+                        out.push(CNbWrite::Mem {
+                            id: *id,
+                            slot: *slot,
+                            addr,
+                            value,
+                        });
+                    }
+                    None if self.strict_bounds => {
+                        return Err(SimError::OutOfBounds {
+                            signal: self.state.table().name(*id).to_owned(),
+                            index: i,
+                            depth: *depth,
+                        });
+                    }
+                    None => self.scratch.put(value),
                 }
-                addr.map(|addr| {
-                    vec![CNbWrite::Mem {
-                        id: *id,
-                        slot: *slot,
-                        addr,
-                        value: value.resize(*width),
-                    }]
-                })
             }
             CLValue::Range { id, msb, lsb } => {
-                let m = eval(self.state, msb)?.to_u64();
-                let l = eval(self.state, lsb)?.to_u64();
+                let m = eval_u64(self.state, self.scratch, msb)?;
+                let l = eval_u64(self.state, self.scratch, lsb)?;
                 if l > m {
                     return Err(SimError::NonConstSelect);
                 }
-                let w = (m - l + 1) as u32;
-                Some(vec![CNbWrite::Slice(*id, l as u32, value.resize(w))])
+                value.resize_in_place((m - l + 1) as u32);
+                out.push(CNbWrite::Slice(*id, l as u32, value));
             }
             CLValue::Concat {
                 parts,
@@ -962,18 +1121,17 @@ impl CExec<'_> {
                 total,
             } => {
                 // First part is most significant.
-                let value = value.resize(*total);
-                let mut out = Vec::new();
+                value.resize_in_place(*total);
                 let mut hi = *total;
                 for (p, w) in parts.iter().zip(widths) {
-                    let part_val = value.slice(hi - w, *w);
+                    let mut part_val = self.scratch.take();
+                    value.slice_into(hi - w, *w, &mut part_val);
                     hi -= w;
-                    if let Some(ws) = self.resolve(p, part_val)? {
-                        out.extend(ws);
-                    }
+                    self.resolve(p, part_val, out)?;
                 }
-                Some(out)
+                self.scratch.put(value);
             }
-        })
+        }
+        Ok(())
     }
 }

@@ -8,14 +8,15 @@
 //! read-set intersects the signals written since their last run are
 //! re-executed.
 
-use crate::compile::{CExec, CNbWrite, Compiled, Flow};
+use crate::compile::{eval_into, CExec, CNbWrite, Compiled, EvalScratch, Flow};
 use crate::eval::eval_expr;
 use crate::state::{RegInit, SimState};
 use crate::{Blackbox, BlackboxFactory, LogRecord, SimError};
 use hwdbg_bits::Bits;
 use hwdbg_dataflow::{Design, SigId};
 use hwdbg_obs::SimCounters;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::rc::Rc;
 
 /// Combinational settling strategy.
@@ -129,6 +130,21 @@ pub struct Simulator {
     force_full: bool,
     /// Scratch for unit execution (reused to avoid per-run allocation).
     changed_scratch: Vec<SigId>,
+    /// Reusable `Bits` temporaries + resolved-write buffer for evaluation.
+    scratch: EvalScratch,
+    /// Settle work-list: a min-heap of unit indices (lowest first, matching
+    /// full-pass sweep order) with `queued` dedup flags — together they
+    /// behave like an ordered set without per-settle allocation.
+    settle_heap: BinaryHeap<Reverse<u32>>,
+    /// Per unit: currently sitting in `settle_heap`.
+    queued: Vec<bool>,
+    /// Nonblocking-write queue reused across steps.
+    nb_scratch: Vec<CNbWrite>,
+    /// `$display` record buffer reused across steps.
+    logs_scratch: Vec<LogRecord>,
+    /// Per blackbox: its input port map, keys prebuilt at compile time and
+    /// values refreshed in place before each eval/tick.
+    bb_input_scratch: Vec<BTreeMap<String, Bits>>,
     /// Signals pinned by [`Simulator::force`]: drivers and pokes cannot
     /// change them until released. Empty in fault-free runs, so the hot
     /// path pays one `is_empty` check.
@@ -199,6 +215,24 @@ impl Simulator {
         let state = SimState::new(&design, config.init);
         let compiled = Compiled::build(&design, &state)?;
         let config_metrics = config.metrics;
+        let max_width = design
+            .signals
+            .values()
+            .map(|s| s.width)
+            .max()
+            .unwrap_or(1);
+        let scratch = EvalScratch::with_max_width(max_width);
+        let n_units = compiled.n_units();
+        let bb_input_scratch = compiled
+            .bbs
+            .iter()
+            .map(|bb| {
+                bb.ins
+                    .iter()
+                    .map(|(port, w, _)| (port.clone(), Bits::zero(*w)))
+                    .collect()
+            })
+            .collect();
         Ok(Simulator {
             design,
             state,
@@ -216,6 +250,12 @@ impl Simulator {
             dirty_units: Vec::new(),
             force_full: true,
             changed_scratch: Vec::new(),
+            scratch,
+            settle_heap: BinaryHeap::with_capacity(n_units),
+            queued: vec![false; n_units],
+            nb_scratch: Vec::new(),
+            logs_scratch: Vec::new(),
+            bb_input_scratch,
             forces: BTreeMap::new(),
             counters: if config_metrics {
                 Some(Box::default())
@@ -324,14 +364,14 @@ impl Simulator {
             .design
             .sig_id(name)
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
-        self.poke_id(id, value);
+        self.poke_id(id, &value);
         Ok(())
     }
 
     /// Interned poke: marks readers dirty, and — because a full pass would
     /// re-derive a driven signal from its driver — also re-schedules any
     /// unit that writes the signal. Forced signals swallow the write.
-    fn poke_id(&mut self, id: SigId, value: Bits) {
+    fn poke_id(&mut self, id: SigId, value: &Bits) {
         if !self.forces.is_empty() && self.forces.contains_key(&id) {
             if let Some(c) = &mut self.counters {
                 c.force_hits += 1;
@@ -375,7 +415,7 @@ impl Simulator {
             .sig_id(name)
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
         // Apply the pinned value first (while not yet forced), then pin.
-        self.poke_id(id, value.clone());
+        self.poke_id(id, &value);
         self.forces.insert(id, value);
         Ok(())
     }
@@ -410,19 +450,37 @@ impl Simulator {
             .collect()
     }
 
-    /// Convenience: poke from a `u64`.
+    /// Convenience: poke from a `u64`, truncated to the signal's width.
+    /// Allocation-free at any width — the value lands directly in the
+    /// dense state slot, so stimulus loops over wide buses stay on the
+    /// zero-allocation path.
     ///
     /// # Errors
     ///
     /// Fails for unknown signals.
     pub fn poke_u64(&mut self, name: &str, value: u64) -> Result<(), SimError> {
-        let width = self
+        let id = self
             .design
             .signals
             .get(name)
-            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?
-            .width;
-        self.poke(name, Bits::from_u64(width, value))
+            .filter(|s| s.mem_depth.is_none())
+            .and_then(|_| self.design.sig_id(name))
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
+        if !self.forces.is_empty() && self.forces.contains_key(&id) {
+            if let Some(c) = &mut self.counters {
+                c.force_hits += 1;
+            }
+            return Ok(());
+        }
+        if self.state.set_id_u64(id, value) {
+            if let Some(c) = &mut self.counters {
+                c.pokes += 1;
+            }
+            self.dirty_sigs.push(id);
+            self.dirty_units
+                .extend_from_slice(&self.compiled.writers[id.index()]);
+        }
+        Ok(())
     }
 
     /// Reads a signal's current value.
@@ -462,6 +520,7 @@ impl Simulator {
             let body = &self.compiled.combs[u].body;
             let mut exec = CExec {
                 state: &mut self.state,
+                scratch: &mut self.scratch,
                 nb: None,
                 logs: None,
                 for_cap: self.config.for_cap,
@@ -473,19 +532,19 @@ impl Simulator {
             exec.stmt(body)?;
         } else {
             let bi = u - n_combs;
+            self.refresh_bb_inputs(bi)?;
             let bb = &self.compiled.bbs[bi];
-            let mut inputs = BTreeMap::new();
-            for (port, w, ce) in &bb.ins {
-                inputs.insert(
-                    port.clone(),
-                    crate::compile::eval(&self.state, ce)?.resize(*w),
-                );
-            }
-            let outputs = self.blackboxes[bi].eval(&inputs);
             for (port, lv) in &bb.outs {
-                if let Some(v) = outputs.get(port) {
+                let mut v = self.scratch.take();
+                let produced = self.blackboxes[bi].eval_port(
+                    port,
+                    &self.bb_input_scratch[bi],
+                    &mut v,
+                );
+                if produced {
                     let mut exec = CExec {
                         state: &mut self.state,
+                        scratch: &mut self.scratch,
                         nb: None,
                         logs: None,
                         for_cap: self.config.for_cap,
@@ -494,9 +553,27 @@ impl Simulator {
                         strict_bounds: self.config.strict_bounds,
                         counters: self.counters.as_deref_mut(),
                     };
-                    exec.write(lv, v.clone())?;
+                    exec.write(lv, v)?;
+                } else {
+                    self.scratch.put(v);
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Re-evaluates a blackbox's input connections into its prebuilt port
+    /// map, in place. `ins` and the map iterate in the same (sorted port
+    /// name) order, so the two zip up.
+    fn refresh_bb_inputs(&mut self, bi: usize) -> Result<(), SimError> {
+        let bb = &self.compiled.bbs[bi];
+        let inputs = &mut self.bb_input_scratch[bi];
+        debug_assert_eq!(inputs.len(), bb.ins.len());
+        for ((port, w, ce), (key, slot)) in bb.ins.iter().zip(inputs.iter_mut()) {
+            debug_assert_eq!(port, key);
+            let _ = key;
+            eval_into(&self.state, &mut self.scratch, ce, slot)?;
+            slot.resize_in_place(*w);
         }
         Ok(())
     }
@@ -559,22 +636,44 @@ impl Simulator {
     /// `max_comb_iters × n_units`, so combinational loops are still caught.
     fn settle_event(&mut self) -> Result<(), SimError> {
         let n_units = self.compiled.n_units() as u32;
-        let mut queue: BTreeSet<u32> = BTreeSet::new();
+        // The heap + `queued` flags act as an ordered set of unit indices:
+        // a unit sits in the heap at most once, and pops come lowest-first.
+        // Both live on the simulator, so settling allocates nothing. The
+        // reset guards against stale entries left by an aborted settle.
+        self.settle_heap.clear();
+        self.queued.fill(false);
         // Push counts accumulate in a local and flush to the counters once
         // at the end, so the loop itself carries no metrics branch.
         let mut pushes = 0u64;
         let was_full = self.force_full;
         if self.force_full {
-            queue.extend(0..n_units);
+            for u in 0..n_units {
+                self.settle_heap.push(Reverse(u));
+                self.queued[u as usize] = true;
+            }
             pushes += u64::from(n_units);
         } else {
-            for id in std::mem::take(&mut self.dirty_sigs) {
+            let dirty = std::mem::take(&mut self.dirty_sigs);
+            for &id in &dirty {
                 let readers = &self.compiled.readers[id.index()];
                 pushes += readers.len() as u64;
-                queue.extend(readers.iter().copied());
+                for &u in readers {
+                    if !self.queued[u as usize] {
+                        self.queued[u as usize] = true;
+                        self.settle_heap.push(Reverse(u));
+                    }
+                }
             }
+            self.dirty_sigs = dirty;
             pushes += self.dirty_units.len() as u64;
-            queue.extend(self.dirty_units.iter().copied());
+            let units = std::mem::take(&mut self.dirty_units);
+            for &u in &units {
+                if !self.queued[u as usize] {
+                    self.queued[u as usize] = true;
+                    self.settle_heap.push(Reverse(u));
+                }
+            }
+            self.dirty_units = units;
         }
         self.dirty_sigs.clear();
         self.dirty_units.clear();
@@ -588,7 +687,8 @@ impl Simulator {
         let tail_start = budget.saturating_sub(u64::from(n_units.max(1)));
         let mut unstable: BTreeSet<SigId> = BTreeSet::new();
         let mut runs = 0u64;
-        while let Some(u) = queue.pop_first() {
+        while let Some(Reverse(u)) = self.settle_heap.pop() {
+            self.queued[u as usize] = false;
             runs += 1;
             if runs > budget {
                 return Err(self.comb_loop_error(unstable));
@@ -598,12 +698,18 @@ impl Simulator {
             if runs > tail_start {
                 unstable.extend(self.changed_scratch.iter().copied());
             }
-            for i in 0..self.changed_scratch.len() {
-                let id = self.changed_scratch[i];
+            let changed = std::mem::take(&mut self.changed_scratch);
+            for &id in &changed {
                 let readers = &self.compiled.readers[id.index()];
                 pushes += readers.len() as u64;
-                queue.extend(readers.iter().copied());
+                for &ru in readers {
+                    if !self.queued[ru as usize] {
+                        self.queued[ru as usize] = true;
+                        self.settle_heap.push(Reverse(ru));
+                    }
+                }
             }
+            self.changed_scratch = changed;
         }
         if let Some(c) = &mut self.counters {
             c.settles += 1;
@@ -628,37 +734,40 @@ impl Simulator {
         }
         let plan = self.clock_plan(clock);
         if let Some(cid) = plan.clock_id {
-            self.poke_id(cid, Bits::from_u64(1, 0));
+            self.poke_id(cid, &Bits::from_u64(1, 0));
         }
         self.settle()?;
 
-        // Snapshot blackbox inputs at the pre-edge instant.
-        let mut bb_inputs: Vec<BTreeMap<String, Bits>> = Vec::new();
-        for bb in &self.compiled.bbs {
-            let mut inputs = BTreeMap::new();
-            for (port, w, ce) in &bb.ins {
-                inputs.insert(
-                    port.clone(),
-                    crate::compile::eval(&self.state, ce)?.resize(*w),
-                );
-            }
-            bb_inputs.push(inputs);
+        // Snapshot blackbox inputs at the pre-edge instant, refreshing the
+        // prebuilt port maps in place. Nothing between here and the ticks
+        // touches the maps (clocked processes run through `CExec` only).
+        for bi in 0..self.compiled.bbs.len() {
+            self.refresh_bb_inputs(bi)?;
         }
 
         if let Some(cid) = plan.clock_id {
-            self.poke_id(cid, Bits::from_u64(1, 1));
+            self.poke_id(cid, &Bits::from_u64(1, 1));
         }
-        let cycle = self.cycles.entry(clock.to_owned()).or_insert(0);
-        *cycle += 1;
-        let cycle = *cycle;
+        let cycle = match self.cycles.get_mut(clock) {
+            Some(c) => {
+                *c += 1;
+                *c
+            }
+            None => {
+                self.cycles.insert(clock.to_owned(), 1);
+                1
+            }
+        };
 
-        let mut nb: Vec<CNbWrite> = Vec::new();
-        let mut new_logs: Vec<LogRecord> = Vec::new();
+        let mut nb = std::mem::take(&mut self.nb_scratch);
+        let mut new_logs = std::mem::take(&mut self.logs_scratch);
+        debug_assert!(nb.is_empty() && new_logs.is_empty());
         let mut finished = false;
         for &pi in &plan.procs {
             let body = &self.compiled.procs[pi].body;
             let mut exec = CExec {
                 state: &mut self.state,
+                scratch: &mut self.scratch,
                 nb: Some(&mut nb),
                 logs: Some((&mut new_logs, self.time, cycle)),
                 for_cap: self.config.for_cap,
@@ -677,7 +786,7 @@ impl Simulator {
         // unit is re-scheduled explicitly.
         let n_combs = self.compiled.combs.len() as u32;
         for (bi, port) in &plan.ticks {
-            self.blackboxes[*bi].tick(port, &bb_inputs[*bi]);
+            self.blackboxes[*bi].tick(port, &self.bb_input_scratch[*bi]);
             self.dirty_units.push(n_combs + *bi as u32);
         }
 
@@ -686,6 +795,7 @@ impl Simulator {
         {
             let mut exec = CExec {
                 state: &mut self.state,
+                scratch: &mut self.scratch,
                 nb: None,
                 logs: None,
                 for_cap: self.config.for_cap,
@@ -694,18 +804,20 @@ impl Simulator {
                 strict_bounds: self.config.strict_bounds,
                 counters: self.counters.as_deref_mut(),
             };
-            for w in nb {
+            for w in nb.drain(..) {
                 exec.commit(w);
             }
         }
+        self.nb_scratch = nb;
 
-        for rec in new_logs {
+        for rec in new_logs.drain(..) {
             if self.logs.len() >= self.config.log_capacity {
                 self.dropped_logs += 1;
                 self.logs.remove(0);
             }
             self.logs.push(rec);
         }
+        self.logs_scratch = new_logs;
         if finished {
             self.finished = true;
         }

@@ -197,19 +197,44 @@ pub fn eval_expr(expr: &Expr, design: &Design, state: &SimState) -> Result<Bits,
 /// Signed variant of the binary-operator semantics: comparisons compare in
 /// two's complement, `>>>` shifts arithmetically, operands sign-extend.
 pub(crate) fn apply_binary_signed(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
+    let mut x = a.clone();
+    let mut y = b.clone();
+    let mut out = Bits::default();
+    apply_binary_signed_into(op, &mut x, &mut y, &mut out);
+    out
+}
+
+/// In-place [`apply_binary_signed`]. Like
+/// [`hwdbg_dataflow::apply_binary_into`], the operands are scratch: they
+/// are sign-extended in place to the common width.
+pub(crate) fn apply_binary_signed_into(op: BinaryOp, a: &mut Bits, b: &mut Bits, out: &mut Bits) {
     use BinaryOp::*;
     let w = a.width().max(b.width());
-    let sa = a.resize_signed(w);
-    let sb = b.resize_signed(w);
     match op {
-        Lt => Bits::from_bool(sa.cmp_signed(&sb).is_lt()),
-        Le => Bits::from_bool(sa.cmp_signed(&sb).is_le()),
-        Gt => Bits::from_bool(sa.cmp_signed(&sb).is_gt()),
-        Ge => Bits::from_bool(sa.cmp_signed(&sb).is_ge()),
-        AShr => sa.shr_arith(b.to_u64().min(u32::MAX as u64) as u32),
+        AShr => {
+            // The shift amount reads the *unextended* right operand.
+            let n = hwdbg_dataflow::shift_amount(b);
+            a.resize_signed_in_place(w);
+            a.shr_arith_into(n, out);
+        }
+        Lt | Le | Gt | Ge => {
+            a.resize_signed_in_place(w);
+            b.resize_signed_in_place(w);
+            let ord = a.cmp_signed(b);
+            out.set_bool(match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                _ => ord.is_ge(),
+            });
+        }
         // Add/sub/mul/logic are bit-identical for signed and unsigned, but
         // operands sign-extend to the common width first.
-        _ => apply_binary(op, &sa, &sb),
+        _ => {
+            a.resize_signed_in_place(w);
+            b.resize_signed_in_place(w);
+            hwdbg_dataflow::apply_binary_into(op, a, b, out);
+        }
     }
 }
 

@@ -104,39 +104,69 @@ impl SimState {
     }
 
     /// Overwrites an interned scalar's value, resizing to the stored width.
-    /// Returns true if the value changed.
+    /// Returns true if the value changed. Compares and copies in place:
+    /// the dense slot's storage is reused, never reallocated for `<= 64`-bit
+    /// signals.
     #[inline]
-    pub fn set_id(&mut self, id: SigId, value: Bits) -> bool {
+    pub fn set_id(&mut self, id: SigId, value: &Bits) -> bool {
         let slot = &mut self.values[id.index()];
-        let resized = value.resize(slot.width());
-        if *slot != resized {
-            *slot = resized;
-            true
-        } else {
-            false
+        if slot.eq_truncated(value) {
+            return false;
         }
+        let w = slot.width();
+        slot.assign_resized(value, w);
+        true
+    }
+
+    /// Overwrites an interned scalar with `value` truncated to the stored
+    /// width, in place and allocation-free at any width. Returns true if
+    /// the value changed.
+    #[inline]
+    pub fn set_id_u64(&mut self, id: SigId, value: u64) -> bool {
+        self.values[id.index()].update_u64(value)
+    }
+
+    /// Writes `value` into bits `[lo +: value.width]` of an interned
+    /// scalar, in place. Returns true if the stored value changed.
+    #[inline]
+    pub fn splice_id(&mut self, id: SigId, lo: u32, value: &Bits) -> bool {
+        let slot = &mut self.values[id.index()];
+        if slot.slice_eq(lo, value) {
+            return false;
+        }
+        slot.splice(lo, value);
+        true
     }
 
     /// Reads one element of the memory in `slot`; out-of-range addresses
     /// read as zero.
     #[inline]
     pub fn read_mem_slot(&self, slot: u32, idx: u64) -> Bits {
+        let mut out = Bits::default();
+        self.read_mem_slot_into(slot, idx, &mut out);
+        out
+    }
+
+    /// In-place [`read_mem_slot`](SimState::read_mem_slot), reusing `out`'s
+    /// storage.
+    #[inline]
+    pub fn read_mem_slot_into(&self, slot: u32, idx: u64, out: &mut Bits) {
         let elems = &self.mems[slot as usize];
-        elems
-            .get(idx as usize)
-            .cloned()
-            .unwrap_or_else(|| Bits::zero(elems.first().map_or(1, Bits::width)))
+        match elems.get(idx as usize) {
+            Some(el) => out.assign_from(el),
+            None => out.set_zero(elems.first().map_or(1, Bits::width)),
+        }
     }
 
     /// Writes one element of the memory in `slot` at an already-validated
-    /// address. Returns true if the stored value changed.
+    /// address, in place. Returns true if the stored value changed.
     #[inline]
-    pub fn write_mem_slot(&mut self, slot: u32, idx: u64, value: Bits) -> bool {
+    pub fn write_mem_slot(&mut self, slot: u32, idx: u64, value: &Bits) -> bool {
         let elems = &mut self.mems[slot as usize];
         if let Some(el) = elems.get_mut(idx as usize) {
-            let resized = value.resize(el.width());
-            if *el != resized {
-                *el = resized;
+            if !el.eq_truncated(value) {
+                let w = el.width();
+                el.assign_resized(value, w);
                 return true;
             }
         }
@@ -156,7 +186,7 @@ impl SimState {
     /// Returns true if the value changed.
     pub fn set(&mut self, name: &str, value: Bits) -> bool {
         match self.table.id(name) {
-            Some(id) if self.mem_slot[id.index()] == NOT_A_MEM => self.set_id(id, value),
+            Some(id) if self.mem_slot[id.index()] == NOT_A_MEM => self.set_id(id, &value),
             _ => false,
         }
     }
@@ -172,7 +202,7 @@ impl SimState {
     /// Writes a memory element at an already-validated address.
     pub fn write_mem(&mut self, name: &str, idx: u64, value: Bits) {
         if let Some(slot) = self.table.id(name).and_then(|id| self.mem_slot_of(id)) {
-            self.write_mem_slot(slot, idx, value);
+            self.write_mem_slot(slot, idx, &value);
         }
     }
 
@@ -260,11 +290,11 @@ mod tests {
         endmodule");
         let mut st = SimState::new(&design, RegInit::Zero);
         let q = design.sig_id("q").unwrap();
-        assert!(st.set_id(q, Bits::from_u64(8, 0xAB)));
+        assert!(st.set_id(q, &Bits::from_u64(8, 0xAB)));
         assert_eq!(st.get("q").unwrap().to_u64(), 0xAB);
         let mem = design.sig_id("mem").unwrap();
         let slot = st.mem_slot_of(mem).unwrap();
-        assert!(st.write_mem_slot(slot, 1, Bits::from_u64(8, 7)));
+        assert!(st.write_mem_slot(slot, 1, &Bits::from_u64(8, 7)));
         assert_eq!(st.read_mem("mem", 1).to_u64(), 7);
         // A memory name is not a scalar: the scalar shims refuse it.
         assert!(st.get("mem").is_none());

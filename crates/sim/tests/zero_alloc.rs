@@ -1,0 +1,123 @@
+//! Zero-allocation regression tests for the simulator hot path.
+//!
+//! The value plane is built so that steady-state simulation — poke,
+//! settle, step — makes *zero* heap allocations per cycle: `Bits` values
+//! up to 64 bits are inline, eval writes into pooled scratch buffers, and
+//! commits overwrite dense state slots instead of cloning. These tests
+//! install a counting global allocator, warm each workload up until every
+//! internal buffer has reached steady capacity, then assert that a long
+//! measured window allocates nothing at all.
+//!
+//! A failure here means a `clone()`, `to_vec()`, `format!`, or growing
+//! collection crept back into the per-cycle path. Find it with
+//! `ltrace`-style bisection: shrink the measured window and diff
+//! [`thread_allocs`] around individual calls.
+
+use hwdbg_obs::{thread_allocs, CountingAlloc};
+use hwdbg_sim::{SimConfig, Simulator};
+use hwdbg_testbed::{buggy_design, BugId};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The perfsuite grayscale workload: 24-bit pixels through the D2 pipeline
+/// with its FIFO/RAM blackbox-free datapath. Exercises clocked processes,
+/// memories, and non-blocking commit every cycle.
+#[test]
+fn grayscale_steady_state_allocates_nothing() {
+    let design = buggy_design(BugId::D2).unwrap();
+    let mut sim = Simulator::new(design, &hwdbg_ip::StdModels, SimConfig::default()).unwrap();
+    sim.poke_u64("pix_in_valid", 1).unwrap();
+    // Warmup: fill the scratch pool, worklist, and per-cycle buffers to
+    // their steady-state capacities.
+    for i in 0..200u64 {
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    }
+    let before = thread_allocs();
+    for i in 200..1200u64 {
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    }
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "grayscale steady state allocated {allocs} times over 1000 cycles"
+    );
+}
+
+/// Wide datapaths: a 192-bit add/xor/shift/sub ALU. The values are
+/// spilled (heap-backed), but every slot and scratch buffer is allocated
+/// at compile time and reused, and `poke_u64` writes straight into the
+/// dense state slot — so settling stays allocation-free past 64 bits.
+#[test]
+fn wide_alu_settle_allocates_nothing() {
+    let src = "module m(input clk, input [191:0] a, input [191:0] b, output [191:0] q);
+                 wire [191:0] s; assign s = a + b;
+                 wire [191:0] x; assign x = s ^ a;
+                 wire [191:0] sh; assign sh = x >> 5;
+                 wire [191:0] d; assign d = sh - b;
+                 assign q = d;
+               endmodule";
+    let design = hwdbg_dataflow::elaborate(
+        &hwdbg_rtl::parse(src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap();
+    let mut sim = Simulator::new(design, &hwdbg_sim::NoModels, SimConfig::default()).unwrap();
+    sim.poke_u64("b", 0x0BAD_F00D).unwrap();
+    for t in 0..16u64 {
+        sim.poke_u64("a", 0x00C0_FFEE ^ (t & 1)).unwrap();
+        sim.settle().unwrap();
+    }
+    let before = thread_allocs();
+    for t in 0..1000u64 {
+        sim.poke_u64("a", 0x00C0_FFEE ^ (t & 1)).unwrap();
+        sim.settle().unwrap();
+        std::hint::black_box(sim.peek("q").unwrap());
+    }
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "wide-ALU settle allocated {allocs} times over 1000 settles"
+    );
+}
+
+/// The comb-chain settle ablation: 256 chained 32-bit adders re-settled
+/// with a toggling input. Exercises the event-driven settle worklist and
+/// combinational eval with zero clocked state.
+#[test]
+fn comb_chain_settle_allocates_nothing() {
+    let mut src = String::from("module m(input clk, input [31:0] d, output [31:0] q);\n");
+    for i in 0..256 {
+        let prev = if i == 0 {
+            "d".to_string()
+        } else {
+            format!("w{}", i - 1)
+        };
+        src.push_str(&format!("wire [31:0] w{i}; assign w{i} = {prev} + 32'd1;\n"));
+    }
+    src.push_str("assign q = w255;\nendmodule");
+    let design = hwdbg_dataflow::elaborate(
+        &hwdbg_rtl::parse(&src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap();
+    let mut sim = Simulator::new(design, &hwdbg_sim::NoModels, SimConfig::default()).unwrap();
+    for t in 0..16u64 {
+        sim.poke_u64("d", 7 + (t & 1)).unwrap();
+        sim.settle().unwrap();
+    }
+    let before = thread_allocs();
+    for t in 0..1000u64 {
+        sim.poke_u64("d", 7 + (t & 1)).unwrap();
+        sim.settle().unwrap();
+    }
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "comb-chain settle allocated {allocs} times over 1000 settles"
+    );
+}
