@@ -1,0 +1,130 @@
+//! Static-lint effectiveness over the 20-bug testbed.
+//!
+//! For every bug, runs the full `hwdbg-lint` registry over the *buggy* and
+//! the *fixed* elaborated design and reports which L-codes fire. The
+//! headline numbers mirror the paper's static/dynamic boundary: the bug
+//! subclasses with a structural fingerprint (out-of-range indices, width
+//! truncation, sticky flags, dead handshakes, ignored signals) are caught
+//! before simulation; the rest need the run-time monitors.
+//!
+//! Modes:
+//!
+//! * default — human-readable table plus summary counts;
+//! * `--json` — machine-readable per-bug results (the CI artifact);
+//! * `--check` — compare against the checked-in snapshot
+//!   ([`hwdbg_testbed::lint_expect::expected_lints`]) and exit nonzero on
+//!   any drift, including any finding at all on a fixed design.
+
+// Developer-facing report generator: aborting with a message on a broken
+// fixture is the desired behavior, not a robustness hole.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hwdbg_obs::json_escape;
+use hwdbg_testbed::lint_expect::expected_lints;
+use hwdbg_testbed::{buggy_design, fixed_design, BugId};
+use std::process::ExitCode;
+
+/// Sorted, deduplicated L-codes that fire on a design.
+fn codes(design: &hwdbg_dataflow::Design) -> Vec<String> {
+    let mut codes: Vec<String> = hwdbg_lint::run_default(design)
+        .iter()
+        .map(|e| e.code.as_str().to_owned())
+        .collect();
+    codes.sort();
+    codes.dedup();
+    codes
+}
+
+struct Row {
+    id: BugId,
+    buggy: Vec<String>,
+    fixed: Vec<String>,
+    expected: Vec<String>,
+}
+
+impl Row {
+    fn drifted(&self) -> bool {
+        self.buggy != self.expected || !self.fixed.is_empty()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
+
+    let rows: Vec<Row> = BugId::ALL
+        .into_iter()
+        .map(|id| {
+            let buggy = buggy_design(id).expect("buggy design elaborates");
+            let fixed = fixed_design(id).expect("fixed design elaborates");
+            Row {
+                id,
+                buggy: codes(&buggy),
+                fixed: codes(&fixed),
+                expected: expected_lints(id).iter().map(|s| (*s).to_owned()).collect(),
+            }
+        })
+        .collect();
+
+    let flagged = rows.iter().filter(|r| !r.buggy.is_empty()).count();
+    let false_pos = rows.iter().map(|r| r.fixed.len()).sum::<usize>();
+    let drift = rows.iter().filter(|r| r.drifted()).count();
+
+    if json {
+        let items: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let list = |codes: &[String]| {
+                    codes
+                        .iter()
+                        .map(|c| format!("\"{}\"", json_escape(c)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                format!(
+                    "{{\"bug\": \"{}\", \"buggy\": [{}], \"fixed\": [{}], \
+                     \"expected\": [{}], \"drift\": {}}}",
+                    r.id,
+                    list(&r.buggy),
+                    list(&r.fixed),
+                    list(&r.expected),
+                    r.drifted()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bugs\": {}, \"statically_flagged\": {flagged}, \
+             \"fixed_false_positives\": {false_pos}, \"drift\": {drift}, \
+             \"results\": [{}]}}",
+            rows.len(),
+            items.join(", ")
+        );
+    } else {
+        println!("static lint effectiveness over the {} testbed bugs:", rows.len());
+        for r in &rows {
+            let shown = if r.buggy.is_empty() {
+                "-".to_owned()
+            } else {
+                r.buggy.join(",")
+            };
+            println!(
+                "  {:<4} buggy: {shown:<12} fixed: {:<4} {}",
+                r.id.to_string(),
+                if r.fixed.is_empty() { "clean" } else { "DIRTY" },
+                if r.drifted() { "DRIFT" } else { "" }
+            );
+        }
+        println!(
+            "\nstatically flagged {flagged}/{} bugs; \
+             {false_pos} false positive(s) on fixed designs; {drift} snapshot drift(s)",
+            rows.len()
+        );
+    }
+
+    if check && drift > 0 {
+        eprintln!("lint_effectiveness: {drift} bug(s) drifted from the snapshot");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

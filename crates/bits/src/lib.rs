@@ -253,6 +253,18 @@ impl Bits {
         }
     }
 
+    /// Stores a `<= 128`-bit value (`64 < width <= 128`), masking to
+    /// `width`, reusing existing heap storage.
+    #[inline]
+    pub(crate) fn store_u128(&mut self, width: u32, raw: u128) {
+        debug_assert!((65..=128).contains(&width));
+        self.reshape(width);
+        let limbs = self.limbs_mut();
+        limbs[0] = raw as u64;
+        limbs[1] = (raw >> 64) as u64;
+        self.mask_top();
+    }
+
     /// Becomes an all-zero value of `width` bits (in place, storage reused).
     ///
     /// # Panics

@@ -93,6 +93,28 @@ impl Bits {
         out.mask_top();
     }
 
+    /// Wrapping in-place subtraction: `self -= rhs` modulo `2^width`.
+    /// The borrow chain runs directly over `self`'s limbs — no scratch.
+    #[track_caller]
+    pub fn sub_in_place(&mut self, rhs: &Bits) {
+        self.check_same_width(rhs, "sub");
+        let w = self.width();
+        if w <= 64 {
+            self.store_small(w, self.limb0().wrapping_sub(rhs.limb0()));
+            return;
+        }
+        let b = rhs.limbs();
+        let a = self.limbs_mut();
+        let mut borrow = 0u64;
+        for i in 0..b.len() {
+            let (d1, b1) = a[i].overflowing_sub(b[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            a[i] = d2;
+            borrow = (b1 | b2) as u64;
+        }
+        self.mask_top();
+    }
+
     /// Two's-complement negation modulo `2^width`.
     pub fn neg(&self) -> Bits {
         let mut out = self.clone();
@@ -195,7 +217,9 @@ impl Bits {
     }
 
     /// In-place [`div`](Bits::div). Allocation-free through 128 bits; the
-    /// restoring divider for wider values allocates temporaries.
+    /// restoring divider for wider values allocates one remainder scratch —
+    /// callers on an allocation-free path should hold both buffers and use
+    /// [`divmod_into`](Bits::divmod_into) instead.
     #[track_caller]
     pub fn div_into(&self, rhs: &Bits, out: &mut Bits) {
         self.check_same_width(rhs, "div");
@@ -207,9 +231,10 @@ impl Bits {
         if w <= 64 {
             out.store_small(w, self.limb0() / rhs.limb0());
         } else if w <= 128 {
-            out.assign_from(&Bits::from_u128(w, self.to_u128() / rhs.to_u128()));
+            out.store_u128(w, self.to_u128() / rhs.to_u128());
         } else {
-            out.assign_from(&self.divmod_wide(rhs).0);
+            let mut rem = Bits::zero(w);
+            self.divmod_into(rhs, out, &mut rem);
         }
     }
 
@@ -222,7 +247,9 @@ impl Bits {
     }
 
     /// In-place [`rem`](Bits::rem). Allocation-free through 128 bits; the
-    /// restoring divider for wider values allocates temporaries.
+    /// restoring divider for wider values allocates one quotient scratch —
+    /// callers on an allocation-free path should hold both buffers and use
+    /// [`divmod_into`](Bits::divmod_into) instead.
     #[track_caller]
     pub fn rem_into(&self, rhs: &Bits, out: &mut Bits) {
         self.check_same_width(rhs, "rem");
@@ -234,27 +261,48 @@ impl Bits {
         if w <= 64 {
             out.store_small(w, self.limb0() % rhs.limb0());
         } else if w <= 128 {
-            out.assign_from(&Bits::from_u128(w, self.to_u128() % rhs.to_u128()));
+            out.store_u128(w, self.to_u128() % rhs.to_u128());
         } else {
-            out.assign_from(&self.divmod_wide(rhs).1);
+            let mut quo = Bits::zero(w);
+            self.divmod_into(rhs, &mut quo, out);
         }
     }
 
-    /// Bitwise restoring division for > 128-bit operands: `(quo, rem)`.
-    /// Caller ensures `rhs != 0`.
-    fn divmod_wide(&self, rhs: &Bits) -> (Bits, Bits) {
-        let mut quo = Bits::zero(self.width());
-        let mut rem = Bits::zero(self.width());
-        for i in (0..self.width()).rev() {
+    /// Simultaneous quotient and remainder into caller-provided buffers.
+    /// One restoring-divider walk serves both `/` and `%`, and every width
+    /// tier is allocation-free once `quo`/`rem` already hold `width` bits:
+    /// the wide path shifts and subtracts directly in the out buffers.
+    /// Division by zero yields all-zero quotient and remainder.
+    #[track_caller]
+    pub fn divmod_into(&self, rhs: &Bits, quo: &mut Bits, rem: &mut Bits) {
+        self.check_same_width(rhs, "divmod");
+        let w = self.width();
+        if rhs.is_zero() {
+            quo.set_zero(w);
+            rem.set_zero(w);
+            return;
+        }
+        if w <= 64 {
+            quo.store_small(w, self.limb0() / rhs.limb0());
+            rem.store_small(w, self.limb0() % rhs.limb0());
+            return;
+        }
+        if w <= 128 {
+            let (a, b) = (self.to_u128(), rhs.to_u128());
+            quo.store_u128(w, a / b);
+            rem.store_u128(w, a % b);
+            return;
+        }
+        quo.set_zero(w);
+        rem.set_zero(w);
+        for i in (0..w).rev() {
             rem.shl_in_place(1);
             rem.set_bit(0, self.bit(i));
             if rem.cmp_unsigned(rhs) != Ordering::Less {
-                let next = rem.sub(rhs);
-                rem = next;
+                rem.sub_in_place(rhs);
                 quo.set_bit(i, true);
             }
         }
-        (quo, rem)
     }
 
     /// Logical shift left by `n` (bits shifted past the top are lost).
@@ -553,6 +601,39 @@ mod tests {
         let d = Bits::from_u64(200, 1 << 32);
         let q = a.div(&d);
         assert_eq!(q.to_u128(), (999_999_937u128 << 64) >> 32);
+    }
+
+    #[test]
+    fn divmod_into_matches_div_and_rem() {
+        // One walk, both outputs, at every width tier — including the
+        // restoring divider and the divide-by-zero convention.
+        let cases: [(u32, u128, u128); 6] = [
+            (16, 1000, 7),
+            (16, 1000, 0),
+            (100, (999u128 << 64) | 12345, 1 << 33),
+            (100, 17, (1u128 << 90) + 5),
+            (200, (999_999_937u128 << 64) | 42, (1 << 32) + 3),
+            (200, 999_999_937, 0),
+        ];
+        for (w, a, d) in cases {
+            let a = Bits::from_u128(w, a);
+            let d = Bits::from_u128(w, d);
+            let (mut quo, mut rem) = (Bits::default(), Bits::default());
+            a.divmod_into(&d, &mut quo, &mut rem);
+            assert_eq!(quo, a.div(&d), "quotient w={w}");
+            assert_eq!(rem, a.rem(&d), "remainder w={w}");
+        }
+    }
+
+    #[test]
+    fn sub_in_place_matches_sub() {
+        for w in [8u32, 64, 65, 128, 200] {
+            let a = Bits::ones(w).shr(1);
+            let c = Bits::from_u64(w, 0xDEAD).shl(w / 4);
+            let mut ip = a.clone();
+            ip.sub_in_place(&c);
+            assert_eq!(ip, a.sub(&c), "w={w}");
+        }
     }
 
     #[test]

@@ -121,9 +121,11 @@ pub fn rewrite_stmt(stmt: &Stmt, f: &dyn Fn(&str) -> Repl) -> Result<Stmt, Dataf
             expr,
             arms,
             default,
+            span,
         } => Stmt::Case {
             kind: *kind,
             expr: rewrite_expr(expr, f)?,
+            span: *span,
             arms: arms
                 .iter()
                 .map(|arm| {

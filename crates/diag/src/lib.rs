@@ -63,6 +63,16 @@ impl fmt::Display for Severity {
 /// * `E05xx` — analysis tools
 /// * `E06xx` — fault injection / testbed harness
 /// * `E07xx` — I/O and environment
+///
+/// Static-analysis (lint) findings use a parallel `L`-code range, grouped
+/// by the bug-study taxonomy the passes are keyed to:
+///
+/// * `L01xx` — simulation/synthesis mismatch (latches, assignment races)
+/// * `L02xx` — structural defects (combinational loops, width truncation)
+/// * `L03xx` — FSM structural defects
+/// * `L04xx` — static data loss (the compile-time shadow of LossCheck)
+/// * `L05xx` — value-range defects (memory index overflow)
+/// * `L06xx` — handshake/protocol defects
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum ErrorCode {
@@ -137,6 +147,51 @@ pub enum ErrorCode {
     Io,
     /// Anything that escaped classification.
     Internal,
+    // L01xx: sim/synth mismatch.
+    /// A `case` in a combinational block does not cover every path
+    /// (missing `default` / partial writes): latch inference.
+    LintIncompleteCase,
+    /// Blocking assignment in a sequential block to a signal other
+    /// processes read: evaluation-order-dependent behavior.
+    LintBlockingInSeq,
+    /// Nonblocking assignment in a combinational block.
+    LintNonblockingInComb,
+    /// The same signal is written by more than one clocked process.
+    LintMultiProcWrite,
+    // L02xx: structure.
+    /// Combinational drivers form a cycle (static SCC).
+    LintCombLoop,
+    /// An assignment silently drops driven high bits.
+    LintWidthTruncation,
+    // L03xx: FSM structure.
+    /// A declared FSM state is never entered.
+    LintUnreachableState,
+    /// An FSM state has no outgoing transition (trap state).
+    LintTrapState,
+    /// An FSM transition targets an encoding with no declared state.
+    LintUndeclaredState,
+    // L04xx: static data loss.
+    /// A write is unconditionally overwritten later in the same process
+    /// before any reader can observe it.
+    LintDeadWrite,
+    /// An internal signal is written but never read.
+    LintNeverRead,
+    /// An input is observed only by `$display`, never by logic.
+    LintInputIgnored,
+    /// A one-bit flag is set and read but never cleared outside reset.
+    LintStickyFlag,
+    /// A re-initialization branch misses one register of a reset group.
+    LintIncompleteReinit,
+    // L05xx: value ranges.
+    /// A register-indexed memory access can exceed the memory depth.
+    LintMemIndexRange,
+    // L06xx: handshake protocol.
+    /// A response `valid` is only asserted when `ready` is already high
+    /// (the AXI "valid must not wait for ready" rule).
+    LintValidWaitsReady,
+    /// Handshake flags form a circular set-dependency with no seed:
+    /// structural deadlock.
+    LintHandshakeDeadlock,
 }
 
 impl ErrorCode {
@@ -176,7 +231,29 @@ impl ErrorCode {
             BadFaultPlan => "E0602",
             Io => "E0701",
             Internal => "E0799",
+            LintIncompleteCase => "L0101",
+            LintBlockingInSeq => "L0102",
+            LintNonblockingInComb => "L0103",
+            LintMultiProcWrite => "L0104",
+            LintCombLoop => "L0201",
+            LintWidthTruncation => "L0202",
+            LintUnreachableState => "L0301",
+            LintTrapState => "L0302",
+            LintUndeclaredState => "L0303",
+            LintDeadWrite => "L0401",
+            LintNeverRead => "L0402",
+            LintInputIgnored => "L0403",
+            LintStickyFlag => "L0404",
+            LintIncompleteReinit => "L0405",
+            LintMemIndexRange => "L0501",
+            LintValidWaitsReady => "L0601",
+            LintHandshakeDeadlock => "L0602",
         }
+    }
+
+    /// True for static-analysis (lint) codes — the `LXXYY` range.
+    pub fn is_lint(self) -> bool {
+        self.as_str().starts_with('L')
     }
 }
 
@@ -369,6 +446,12 @@ mod tests {
             ToolElaboration,
             NoPath, DegradedOutput, BadFaultTarget, BadFaultPlan, Io,
             Internal,
+            LintIncompleteCase, LintBlockingInSeq, LintNonblockingInComb,
+            LintMultiProcWrite, LintCombLoop, LintWidthTruncation,
+            LintUnreachableState, LintTrapState, LintUndeclaredState,
+            LintDeadWrite, LintNeverRead, LintInputIgnored, LintStickyFlag,
+            LintIncompleteReinit, LintMemIndexRange, LintValidWaitsReady,
+            LintHandshakeDeadlock,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         codes.sort_unstable();
@@ -376,8 +459,18 @@ mod tests {
         codes.dedup();
         assert_eq!(codes.len(), n, "duplicate error codes");
         for c in &codes {
-            assert!(c.starts_with('E') && c.len() == 5, "{c}");
+            assert!(
+                (c.starts_with('E') || c.starts_with('L')) && c.len() == 5,
+                "{c}"
+            );
         }
+    }
+
+    #[test]
+    fn lint_codes_are_marked_lint() {
+        assert!(ErrorCode::LintMemIndexRange.is_lint());
+        assert!(ErrorCode::LintHandshakeDeadlock.is_lint());
+        assert!(!ErrorCode::CombLoop.is_lint());
     }
 
     #[test]

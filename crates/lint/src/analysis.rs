@@ -1,0 +1,321 @@
+//! Shared guard-path machinery for lint passes.
+//!
+//! Every pass over procedural code needs the same primitive: visit each
+//! assignment together with the `if`/`case` guards that dominate it. The
+//! [`walk`] visitor provides that, and the helpers below decompose guard
+//! stacks into *conjunct leaves* — the individual boolean facts that must
+//! hold on a path — so passes can ask questions like "is this write under a
+//! positive reset?" or "does this set-site wait for `ready`?" without
+//! re-implementing boolean reasoning.
+
+use hwdbg_bits::Bits;
+use hwdbg_dataflow::{eval_const, Design};
+use hwdbg_rtl::{print_expr, BinaryOp, Dir, Expr, Stmt, UnaryOp};
+use std::collections::BTreeSet;
+
+/// One guard on the path from a process body to a statement.
+#[derive(Debug, Clone, Copy)]
+pub enum Guard<'a> {
+    /// An `if` condition; `positive` is false inside the `else` branch.
+    Cond {
+        /// The condition expression.
+        cond: &'a Expr,
+        /// True in the `then` branch, false in the `else` branch.
+        positive: bool,
+    },
+    /// A `case` arm: the selector matched one of `labels`.
+    Arm {
+        /// The case selector.
+        selector: &'a Expr,
+        /// The labels of the matched arm.
+        labels: &'a [Expr],
+    },
+    /// The `default` arm: the selector matched no explicit arm.
+    Default {
+        /// The case selector.
+        selector: &'a Expr,
+    },
+}
+
+/// Calls `f` on every [`Stmt::Assign`] and [`Stmt::Display`] in `stmt`,
+/// passing the guard stack active at that point. `for` bodies are visited
+/// with the loop condition as an extra guard.
+pub fn walk<'a>(
+    stmt: &'a Stmt,
+    guards: &mut Vec<Guard<'a>>,
+    f: &mut dyn FnMut(&[Guard<'a>], &'a Stmt),
+) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                walk(s, guards, f);
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            guards.push(Guard::Cond {
+                cond,
+                positive: true,
+            });
+            walk(then, guards, f);
+            guards.pop();
+            if let Some(e) = els {
+                guards.push(Guard::Cond {
+                    cond,
+                    positive: false,
+                });
+                walk(e, guards, f);
+                guards.pop();
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            for arm in arms {
+                guards.push(Guard::Arm {
+                    selector: expr,
+                    labels: &arm.labels,
+                });
+                walk(&arm.body, guards, f);
+                guards.pop();
+            }
+            if let Some(d) = default {
+                guards.push(Guard::Default { selector: expr });
+                walk(d, guards, f);
+                guards.pop();
+            }
+        }
+        Stmt::For { cond, body, .. } => {
+            guards.push(Guard::Cond {
+                cond,
+                positive: true,
+            });
+            walk(body, guards, f);
+            guards.pop();
+        }
+        Stmt::Assign { .. } | Stmt::Display { .. } => f(guards, stmt),
+        Stmt::Finish | Stmt::Empty => {}
+    }
+}
+
+/// A flattened boolean leaf of the `if` guards on a path: the fact
+/// `expr` (if `positive`) or `!expr` holds whenever the path executes.
+#[derive(Debug, Clone, Copy)]
+pub struct Conjunct<'a> {
+    /// The leaf expression, with `!`/`~` wrappers stripped into `positive`.
+    pub expr: &'a Expr,
+    /// Polarity of the fact.
+    pub positive: bool,
+}
+
+/// Flattens the `if`-condition guards of a path into conjunct leaves:
+/// `a && !b` contributes `(a, +)` and `(b, -)`. Disjunctions and negated
+/// conjunctions stay opaque single leaves (we only reason about facts that
+/// *must* hold). Case-arm guards contribute nothing — compare paths with
+/// [`path_key`] when arm identity matters.
+pub fn conjuncts<'a>(guards: &[Guard<'a>]) -> Vec<Conjunct<'a>> {
+    let mut out = Vec::new();
+    for g in guards {
+        if let Guard::Cond { cond, positive } = g {
+            flatten(cond, *positive, &mut out);
+        }
+    }
+    out
+}
+
+fn flatten<'a>(e: &'a Expr, positive: bool, out: &mut Vec<Conjunct<'a>>) {
+    match e {
+        Expr::Binary(BinaryOp::LogAnd, a, b) if positive => {
+            flatten(a, true, out);
+            flatten(b, true, out);
+        }
+        Expr::Unary(UnaryOp::LogNot | UnaryOp::Not, inner) => flatten(inner, !positive, out),
+        _ => out.push(Conjunct { expr: e, positive }),
+    }
+}
+
+/// The conjunct's plain identifier name, if it is a bare signal test.
+pub fn ident_leaf<'a>(c: &Conjunct<'a>) -> Option<(&'a str, bool)> {
+    match c.expr {
+        Expr::Ident(n) => Some((n, c.positive)),
+        _ => None,
+    }
+}
+
+/// Decomposes a conjunct that proves an inductive wrap bound for a counter
+/// incremented by one: returns `(register, K)` such that whenever the
+/// conjunct holds, `register + 1 <= K`.
+///
+/// Recognized shapes: the `else` of `if (r == K)` (and `r != K`), and the
+/// `then` of `if (r < K)`, with `K` constant under the design's parameters.
+pub fn wrap_bound<'a>(c: &Conjunct<'a>, design: &Design) -> Option<(&'a str, u64)> {
+    let Expr::Binary(op, a, b) = c.expr else {
+        return None;
+    };
+    match op {
+        BinaryOp::Eq | BinaryOp::Ne => {
+            let (name, k) = match (&**a, &**b) {
+                (Expr::Ident(n), rhs) => (n.as_str(), const_u64(rhs, design)?),
+                (lhs, Expr::Ident(n)) => (n.as_str(), const_u64(lhs, design)?),
+                _ => return None,
+            };
+            // `r != K` on the path (either `if (r != K)` taken, or the
+            // `else` of `if (r == K)`): r < K inductively, so r+1 <= K.
+            let holds_ne = (*op == BinaryOp::Ne) == c.positive;
+            holds_ne.then_some((name, k))
+        }
+        BinaryOp::Lt => {
+            if let (Expr::Ident(n), rhs) = (&**a, &**b) {
+                // `if (r < K)`: r <= K-1 here, so r+1 <= K.
+                (c.positive).then_some((n.as_str(), const_u64(rhs, design)?))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn const_u64(e: &Expr, design: &Design) -> Option<u64> {
+    let v = eval_const(e, &design.consts).ok()?;
+    if v.width() <= 64 {
+        Some(v.to_u64())
+    } else {
+        None
+    }
+}
+
+/// Evaluates an expression to a constant under the design's parameters.
+pub fn const_value(e: &Expr, design: &Design) -> Option<Bits> {
+    eval_const(e, &design.consts).ok()
+}
+
+/// A stable textual key identifying one guard path, including case-arm
+/// identity — two assignments share a key iff they execute under the same
+/// syntactic guards.
+pub fn path_key(guards: &[Guard<'_>]) -> String {
+    let mut parts = Vec::with_capacity(guards.len());
+    for g in guards {
+        match g {
+            Guard::Cond { cond, positive } => {
+                let sign = if *positive { '+' } else { '-' };
+                parts.push(format!("{sign}({})", print_expr(cond)));
+            }
+            Guard::Arm { selector, labels } => {
+                let labels: Vec<String> = labels.iter().map(print_expr).collect();
+                parts.push(format!("arm({}:{})", print_expr(selector), labels.join(",")));
+            }
+            Guard::Default { selector } => {
+                parts.push(format!("def({})", print_expr(selector)));
+            }
+        }
+    }
+    parts.join("&")
+}
+
+/// A stable key for one conjunct (expression text plus polarity), used for
+/// subset comparisons between paths.
+pub fn conjunct_key(c: &Conjunct<'_>) -> String {
+    let sign = if c.positive { '+' } else { '-' };
+    format!("{sign}({})", print_expr(c.expr))
+}
+
+/// Names of reset-style top-level inputs (lowercase name contains `rst` or
+/// `reset`).
+pub fn reset_inputs(design: &Design) -> BTreeSet<String> {
+    design
+        .flat
+        .ports
+        .iter()
+        .filter(|p| p.dir == Dir::Input)
+        .filter(|p| {
+            let n = p.net.name.to_lowercase();
+            n.contains("rst") || n.contains("reset")
+        })
+        .map(|p| p.net.name.clone())
+        .collect()
+}
+
+/// True when the path's conjuncts include a positive bare test of a reset
+/// input — i.e. the statement is part of reset initialization.
+pub fn in_reset(guards: &[Guard<'_>], resets: &BTreeSet<String>) -> bool {
+    conjuncts(guards)
+        .iter()
+        .filter_map(ident_leaf)
+        .any(|(n, positive)| positive && resets.contains(n))
+}
+
+/// Output-port names of the flat module. Clock-written outputs are
+/// classified [`SigKind::Reg`](hwdbg_dataflow::SigKind) in
+/// [`Design::signals`], so port direction must come from the module AST.
+pub fn output_ports(design: &Design) -> BTreeSet<String> {
+    design
+        .flat
+        .ports
+        .iter()
+        .filter(|p| p.dir == Dir::Output)
+        .map(|p| p.net.name.clone())
+        .collect()
+}
+
+/// Input-port names of the flat module.
+pub fn input_ports(design: &Design) -> BTreeSet<String> {
+    design
+        .flat
+        .ports
+        .iter()
+        .filter(|p| p.dir == Dir::Input)
+        .map(|p| p.net.name.clone())
+        .collect()
+}
+
+/// Number of bits needed to represent `v` (at least 1).
+pub fn significant_bits(v: &Bits) -> u32 {
+    for i in (0..v.width()).rev() {
+        if v.bit(i) {
+            return i + 1;
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwdbg_rtl::parse_expr;
+
+    fn leaves(src: &str, positive: bool) -> Vec<(String, bool)> {
+        let e = parse_expr(src).unwrap();
+        let mut out = Vec::new();
+        flatten(&e, positive, &mut out);
+        out.iter()
+            .map(|c| (print_expr(c.expr), c.positive))
+            .collect()
+    }
+
+    #[test]
+    fn conjuncts_flatten_ands_and_negations() {
+        assert_eq!(
+            leaves("a && !b && (c || d)", true),
+            vec![
+                ("a".to_owned(), true),
+                ("b".to_owned(), false),
+                ("c || d".to_owned(), true),
+            ]
+        );
+        // A negated condition stays opaque: `!(a && b)` proves neither !a
+        // nor !b individually.
+        assert_eq!(leaves("a && b", false), vec![("a && b".to_owned(), false)]);
+        assert_eq!(leaves("!!x", true), vec![("x".to_owned(), true)]);
+    }
+
+    #[test]
+    fn significant_bits_scans_from_msb() {
+        assert_eq!(significant_bits(&Bits::from_u64(32, 0)), 1);
+        assert_eq!(significant_bits(&Bits::from_u64(32, 1)), 1);
+        assert_eq!(significant_bits(&Bits::from_u64(32, 12)), 4);
+        assert_eq!(significant_bits(&Bits::from_u64(64, u64::MAX)), 64);
+    }
+}

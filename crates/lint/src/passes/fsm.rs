@@ -1,0 +1,278 @@
+//! FSM structural lints over the state machines recovered by
+//! [`FsmMonitor`]: unreachable states, trap states, and transitions to
+//! encodings no one declared.
+
+use crate::analysis::{self, Guard};
+use crate::{LintPass, LintSink};
+use hwdbg_dataflow::Design;
+use hwdbg_diag::{ErrorCode, HwdbgError};
+use hwdbg_rtl::{Expr, Span, Stmt};
+use hwdbg_tools::FsmMonitor;
+use std::collections::BTreeSet;
+
+/// Which case arm (over the state register) encloses an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ArmCtx {
+    /// Not inside any `case (state)` — executes in every state.
+    Outside,
+    /// Inside an explicit arm with these label values.
+    Arm(BTreeSet<u64>),
+    /// Inside the `default` arm.
+    Default,
+}
+
+/// One whole constant assignment to the state register.
+#[derive(Debug)]
+struct Site {
+    value: u64,
+    in_reset: bool,
+    arm: ArmCtx,
+}
+
+/// `L0301`/`L0302`/`L0303`: structural checks on each recovered FSM.
+///
+/// - A case arm whose state value is never assigned is dead control flow
+///   (`L0301`) — often a symptom of a forgotten transition.
+/// - A reachable state with no outgoing transition (`L0302`) can only be
+///   left through reset. Terminal "done" states are a legitimate idiom, so
+///   this code defaults to `Allow` and must be opted into.
+/// - An assigned encoding that no localparam names and no arm handles
+///   (`L0303`) is a transition into undeclared state space.
+pub struct FsmLintPass;
+
+impl LintPass for FsmLintPass {
+    fn id(&self) -> &'static str {
+        "fsm-structure"
+    }
+
+    fn codes(&self) -> &'static [ErrorCode] {
+        &[
+            ErrorCode::LintUnreachableState,
+            ErrorCode::LintTrapState,
+            ErrorCode::LintUndeclaredState,
+        ]
+    }
+
+    fn run(&self, design: &Design, sink: &mut LintSink<'_>) {
+        let resets = analysis::reset_inputs(design);
+        for fsm in FsmMonitor::detect(design) {
+            if fsm.width > 64 {
+                continue;
+            }
+            let state = fsm.signal.as_str();
+
+            // Every `case (state)` in the design: union of arm label
+            // values, whether any has a default, and an anchoring span.
+            let mut arm_union: BTreeSet<u64> = BTreeSet::new();
+            let mut has_default = false;
+            let mut case_span: Option<Span> = None;
+            for body in proc_bodies(design) {
+                scan_cases(design, body, state, fsm.width, &mut |labels, default, span| {
+                    arm_union.extend(labels);
+                    has_default |= default;
+                    case_span.get_or_insert(span);
+                });
+            }
+            let Some(case_span) = case_span else {
+                // No case dispatch over this register: the transition
+                // structure is not explicit enough to reason about.
+                continue;
+            };
+
+            // Every whole assignment to the state register.
+            let mut sites: Vec<Site> = Vec::new();
+            let mut analyzable = true;
+            for proc in &design.procs {
+                let mut guards = Vec::new();
+                analysis::walk(&proc.body, &mut guards, &mut |guards, stmt| {
+                    let Stmt::Assign { lhs, rhs, .. } = stmt else {
+                        return;
+                    };
+                    if !lhs.target_names().contains(&state) {
+                        return;
+                    }
+                    if !matches!(lhs, hwdbg_rtl::LValue::Id(_)) {
+                        analyzable = false;
+                        return;
+                    }
+                    // `state <= state` is a hold, not a transition.
+                    if matches!(rhs, Expr::Ident(n) if n == state) {
+                        return;
+                    }
+                    match analysis::const_value(rhs, design) {
+                        Some(v) if v.width() <= 64 => sites.push(Site {
+                            value: v.resize(fsm.width).to_u64(),
+                            in_reset: analysis::in_reset(guards, &resets),
+                            arm: arm_ctx(guards, state, fsm.width, design),
+                        }),
+                        // A computed next-state (two-process style): too
+                        // dynamic for structural checks.
+                        _ => analyzable = false,
+                    }
+                });
+            }
+            if !analyzable {
+                continue;
+            }
+            let assigned: BTreeSet<u64> = sites.iter().map(|s| s.value).collect();
+
+            for &v in &arm_union {
+                if !assigned.contains(&v) {
+                    sink.emit(
+                        HwdbgError::warning(
+                            ErrorCode::LintUnreachableState,
+                            format!(
+                                "FSM `{state}`: state {} has a case arm but no \
+                                 assignment ever enters it; the arm is unreachable",
+                                state_name(&fsm.states, v)
+                            ),
+                        )
+                        .with_span(case_span)
+                        .with_signal(state),
+                    );
+                }
+            }
+
+            for &v in &assigned {
+                let covered = arm_union.contains(&v) || has_default;
+                if !covered {
+                    continue;
+                }
+                let has_exit = sites.iter().any(|s| {
+                    s.value != v
+                        && !s.in_reset
+                        && match &s.arm {
+                            ArmCtx::Outside => true,
+                            ArmCtx::Arm(labels) => labels.contains(&v),
+                            ArmCtx::Default => !arm_union.contains(&v),
+                        }
+                });
+                if !has_exit {
+                    sink.emit(
+                        HwdbgError::warning(
+                            ErrorCode::LintTrapState,
+                            format!(
+                                "FSM `{state}`: state {} has no outgoing transition; \
+                                 once entered, only reset leaves it",
+                                state_name(&fsm.states, v)
+                            ),
+                        )
+                        .with_span(case_span)
+                        .with_signal(state),
+                    );
+                }
+            }
+
+            for &v in &assigned {
+                if !fsm.states.contains_key(&v) && !arm_union.contains(&v) && !has_default {
+                    sink.emit(
+                        HwdbgError::warning(
+                            ErrorCode::LintUndeclaredState,
+                            format!(
+                                "FSM `{state}` is assigned encoding {v}, which no \
+                                 localparam names and no case arm handles"
+                            ),
+                        )
+                        .with_span(case_span)
+                        .with_signal(state),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn state_name(states: &std::collections::BTreeMap<u64, String>, v: u64) -> String {
+    match states.get(&v) {
+        Some(n) => format!("`{n}` ({v})"),
+        None => format!("{v}"),
+    }
+}
+
+fn proc_bodies(design: &Design) -> impl Iterator<Item = &Stmt> {
+    design
+        .procs
+        .iter()
+        .map(|p| &p.body)
+        .chain(design.combs.iter().map(|c| &c.body))
+}
+
+/// Finds every `case` whose selector is exactly the state register and
+/// reports (const arm label values, has-default, span).
+fn scan_cases(
+    design: &Design,
+    stmt: &Stmt,
+    state: &str,
+    width: u32,
+    f: &mut impl FnMut(Vec<u64>, bool, Span),
+) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                scan_cases(design, s, state, width, f);
+            }
+        }
+        Stmt::If { then, els, .. } => {
+            scan_cases(design, then, state, width, f);
+            if let Some(e) = els {
+                scan_cases(design, e, state, width, f);
+            }
+        }
+        Stmt::For { body, .. } => scan_cases(design, body, state, width, f),
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            span,
+            ..
+        } => {
+            if matches!(expr, Expr::Ident(n) if n == state) {
+                let mut labels = Vec::new();
+                for arm in arms {
+                    for l in &arm.labels {
+                        if let Some(v) = analysis::const_value(l, design) {
+                            if v.width() <= 64 {
+                                labels.push(v.resize(width).to_u64());
+                            }
+                        }
+                    }
+                }
+                f(labels, default.is_some(), *span);
+            }
+            for arm in arms {
+                scan_cases(design, &arm.body, state, width, f);
+            }
+            if let Some(d) = default {
+                scan_cases(design, d, state, width, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The innermost case-arm context over the state register in a guard stack.
+fn arm_ctx(guards: &[Guard<'_>], state: &str, width: u32, design: &Design) -> ArmCtx {
+    for g in guards.iter().rev() {
+        match g {
+            Guard::Arm {
+                selector: Expr::Ident(n),
+                labels,
+            } if n == state => {
+                let values = labels
+                    .iter()
+                    .filter_map(|l| analysis::const_value(l, design))
+                    .filter(|v| v.width() <= 64)
+                    .map(|v| v.resize(width).to_u64())
+                    .collect();
+                return ArmCtx::Arm(values);
+            }
+            Guard::Default {
+                selector: Expr::Ident(n),
+            } if n == state => {
+                return ArmCtx::Default;
+            }
+            _ => {}
+        }
+    }
+    ArmCtx::Outside
+}

@@ -1,0 +1,8 @@
+//! The built-in lint passes, grouped by the study's bug taxonomy.
+
+pub mod fsm;
+pub mod handshake;
+pub mod loss;
+pub mod range;
+pub mod structure;
+pub mod style;

@@ -163,12 +163,17 @@ pub struct SimCounters {
     pub stat_events: u64,
     /// LossCheck shadow-state updates observed (LOSSCHECK records).
     pub shadow_updates: u64,
+    // --- static analysis (lint) ---
+    /// Lint passes executed over an elaborated design.
+    pub lint_passes: u64,
+    /// Lint findings emitted (all severities, before allow-filtering).
+    pub lint_findings: u64,
 }
 
 impl SimCounters {
     /// Every counter as `(name, value)` pairs, in declaration order. The
     /// single source of truth for both renderers.
-    pub fn pairs(&self) -> [(&'static str, u64); 16] {
+    pub fn pairs(&self) -> [(&'static str, u64); 18] {
         [
             ("steps", self.steps),
             ("settles", self.settles),
@@ -186,6 +191,8 @@ impl SimCounters {
             ("dep_updates", self.dep_updates),
             ("stat_events", self.stat_events),
             ("shadow_updates", self.shadow_updates),
+            ("lint_passes", self.lint_passes),
+            ("lint_findings", self.lint_findings),
         ]
     }
 
@@ -209,6 +216,8 @@ impl SimCounters {
             dep_updates,
             stat_events,
             shadow_updates,
+            lint_passes,
+            lint_findings,
         } = other;
         self.steps += steps;
         self.settles += settles;
@@ -226,6 +235,8 @@ impl SimCounters {
         self.dep_updates += dep_updates;
         self.stat_events += stat_events;
         self.shadow_updates += shadow_updates;
+        self.lint_passes += lint_passes;
+        self.lint_findings += lint_findings;
     }
 }
 
@@ -380,8 +391,8 @@ mod tests {
         let json = counters_json(&a);
         assert!(json.contains("\"steps\": 5"));
         assert!(json.contains("\"shadow_updates\": 5"));
-        // Stable schema: all 16 counters present even when zero.
-        assert_eq!(json.matches(':').count(), 16);
+        // Stable schema: all 18 counters present even when zero.
+        assert_eq!(json.matches(':').count(), 18);
     }
 
     #[test]

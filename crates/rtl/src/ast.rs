@@ -265,6 +265,9 @@ pub enum Stmt {
         arms: Vec<CaseArm>,
         /// `default:` body, if present.
         default: Option<Box<Stmt>>,
+        /// Source location of the `case` keyword (anchors lint
+        /// diagnostics such as missing-default warnings).
+        span: Span,
     },
     /// A blocking (`=`) or nonblocking (`<=`) assignment.
     Assign {

@@ -524,6 +524,7 @@ impl Parser {
                 Ok(Stmt::If { cond, then, els })
             }
             Tok::Keyword(K::Case) | Tok::Keyword(K::Casez) => {
+                let span = self.span();
                 let kind = if self.eat_kw(K::Case) {
                     CaseKind::Case
                 } else {
@@ -557,6 +558,7 @@ impl Parser {
                     expr,
                     arms,
                     default,
+                    span,
                 })
             }
             Tok::Keyword(K::For) => {

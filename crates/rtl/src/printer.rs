@@ -181,6 +181,7 @@ fn print_stmt(stmt: &Stmt, out: &mut String, level: usize, do_indent: bool) {
             expr,
             arms,
             default,
+            ..
         } => {
             let kw = match kind {
                 CaseKind::Case => "case",

@@ -721,7 +721,26 @@ pub(crate) fn eval_into(
             let mut y = scratch.take();
             eval_into(state, scratch, a, &mut x)?;
             eval_into(state, scratch, b, &mut y)?;
-            if *signed {
+            // Wide `/`/`%` go through `divmod_into` with a pooled buffer
+            // for the half we discard: `div_into`/`rem_into` would allocate
+            // their scratch per evaluation above 128 bits.
+            if matches!(op, BinaryOp::Div | BinaryOp::Mod) && x.width().max(y.width()) > 128 {
+                let w = x.width().max(y.width());
+                if *signed {
+                    x.resize_signed_in_place(w);
+                    y.resize_signed_in_place(w);
+                } else {
+                    x.resize_in_place(w);
+                    y.resize_in_place(w);
+                }
+                let mut spare = scratch.take();
+                if matches!(op, BinaryOp::Div) {
+                    x.divmod_into(&y, out, &mut spare);
+                } else {
+                    x.divmod_into(&y, &mut spare, out);
+                }
+                scratch.put(spare);
+            } else if *signed {
                 apply_binary_signed_into(*op, &mut x, &mut y, out);
             } else {
                 apply_binary_into(*op, &mut x, &mut y, out);

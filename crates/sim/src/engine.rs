@@ -154,6 +154,32 @@ pub struct Simulator {
     counters: Option<Box<SimCounters>>,
 }
 
+/// A batch of stimulus signals resolved to interned IDs once, via
+/// [`Simulator::stimulus_plan`]. Workload hot loops poke through the
+/// plan's IDs instead of repeating a name lookup every cycle.
+#[derive(Debug, Clone)]
+pub struct StimulusPlan {
+    ids: Vec<SigId>,
+}
+
+impl StimulusPlan {
+    /// The interned ID of the `i`-th name given to
+    /// [`Simulator::stimulus_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range — plans are indexed by the same
+    /// positions the caller built them with.
+    pub fn id(&self, i: usize) -> SigId {
+        self.ids[i]
+    }
+
+    /// All interned IDs, positionally matched to the resolved names.
+    pub fn ids(&self) -> &[SigId] {
+        &self.ids
+    }
+}
+
 /// A full simulation snapshot produced by [`Simulator::checkpoint`].
 pub struct Checkpoint {
     state: SimState,
@@ -364,14 +390,83 @@ impl Simulator {
             .design
             .sig_id(name)
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
-        self.poke_id(id, &value);
+        self.apply_poke(id, &value);
         Ok(())
+    }
+
+    /// Interned [`poke`](Self::poke): same semantics, no name lookup. Pair
+    /// with [`stimulus_plan`](Self::stimulus_plan) to resolve the names
+    /// once and drive the hot loop entirely through [`SigId`]s.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatches and on memory signals (a memory has no
+    /// scalar slot to poke).
+    pub fn poke_id(&mut self, id: SigId, value: &Bits) -> Result<(), SimError> {
+        if self.state.mem_slot_of(id).is_some() {
+            return Err(SimError::UnknownSignal(
+                self.design.table.name(id).to_owned(),
+            ));
+        }
+        let expected = self.state.get_id(id).width();
+        if value.width() != expected {
+            return Err(SimError::WidthMismatch {
+                signal: self.design.table.name(id).to_owned(),
+                expected,
+                got: value.width(),
+            });
+        }
+        self.apply_poke(id, value);
+        Ok(())
+    }
+
+    /// Interned [`poke_u64`](Self::poke_u64): the value is truncated to
+    /// the signal's width and lands directly in the dense state slot —
+    /// allocation-free at any width, with no name lookup.
+    pub fn poke_id_u64(&mut self, id: SigId, value: u64) {
+        if !self.forces.is_empty() && self.forces.contains_key(&id) {
+            if let Some(c) = &mut self.counters {
+                c.force_hits += 1;
+            }
+            return;
+        }
+        if self.state.set_id_u64(id, value) {
+            if let Some(c) = &mut self.counters {
+                c.pokes += 1;
+            }
+            self.dirty_sigs.push(id);
+            self.dirty_units
+                .extend_from_slice(&self.compiled.writers[id.index()]);
+        }
+    }
+
+    /// Resolves a batch of stimulus signals to interned IDs, validating
+    /// each name once. The returned plan's IDs are positionally matched to
+    /// `names`, for use with [`poke_id`](Self::poke_id) /
+    /// [`poke_id_u64`](Self::poke_id_u64) in per-cycle loops.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any name is unknown or refers to a memory.
+    pub fn stimulus_plan(&self, names: &[&str]) -> Result<StimulusPlan, SimError> {
+        let ids = names
+            .iter()
+            .map(|name| {
+                self.design
+                    .signals
+                    .get(*name)
+                    .filter(|s| s.mem_depth.is_none())
+                    .and_then(|_| self.design.sig_id(name))
+                    .ok_or_else(|| SimError::UnknownSignal((*name).to_owned()))
+            })
+            .collect::<Result<Vec<SigId>, SimError>>()?;
+        Ok(StimulusPlan { ids })
     }
 
     /// Interned poke: marks readers dirty, and — because a full pass would
     /// re-derive a driven signal from its driver — also re-schedules any
     /// unit that writes the signal. Forced signals swallow the write.
-    fn poke_id(&mut self, id: SigId, value: &Bits) {
+    fn apply_poke(&mut self, id: SigId, value: &Bits) {
         if !self.forces.is_empty() && self.forces.contains_key(&id) {
             if let Some(c) = &mut self.counters {
                 c.force_hits += 1;
@@ -415,7 +510,7 @@ impl Simulator {
             .sig_id(name)
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
         // Apply the pinned value first (while not yet forced), then pin.
-        self.poke_id(id, &value);
+        self.apply_poke(id, &value);
         self.forces.insert(id, value);
         Ok(())
     }
@@ -734,7 +829,7 @@ impl Simulator {
         }
         let plan = self.clock_plan(clock);
         if let Some(cid) = plan.clock_id {
-            self.poke_id(cid, &Bits::from_u64(1, 0));
+            self.poke_id_u64(cid, 0);
         }
         self.settle()?;
 
@@ -746,7 +841,7 @@ impl Simulator {
         }
 
         if let Some(cid) = plan.clock_id {
-            self.poke_id(cid, &Bits::from_u64(1, 1));
+            self.poke_id_u64(cid, 1);
         }
         let cycle = match self.cycles.get_mut(clock) {
             Some(c) => {

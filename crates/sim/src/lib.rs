@@ -39,7 +39,7 @@ pub mod format;
 mod state;
 pub mod vcd;
 
-pub use engine::{Checkpoint, SettleMode, SimConfig, Simulator};
+pub use engine::{Checkpoint, SettleMode, SimConfig, Simulator, StimulusPlan};
 pub use fault::{run_with_faults, step_with_faults, Fault, FaultKind, FaultPlan};
 pub use eval::{effective_mem_addr, eval_expr, expr_width, is_signed};
 pub use state::{RegInit, SimState};

@@ -645,3 +645,46 @@ fn step_after_finish_is_a_no_op() {
     s.step("clk").unwrap();
     assert_eq!(s.peek("n").unwrap().to_u64(), n, "frozen after $finish");
 }
+
+#[test]
+fn stimulus_plan_pokes_through_interned_ids() {
+    let mut s = sim(
+        "module m(input clk, input [7:0] d, input en, output reg [7:0] q);
+            always @(posedge clk) if (en) q <= d;
+         endmodule",
+        "m",
+    );
+    let plan = s.stimulus_plan(&["d", "en"]).unwrap();
+    let (d, en) = (plan.id(0), plan.id(1));
+    s.poke_id(d, &Bits::from_u64(8, 0x5A)).unwrap();
+    s.poke_id_u64(en, 1);
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 0x5A);
+    // Interned pokes behave exactly like named ones: gated off, q holds.
+    s.poke_id_u64(en, 0);
+    s.poke_id_u64(d, 0x77);
+    s.step("clk").unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 0x5A);
+}
+
+#[test]
+fn interned_poke_rejects_width_mismatch_and_mems() {
+    let mut s = sim(
+        "module m(input clk, input [7:0] d, input [1:0] wa, output reg [7:0] q);
+            reg [7:0] ram [0:3];
+            always @(posedge clk) begin
+                ram[wa] <= d;
+                q <= ram[0];
+            end
+         endmodule",
+        "m",
+    );
+    let d = s.stimulus_plan(&["d"]).unwrap().id(0);
+    assert!(matches!(
+        s.poke_id(d, &Bits::from_u64(4, 1)),
+        Err(SimError::WidthMismatch { expected: 8, got: 4, .. })
+    ));
+    // Memories have no scalar slot: both the plan and the poke refuse them.
+    assert!(s.stimulus_plan(&["ram"]).is_err());
+    assert!(s.stimulus_plan(&["nope"]).is_err());
+}

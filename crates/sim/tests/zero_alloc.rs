@@ -84,6 +84,44 @@ fn wide_alu_settle_allocates_nothing() {
     );
 }
 
+/// Wide division: a 192-bit `/` and `%` re-settled every cycle. Above 128
+/// bits these run the restoring divider, which historically allocated
+/// quotient/remainder temporaries per evaluation; `Bits::divmod_into`
+/// shifts and subtracts directly in pooled scratch, so even the wide
+/// divide path stays allocation-free in steady state.
+#[test]
+fn wide_divide_settle_allocates_nothing() {
+    let src = "module m(input clk, input [191:0] a, input [191:0] b,
+                        output [191:0] q, output [191:0] r);
+                 assign q = a / b;
+                 assign r = a % b;
+               endmodule";
+    let design = hwdbg_dataflow::elaborate(
+        &hwdbg_rtl::parse(src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap();
+    let mut sim = Simulator::new(design, &hwdbg_sim::NoModels, SimConfig::default()).unwrap();
+    sim.poke_u64("b", 0x1234_5678).unwrap();
+    for t in 0..16u64 {
+        sim.poke_u64("a", 0xDEAD_BEEF_CAFE ^ (t & 1)).unwrap();
+        sim.settle().unwrap();
+    }
+    let before = thread_allocs();
+    for t in 0..1000u64 {
+        sim.poke_u64("a", 0xDEAD_BEEF_CAFE ^ (t & 1)).unwrap();
+        sim.settle().unwrap();
+        std::hint::black_box(sim.peek("q").unwrap());
+        std::hint::black_box(sim.peek("r").unwrap());
+    }
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "wide-divide settle allocated {allocs} times over 1000 settles"
+    );
+}
+
 /// The comb-chain settle ablation: 256 chained 32-bit adders re-settled
 /// with a toggling input. Exercises the event-driven settle worklist and
 /// combinational eval with zero clocked state.

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod lint_expect;
 pub mod snippets;
 pub mod study;
 pub mod workloads;

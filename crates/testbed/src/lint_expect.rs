@@ -1,0 +1,65 @@
+//! Expected static-lint findings per testbed bug.
+//!
+//! This is the checked-in snapshot the `lint-suite` CI job and the
+//! `lint_effectiveness` benchmark compare against: for each of the 20
+//! testbed bugs, the set of `hwdbg-lint` L-codes that fire on the *buggy*
+//! design under default configuration. Every *fixed* design must produce
+//! zero findings — that side needs no table.
+//!
+//! Not every bug is statically detectable: timing-dependent losses, wrong
+//! constants, and protocol misunderstandings (e.g. D3's address aliasing)
+//! only manifest dynamically, which is exactly the boundary the paper draws
+//! between static checking and run-time instrumentation. 9 of 20 carry a
+//! static fingerprint.
+
+use crate::BugId;
+
+/// L-codes expected on the buggy variant of `id`, sorted, deduplicated.
+/// Empty means the bug has no static fingerprint and lint must stay silent.
+pub fn expected_lints(id: BugId) -> &'static [&'static str] {
+    match id {
+        // D1: obuf sized 10 but the wrap test allows indices up to 11.
+        BugId::D1 => &["L0501"],
+        // D2: wr_ptr increments without any wrap test; linebuf holds 12.
+        BugId::D2 => &["L0501"],
+        // D5: a 64-bit intermediate stored into a 32-bit temporary.
+        BugId::D5 => &["L0202"],
+        // D10: the `start` branch re-seeds every working register but `b`.
+        BugId::D10 => &["L0405"],
+        // D11: `drop` is set on a malformed header and never cleared.
+        BugId::D11 => &["L0404"],
+        // C1: tx_ready and rx_ready each wait for the other; both reset 0.
+        BugId::C1 => &["L0602"],
+        // C3: `delayed_valid` exists but nothing reads it.
+        BugId::C3 => &["L0402"],
+        // S1: bvalid is only asserted once bready is already high.
+        BugId::S1 => &["L0601"],
+        // S3: `s_keep` reaches only the $display call, never the datapath.
+        BugId::S3 => &["L0403"],
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_enough_bugs() {
+        let flagged = BugId::ALL
+            .iter()
+            .filter(|id| !expected_lints(**id).is_empty())
+            .count();
+        assert!(
+            flagged >= 8,
+            "static lints must flag at least 8 of the 20 testbed bugs, got {flagged}"
+        );
+        for id in BugId::ALL {
+            let codes = expected_lints(id);
+            let mut sorted = codes.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(codes, sorted.as_slice(), "{id:?}: snapshot not sorted/deduped");
+        }
+    }
+}

@@ -5,6 +5,11 @@
 //! AXI master/consumer around the design under test — including the
 //! "external monitor" (FPGA shell / protocol checker) that produces the
 //! `Ext.` symptom in Table 2.
+//!
+//! Per-cycle stimulus loops resolve their signal names once through
+//! [`Simulator::stimulus_plan`] and poke through interned IDs
+//! ([`Simulator::poke_id_u64`]), keeping the drive side of each workload
+//! on the simulator's zero-allocation hot path.
 
 use crate::{BugId, Outcome, Symptom};
 use hwdbg_sim::{SimError, Simulator};
@@ -80,13 +85,15 @@ fn reset(sim: &mut Simulator) -> Result<(), SimError> {
 // ---- D1: RSD buffer overflow -------------------------------------------
 
 fn d1_send_block(sim: &mut Simulator, symbols: &[u64], corrupt_at: &[usize]) -> Result<(), SimError> {
+    let plan = sim.stimulus_plan(&["din", "din_valid"])?;
+    let (din, din_valid) = (plan.id(0), plan.id(1));
     for (i, &s) in symbols.iter().enumerate() {
         let corrupt = if corrupt_at.contains(&i) { 1 << 8 } else { 0 };
-        sim.poke_u64("din", s | corrupt)?;
-        sim.poke_u64("din_valid", 1)?;
+        sim.poke_id_u64(din, s | corrupt);
+        sim.poke_id_u64(din_valid, 1);
         sim.step("clk")?;
     }
-    sim.poke_u64("din_valid", 0)?;
+    sim.poke_id_u64(din_valid, 0);
     sim.step("clk")?; // flush the hold stage
     sim.step("clk")?;
     Ok(())
@@ -152,15 +159,17 @@ fn d2_run(sim: &mut Simulator, n: usize, require_done: bool) -> Result<Outcome, 
     sim.step("clk")?;
     sim.poke_u64("start", 0)?;
     let pixels: Vec<u64> = (0..n as u64).map(|i| (i << 16) | ((i * 3) << 8) | ((i * 7) % 256)).collect();
+    let plan = sim.stimulus_plan(&["pix_in", "pix_in_valid", "host_rd"])?;
+    let (pix_in, pix_in_valid, host_rd) = (plan.id(0), plan.id(1), plan.id(2));
     let mut got = Vec::new();
     for &p in &pixels {
-        sim.poke_u64("pix_in", p)?;
-        sim.poke_u64("pix_in_valid", 1)?;
+        sim.poke_id_u64(pix_in, p);
+        sim.poke_id_u64(pix_in_valid, 1);
         sim.step("clk")?;
-        sim.poke_u64("pix_in_valid", 0)?;
-        sim.poke_u64("host_rd", 1)?;
+        sim.poke_id_u64(pix_in_valid, 0);
+        sim.poke_id_u64(host_rd, 1);
         sim.step("clk")?;
-        sim.poke_u64("host_rd", 0)?;
+        sim.poke_id_u64(host_rd, 0);
         if sim.peek("pix_out_valid")?.to_bool() {
             got.push(sim.peek("pix_out")?.to_u64());
         }
@@ -174,9 +183,9 @@ fn d2_run(sim: &mut Simulator, n: usize, require_done: bool) -> Result<Outcome, 
         if got.len() >= n {
             break;
         }
-        sim.poke_u64("host_rd", 1)?;
+        sim.poke_id_u64(host_rd, 1);
         sim.step("clk")?;
-        sim.poke_u64("host_rd", 0)?;
+        sim.poke_id_u64(host_rd, 0);
         if sim.peek("pix_out_valid")?.to_bool() {
             got.push(sim.peek("pix_out")?.to_u64());
         }
@@ -221,27 +230,30 @@ fn d2_ground_truth(sim: &mut Simulator) -> Result<Outcome, SimError> {
 
 fn d3_optimus(sim: &mut Simulator) -> Result<Outcome, SimError> {
     reset(sim)?;
+    let plan = sim.stimulus_plan(&["vm_id", "offset", "wdata", "wr_valid", "rd_valid"])?;
+    let (vm_id, offset, wdata) = (plan.id(0), plan.id(1), plan.id(2));
+    let (wr_valid, rd_valid) = (plan.id(3), plan.id(4));
     let mut expected = Vec::new();
     for vm in 0..2u64 {
         for off in 0..6u64 {
             let val = 0x100 * (vm + 1) + off;
-            sim.poke_u64("vm_id", vm)?;
-            sim.poke_u64("offset", off)?;
-            sim.poke_u64("wdata", val)?;
-            sim.poke_u64("wr_valid", 1)?;
+            sim.poke_id_u64(vm_id, vm);
+            sim.poke_id_u64(offset, off);
+            sim.poke_id_u64(wdata, val);
+            sim.poke_id_u64(wr_valid, 1);
             sim.step("clk")?;
-            sim.poke_u64("wr_valid", 0)?;
+            sim.poke_id_u64(wr_valid, 0);
             expected.push(val);
         }
     }
     let mut got = Vec::new();
     for vm in 0..2u64 {
         for off in 0..6u64 {
-            sim.poke_u64("vm_id", vm)?;
-            sim.poke_u64("offset", off)?;
-            sim.poke_u64("rd_valid", 1)?;
+            sim.poke_id_u64(vm_id, vm);
+            sim.poke_id_u64(offset, off);
+            sim.poke_id_u64(rd_valid, 1);
             sim.step("clk")?;
-            sim.poke_u64("rd_valid", 0)?;
+            sim.poke_id_u64(rd_valid, 0);
             if sim.peek("rdata_valid")?.to_bool() {
                 got.push(sim.peek("rdata")?.to_u64());
             } else {
@@ -287,10 +299,12 @@ fn d3_ground_truth(sim: &mut Simulator) -> Result<Outcome, SimError> {
 fn d4_frame_fifo(sim: &mut Simulator) -> Result<Outcome, SimError> {
     reset(sim)?;
     sim.poke_u64("m_ready", 0)?;
+    let plan = sim.stimulus_plan(&["s_data", "s_valid"])?;
+    let (s_data, s_valid) = (plan.id(0), plan.id(1));
     let mut accepted = Vec::new();
     for w in 1..=17u64 {
-        sim.poke_u64("s_data", w)?;
-        sim.poke_u64("s_valid", 1)?;
+        sim.poke_id_u64(s_data, w);
+        sim.poke_id_u64(s_valid, 1);
         sim.settle()?;
         let full = sim.peek("full")?.to_bool();
         sim.step("clk")?;
@@ -298,7 +312,7 @@ fn d4_frame_fifo(sim: &mut Simulator) -> Result<Outcome, SimError> {
             accepted.push(w);
         }
     }
-    sim.poke_u64("s_valid", 0)?;
+    sim.poke_id_u64(s_valid, 0);
     sim.poke_u64("m_ready", 1)?;
     let mut got = Vec::new();
     for _ in 0..40 {
@@ -538,14 +552,16 @@ fn d9_sdspi(sim: &mut Simulator) -> Result<Outcome, SimError> {
 // ---- D11/D12: frame FIFO failure-to-update --------------------------------
 
 fn d11_push_frame(sim: &mut Simulator, base: u64, len: usize) -> Result<(), SimError> {
+    let plan = sim.stimulus_plan(&["s_data", "s_valid", "s_last"])?;
+    let (s_data, s_valid, s_last) = (plan.id(0), plan.id(1), plan.id(2));
     for i in 0..len {
-        sim.poke_u64("s_data", base + i as u64)?;
-        sim.poke_u64("s_valid", 1)?;
-        sim.poke_u64("s_last", (i == len - 1) as u64)?;
+        sim.poke_id_u64(s_data, base + i as u64);
+        sim.poke_id_u64(s_valid, 1);
+        sim.poke_id_u64(s_last, (i == len - 1) as u64);
         sim.step("clk")?;
     }
-    sim.poke_u64("s_valid", 0)?;
-    sim.poke_u64("s_last", 0)?;
+    sim.poke_id_u64(s_valid, 0);
+    sim.poke_id_u64(s_last, 0);
     sim.step("clk")?; // flush in_reg
     Ok(())
 }
@@ -610,20 +626,22 @@ fn d11_ground_truth(sim: &mut Simulator) -> Result<Outcome, SimError> {
 fn d12_frame_fifo(sim: &mut Simulator) -> Result<Outcome, SimError> {
     reset(sim)?;
     sim.poke_u64("m_ready", 1)?;
+    let plan = sim.stimulus_plan(&["s_data", "s_valid", "s_last"])?;
+    let (s_data, s_valid, s_last) = (plan.id(0), plan.id(1), plan.id(2));
     let mut got = Vec::new();
     for f in 0..2u64 {
         for i in 0..4u64 {
-            sim.poke_u64("s_data", 0x10 * (f + 1) + i)?;
-            sim.poke_u64("s_valid", 1)?;
-            sim.poke_u64("s_last", (i == 3) as u64)?;
+            sim.poke_id_u64(s_data, 0x10 * (f + 1) + i);
+            sim.poke_id_u64(s_valid, 1);
+            sim.poke_id_u64(s_last, (i == 3) as u64);
             sim.step("clk")?;
             if sim.peek("m_valid")?.to_bool() {
                 got.push((sim.peek("m_data")?.to_u64(), sim.peek("m_last")?.to_bool()));
             }
         }
     }
-    sim.poke_u64("s_valid", 0)?;
-    sim.poke_u64("s_last", 0)?;
+    sim.poke_id_u64(s_valid, 0);
+    sim.poke_id_u64(s_last, 0);
     for _ in 0..12 {
         sim.step("clk")?;
         if sim.peek("m_valid")?.to_bool() {
@@ -645,21 +663,24 @@ fn d12_frame_fifo(sim: &mut Simulator) -> Result<Outcome, SimError> {
 
 fn d13_frame_len(sim: &mut Simulator) -> Result<Outcome, SimError> {
     reset(sim)?;
+    let plan = sim.stimulus_plan(&["s_data", "s_valid", "s_sop", "s_eop"])?;
+    let (s_data, s_valid) = (plan.id(0), plan.id(1));
+    let (s_sop, s_eop) = (plan.id(2), plan.id(3));
     let mut got = Vec::new();
     for len in [3u64, 2, 5] {
         for i in 0..len {
-            sim.poke_u64("s_data", i)?;
-            sim.poke_u64("s_valid", 1)?;
-            sim.poke_u64("s_sop", (i == 0) as u64)?;
-            sim.poke_u64("s_eop", (i == len - 1) as u64)?;
+            sim.poke_id_u64(s_data, i);
+            sim.poke_id_u64(s_valid, 1);
+            sim.poke_id_u64(s_sop, (i == 0) as u64);
+            sim.poke_id_u64(s_eop, (i == len - 1) as u64);
             sim.step("clk")?;
             if sim.peek("len_valid")?.to_bool() {
                 got.push(sim.peek("len")?.to_u64());
             }
         }
-        sim.poke_u64("s_valid", 0)?;
-        sim.poke_u64("s_sop", 0)?;
-        sim.poke_u64("s_eop", 0)?;
+        sim.poke_id_u64(s_valid, 0);
+        sim.poke_id_u64(s_sop, 0);
+        sim.poke_id_u64(s_eop, 0);
         sim.step("clk")?;
         if sim.peek("len_valid")?.to_bool() {
             got.push(sim.peek("len")?.to_u64());
@@ -701,21 +722,24 @@ fn c1_sdspi(sim: &mut Simulator) -> Result<Outcome, SimError> {
 fn c2_optimus(sim: &mut Simulator) -> Result<Outcome, SimError> {
     reset(sim)?;
     sim.poke_u64("resp_ready", 1)?;
+    let plan = sim.stimulus_plan(&["vm0_valid", "vm0_resp", "vm1_valid", "vm1_resp"])?;
+    let (vm0_valid, vm0_resp) = (plan.id(0), plan.id(1));
+    let (vm1_valid, vm1_resp) = (plan.id(2), plan.id(3));
     let vm1_at = [5u64, 15];
     for cycle in 0..30u64 {
         sim.settle()?;
         let stall = sim.peek("vm0_stall")?.to_bool();
-        sim.poke_u64("vm0_valid", (!stall) as u64)?;
-        sim.poke_u64("vm0_resp", 0x100 + cycle)?;
+        sim.poke_id_u64(vm0_valid, (!stall) as u64);
+        sim.poke_id_u64(vm0_resp, 0x100 + cycle);
         let vm1 = vm1_at.contains(&cycle);
-        sim.poke_u64("vm1_valid", vm1 as u64)?;
+        sim.poke_id_u64(vm1_valid, vm1 as u64);
         if vm1 {
-            sim.poke_u64("vm1_resp", 0xAA00 + cycle)?;
+            sim.poke_id_u64(vm1_resp, 0xAA00 + cycle);
         }
         sim.step("clk")?;
     }
-    sim.poke_u64("vm0_valid", 0)?;
-    sim.poke_u64("vm1_valid", 0)?;
+    sim.poke_id_u64(vm0_valid, 0);
+    sim.poke_id_u64(vm1_valid, 0);
     for _ in 0..6 {
         sim.step("clk")?;
     }
@@ -792,21 +816,23 @@ fn c4_run(sim: &mut Simulator, pushes: usize) -> Result<Outcome, SimError> {
     reset(sim)?;
     sim.poke_u64("m_ready", 0)?;
     sim.step("clk")?; // let s_ready_r rise
+    let plan = sim.stimulus_plan(&["s_data", "s_valid"])?;
+    let (s_data, s_valid) = (plan.id(0), plan.id(1));
     let mut accepted = Vec::new();
     let mut w = 1u64;
     for _ in 0..pushes {
         sim.settle()?;
         if sim.peek("s_ready")?.to_bool() {
-            sim.poke_u64("s_data", w)?;
-            sim.poke_u64("s_valid", 1)?;
+            sim.poke_id_u64(s_data, w);
+            sim.poke_id_u64(s_valid, 1);
             accepted.push(w);
             w += 1;
         } else {
-            sim.poke_u64("s_valid", 0)?;
+            sim.poke_id_u64(s_valid, 0);
         }
         sim.step("clk")?;
     }
-    sim.poke_u64("s_valid", 0)?;
+    sim.poke_id_u64(s_valid, 0);
     sim.step("clk")?;
     sim.step("clk")?;
     sim.poke_u64("m_ready", 1)?;
@@ -888,13 +914,14 @@ fn s2_axis_demo(sim: &mut Simulator) -> Result<Outcome, SimError> {
     sim.poke_u64("tready", 1)?;
     sim.step("clk")?;
     sim.poke_u64("start", 0)?;
+    let tready = sim.stimulus_plan(&["tready"])?.id(0);
     let mut got = Vec::new();
     let mut violation = None;
     let mut prev_stalled: Option<u64> = None;
     for cycle in 0..40u64 {
         // Backpressure during cycles 3..=5.
         let ready = !(3..=5).contains(&cycle);
-        sim.poke_u64("tready", ready as u64)?;
+        sim.poke_id_u64(tready, ready as u64);
         sim.settle()?;
         let tvalid = sim.peek("tvalid")?.to_bool();
         let tdata = sim.peek("tdata")?.to_u64();

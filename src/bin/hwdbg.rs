@@ -14,6 +14,8 @@
 //!                                                   inject faults mid-simulation
 //! hwdbg profile <file.v|BUG_ID> [--cycles N] [--clock CLK] [--json]
 //!                                                   stage timings + hot-path counters
+//! hwdbg lint <file.v|BUG_ID> [--json] [--deny IDS] [--allow IDS] [--warn IDS]
+//!                                                   static bug-pattern analysis (§6)
 //! ```
 //!
 //! All errors surface as rendered [`hwdbg::diag::HwdbgError`] diagnostics
@@ -22,8 +24,10 @@
 
 use hwdbg::dataflow::{elaborate, flatten, resolve, DepKind, Design, PropGraph};
 use hwdbg::diag::HwdbgError;
+use hwdbg::diag::Severity;
 use hwdbg::ip::{StdIpLib, StdModels};
-use hwdbg::obs::{counters_json, json_escape, render_human, stages_json, StageTimer};
+use hwdbg::lint::{Level, LintConfig};
+use hwdbg::obs::{counters_json, json_escape, render_human, stages_json, SimCounters, StageTimer};
 use hwdbg::sim::{run_with_faults, FaultPlan, SimConfig, Simulator};
 use hwdbg::synth::{estimate, estimate_timing, Platform};
 use hwdbg::testbed::{metadata, reproduce, BugId};
@@ -65,6 +69,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         "testbed" => cmd_testbed(rest),
         "faults" => cmd_faults(rest),
         "profile" => cmd_profile(rest),
+        "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -86,7 +91,8 @@ fn print_usage() {
          hwdbg resources <file.v> [--top NAME] [--platform harp|kc705]\n  \
          hwdbg testbed [BUG_ID|all]\n  \
          hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]\n  \
-         hwdbg profile <file.v|BUG_ID> [--top NAME] [--cycles N] [--clock CLK] [--json]"
+         hwdbg profile <file.v|BUG_ID> [--top NAME] [--cycles N] [--clock CLK] [--json]\n  \
+         hwdbg lint <file.v|BUG_ID> [--top NAME] [--json] [--deny IDS] [--allow IDS] [--warn IDS]"
     );
 }
 
@@ -515,6 +521,130 @@ fn cmd_profile(args: &[String]) -> Result<(), Anyhow> {
     } else {
         println!("profile of {label} — clock `{clock}`, outcome: {outcome}");
         println!("{}", render_human(&timer, &counters));
+    }
+    Ok(())
+}
+
+/// `hwdbg lint`: run the static bug-pattern passes over an elaborated
+/// design and render every finding against its source. The target is
+/// either a Verilog file or a testbed bug id (`d1`, `c3`, ...).
+///
+/// `--deny`/`--allow`/`--warn` take comma-separated L-codes and override
+/// the built-in levels; any deny-level finding makes the command exit
+/// nonzero, so `--deny L0501` turns a lint into a CI gate.
+fn cmd_lint(args: &[String]) -> Result<(), Anyhow> {
+    let json = args.iter().any(|a| a == "--json");
+    let filtered: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--json")
+        .cloned()
+        .collect();
+    let opts = Opts::parse(&filtered)?;
+    let target = opts.file()?;
+
+    // Testbed bug id or path on disk.
+    let bug = BugId::ALL
+        .into_iter()
+        .find(|id| id.to_string().eq_ignore_ascii_case(target));
+    let (label, src, top) = match bug {
+        Some(id) => {
+            let meta = metadata(id);
+            (
+                format!("testbed:{id}"),
+                meta.source.to_owned(),
+                Some(meta.top.to_owned()),
+            )
+        }
+        None => (
+            target.to_owned(),
+            std::fs::read_to_string(target)?,
+            opts.get("top").map(str::to_owned),
+        ),
+    };
+
+    let mut cfg = LintConfig::new();
+    for (flag, level) in [
+        ("allow", Level::Allow),
+        ("warn", Level::Warn),
+        ("deny", Level::Deny),
+    ] {
+        if let Some(list) = opts.get(flag) {
+            for code in list.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+                cfg.set(code, level);
+            }
+        }
+    }
+
+    let mut timer = StageTimer::new();
+    let file = timer
+        .time("parse", || hwdbg::rtl::parse(&src))
+        .map_err(|e| rendered(e.into(), &src, &label))?;
+    let top = match top {
+        Some(t) => t,
+        None => {
+            file.modules
+                .last()
+                .ok_or("file contains no modules")?
+                .name
+                .clone()
+        }
+    };
+    let design = timer
+        .time("elaborate", || elaborate(&file, &top, &StdIpLib::new()))
+        .map_err(|e| rendered(e.into(), &src, &label))?;
+
+    let mut counters = SimCounters::default();
+    timer.start("lint");
+    let findings = hwdbg::lint::run_all(&design, &cfg, &mut timer, &mut counters);
+    timer.finish();
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+
+    if json {
+        let items: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                let span = f
+                    .span
+                    .map_or("null".to_owned(), |s| format!("[{}, {}]", s.start, s.end));
+                let signals: Vec<String> = f
+                    .signals
+                    .iter()
+                    .map(|s| format!("\"{}\"", json_escape(s)))
+                    .collect();
+                format!(
+                    "{{\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\", \
+                     \"span\": {span}, \"signals\": [{}]}}",
+                    f.code.as_str(),
+                    f.severity,
+                    json_escape(&f.message),
+                    signals.join(", ")
+                )
+            })
+            .collect();
+        println!(
+            "{{\"design\": \"{}\", \"top\": \"{}\", \"errors\": {errors}, \
+             \"findings\": [{}], \"stages\": {}, \"counters\": {}}}",
+            json_escape(&label),
+            json_escape(&top),
+            items.join(", "),
+            stages_json(&timer),
+            counters_json(&counters),
+        );
+    } else {
+        for f in &findings {
+            println!("{}", f.clone().with_path(&label).render(Some(&src)));
+        }
+        eprintln!(
+            "{label}: {} finding(s) ({errors} error(s)) from {} pass(es)",
+            findings.len(),
+            counters.lint_passes
+        );
+    }
+    if errors > 0 {
+        return Err(format!("{errors} deny-level finding(s)").into());
     }
     Ok(())
 }

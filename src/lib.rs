@@ -14,6 +14,7 @@
 //! * [`synth`] — FPGA resource-estimation and timing model
 //! * [`tools`] — SignalCat, FSM Monitor, Dependency Monitor, Statistics
 //!   Monitor, and LossCheck
+//! * [`lint`] — bug-study-driven static analysis passes with stable L-codes
 //! * [`testbed`] — 20 reproducible FPGA bugs plus the 68-bug study catalog
 //!
 //! # Example
@@ -32,6 +33,7 @@ pub use hwdbg_bits as bits;
 pub use hwdbg_dataflow as dataflow;
 pub use hwdbg_diag as diag;
 pub use hwdbg_ip as ip;
+pub use hwdbg_lint as lint;
 pub use hwdbg_obs as obs;
 pub use hwdbg_rtl as rtl;
 pub use hwdbg_sim as sim;
