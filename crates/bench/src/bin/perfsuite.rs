@@ -17,11 +17,20 @@
 //! Two `+metrics` companion records rerun the largest comb chain and the
 //! grayscale pipeline with the observability counters enabled. They carry
 //! extra fields: `metrics_overhead_pct` (per-iteration slowdown vs the
-//! metrics-off record, from an ABBA-paired median — the budget is ≤5%),
-//! `overhead_noisy` (true when the raw median came out negative and was
-//! clamped to 0), `counters` (the [`hwdbg_obs::SimCounters`] registry
-//! after the run), and, for grayscale, `stages` (per-pipeline-stage wall
+//! metrics-off record, from an ABBA-paired median over adaptive windows
+//! — the budget is ≤5%), `metrics_overhead_ci_pct` (a sign-test ~95%
+//! confidence interval `[lo, hi]` for that median), `overhead_noisy`
+//! (true when the interval straddles zero — the effect is below the
+//! machine's noise floor), `counters` (the [`hwdbg_obs::SimCounters`]
+//! registry after the run), and, for grayscale, `stages` (per-stage wall
 //! times of one elaborate → compile → simulate pass).
+//!
+//! Two `campaign_fault_matrix/*` records run the full 20-bug × 4-fault
+//! campaign through the work-stealing pool at one worker and at the
+//! host's available parallelism, reporting jobs (not cycles) per second
+//! plus `workers`, `host_cpus`, and `steals` — the speedup between the
+//! two records is the campaign engine's scaling headline, and is bounded
+//! by `host_cpus` (a 1-core container shows ~1×, honestly).
 //!
 //! Usage: `cargo run --release -p hwdbg-bench --bin perfsuite`
 
@@ -252,8 +261,10 @@ fn main() {
             },
         );
         let extra = format!(
-            ", \"metrics_overhead_pct\": {:.2}, \"overhead_noisy\": {}, \"counters\": {}",
+            ", \"metrics_overhead_pct\": {:.2}, \"metrics_overhead_ci_pct\": [{:.2}, {:.2}], \"overhead_noisy\": {}, \"counters\": {}",
             oh.pct,
+            oh.ci_lo_pct,
+            oh.ci_hi_pct,
             oh.noisy,
             counters_json(&counters)
         );
@@ -295,8 +306,10 @@ fn main() {
         });
         let counters = *sim.counters().unwrap();
         let extra = format!(
-            ", \"metrics_overhead_pct\": {:.2}, \"overhead_noisy\": {}, \"stages\": {}, \"counters\": {}",
+            ", \"metrics_overhead_pct\": {:.2}, \"metrics_overhead_ci_pct\": [{:.2}, {:.2}], \"overhead_noisy\": {}, \"stages\": {}, \"counters\": {}",
             oh.pct,
+            oh.ci_lo_pct,
+            oh.ci_hi_pct,
             oh.noisy,
             stages_json(&timer),
             counters_json(&counters)
@@ -307,6 +320,51 @@ fn main() {
             allocs_per_cycle: apc,
             extra,
         });
+    }
+
+    // Campaign scaling: the full fault matrix through the work-stealing
+    // pool at 1 worker and at host parallelism. Jobs per second, not
+    // cycles — each job is a whole 40-cycle faulted simulation. The
+    // speedup between the two records is bounded by `host_cpus`; on a
+    // single-core container both legitimately read ~1×.
+    {
+        let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let campaign = hwdbg_campaign::clients::fault_matrix().expect("matrix builds");
+        let n_jobs = campaign.jobs.len() as u64;
+        // Per-job allocations, measured on the serial reference loop (the
+        // pool's allocations land on worker threads, invisible to the
+        // thread-local counter). Jobs build whole simulators, so unlike
+        // the steady-state benches this is expected to be large — it is
+        // here to catch regressions, not to be zero.
+        campaign.run_serial().expect("warm serial run");
+        let apc = allocs_per_cycle(n_jobs, || {
+            std::hint::black_box(campaign.run_serial().expect("serial run").records.len());
+        });
+        let mut baseline = None;
+        for workers in [1usize, host_cpus.max(2)] {
+            let m = bench(&format!("campaign_fault_matrix/jobs={workers}"), || {
+                campaign.run(workers).expect("campaign run").records.len()
+            });
+            let report = campaign.run(workers).expect("campaign run");
+            let jps = m.iters_per_sec() * n_jobs as f64;
+            let speedup = match baseline {
+                None => {
+                    baseline = Some(jps);
+                    1.0
+                }
+                Some(b) => jps / b,
+            };
+            let extra = format!(
+                ", \"workers\": {}, \"host_cpus\": {}, \"steals\": {}, \"speedup_vs_jobs1\": {:.2}",
+                report.workers, host_cpus, report.steals, speedup
+            );
+            records.push(Record {
+                m,
+                work_per_iter: n_jobs,
+                allocs_per_cycle: apc,
+                extra,
+            });
+        }
     }
 
     let mut json = String::from("[\n");

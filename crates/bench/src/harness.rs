@@ -94,16 +94,28 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
 /// `pct` is the number to report: the median paired slowdown, clamped to
 /// ≥ 0 because a real overhead cannot be negative — a negative median
 /// means measurement noise exceeded the effect. `raw_pct` keeps the
-/// unclamped median for diagnostics, and `noisy` records that the clamp
-/// fired so downstream JSON can flag the record.
+/// unclamped median for diagnostics. `ci_lo_pct..ci_hi_pct` is an
+/// approximate 95% confidence interval for the median (sign-test order
+/// statistics over the quad ratios — distribution-free, so timing
+/// outliers cannot widen it arbitrarily), and `noisy` records that the
+/// interval contains zero: the measurement cannot distinguish the
+/// overhead from nothing.
 #[derive(Debug, Clone, Copy)]
 pub struct Overhead {
     /// Median paired slowdown in percent, clamped to `max(raw_pct, 0)`.
     pub pct: f64,
     /// Unclamped median, possibly negative under noise.
     pub raw_pct: f64,
-    /// True when the raw median came out negative and was clamped.
+    /// Lower bound of the ~95% CI for the median slowdown, percent.
+    pub ci_lo_pct: f64,
+    /// Upper bound of the ~95% CI for the median slowdown, percent.
+    pub ci_hi_pct: f64,
+    /// True when the CI straddles zero — the effect is not resolved.
     pub noisy: bool,
+    /// ABBA quads actually measured (adaptive, odd, 9..=25).
+    pub quads: usize,
+    /// Measurement window actually used per closure run, in ms.
+    pub window_ms: f64,
 }
 
 /// Measures the per-iteration slowdown of `with` relative to `base`,
@@ -112,13 +124,25 @@ pub struct Overhead {
 /// Each repetition runs the closures in an ABBA quad — base, with, with,
 /// base — so linear drift within the quad cancels to first order, and the
 /// per-quad ratio is `(b₁+b₂)/(a₁+a₂)`. The reported overhead is the
-/// median over 25 quads. A separately-benched mean comparison would fold
-/// seconds of drift into the delta; even simple AB pairing leaves a
-/// first-order drift term, which is how earlier runs recorded a
-/// physically impossible −7% overhead.
+/// median over the quads, with a sign-test 95% CI from the sorted
+/// ratios. A separately-benched mean comparison would fold seconds of
+/// drift into the delta; even simple AB pairing leaves a first-order
+/// drift term, which is how earlier runs recorded a physically
+/// impossible −7% overhead.
+///
+/// The window is adaptive: the warm-up pass doubles as calibration, and
+/// the window is stretched (up to a cap) so that even a slow workload
+/// completes enough iterations per window for the per-window mean to be
+/// stable. A fixed short window gave slow workloads 1–2 iterations per
+/// window, and their quad ratios were pure scheduling noise — which is
+/// why `noisy` used to stick on for exactly the workloads where the
+/// overhead mattered most. The quad count shrinks (never below 9) to
+/// keep the total measurement inside a fixed time budget.
 pub fn paired_overhead_pct(base: &mut dyn FnMut(), with: &mut dyn FnMut()) -> Overhead {
-    const WINDOW: Duration = Duration::from_millis(40);
-    const QUADS: usize = 25;
+    const MIN_WINDOW: Duration = Duration::from_millis(40);
+    const MAX_WINDOW: Duration = Duration::from_millis(320);
+    const TARGET_WINDOW_ITERS: f64 = 12.0;
+    const BUDGET: Duration = Duration::from_secs(10);
     fn window(f: &mut dyn FnMut(), dur: Duration) -> f64 {
         let start = Instant::now();
         let mut iters = 0u64;
@@ -128,29 +152,50 @@ pub fn paired_overhead_pct(base: &mut dyn FnMut(), with: &mut dyn FnMut()) -> Ov
         }
         start.elapsed().as_nanos() as f64 / iters.max(1) as f64
     }
-    window(base, WINDOW);
-    window(with, WINDOW);
-    let mut ratios = Vec::with_capacity(QUADS);
-    for _ in 0..QUADS {
-        let a1 = window(base, WINDOW);
-        let b1 = window(with, WINDOW);
-        let b2 = window(with, WINDOW);
-        let a2 = window(base, WINDOW);
+
+    // Warm-up doubles as calibration: how slow is one iteration?
+    let a_ns = window(base, MIN_WINDOW);
+    let b_ns = window(with, MIN_WINDOW);
+    let per_iter_ns = a_ns.max(b_ns);
+    let want = Duration::from_nanos((per_iter_ns * TARGET_WINDOW_ITERS).min(1e12) as u64);
+    let win = want.clamp(MIN_WINDOW, MAX_WINDOW);
+    let by_budget = (BUDGET.as_nanos() / (4 * win.as_nanos()).max(1)) as usize;
+    let quads = by_budget.clamp(9, 25) | 1; // odd, so the median is one ratio
+
+    let mut ratios = Vec::with_capacity(quads);
+    for _ in 0..quads {
+        let a1 = window(base, win);
+        let b1 = window(with, win);
+        let b2 = window(with, win);
+        let a2 = window(base, win);
         ratios.push((b1 + b2) / (a1 + a2));
     }
     ratios.sort_by(f64::total_cmp);
-    let raw_pct = (ratios[QUADS / 2] - 1.0) * 100.0;
-    let noisy = raw_pct < 0.0;
+    let raw_pct = (ratios[quads / 2] - 1.0) * 100.0;
+    // Sign-test order-statistic CI for the median: under H0 each ratio
+    // falls on either side of the true median with p=1/2, so the ranks
+    // covering ~95% are median ± 1.96·√n/2.
+    let n = quads as f64;
+    let lo_rank = (((n - 1.0) / 2.0) - 0.98 * n.sqrt()).floor().max(0.0) as usize;
+    let hi_rank = (quads - 1).saturating_sub(lo_rank);
+    let ci_lo_pct = (ratios[lo_rank] - 1.0) * 100.0;
+    let ci_hi_pct = (ratios[hi_rank] - 1.0) * 100.0;
+    let noisy = ci_lo_pct <= 0.0 && ci_hi_pct >= 0.0;
     if noisy {
         eprintln!(
-            "warning: paired overhead measured negative ({raw_pct:.2}%); \
-             noise dominates the effect, clamping to 0"
+            "warning: paired overhead {raw_pct:.2}% has a 95% CI \
+             [{ci_lo_pct:.2}%, {ci_hi_pct:.2}%] straddling zero; \
+             the effect is below this machine's noise floor"
         );
     }
     Overhead {
         pct: raw_pct.max(0.0),
         raw_pct,
+        ci_lo_pct,
+        ci_hi_pct,
         noisy,
+        quads,
+        window_ms: win.as_secs_f64() * 1e3,
     }
 }
 
@@ -201,18 +246,60 @@ mod tests {
             oh.raw_pct.abs() < 50.0,
             "identical closures diverged: {oh:?}"
         );
+        assert!(
+            oh.ci_lo_pct <= oh.raw_pct && oh.raw_pct <= oh.ci_hi_pct,
+            "median must sit inside its own CI: {oh:?}"
+        );
+    }
+
+    /// A serially-dependent LCG chain the optimizer cannot collapse. The
+    /// obvious `(0..n).sum()` fixture is useless in release builds —
+    /// LLVM's scalar evolution folds it to the closed form, both sides
+    /// become O(1), and the "20× slower" closure measures 0% overhead.
+    fn chain(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..std::hint::black_box(n) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
     }
 
     #[test]
     fn real_overhead_is_detected() {
         let mut a = || {
-            std::hint::black_box((0..200u64).sum::<u64>());
+            std::hint::black_box(chain(200));
         };
         let mut b = || {
-            std::hint::black_box((0..4000u64).sum::<u64>());
+            std::hint::black_box(chain(4000));
         };
         let oh = paired_overhead_pct(&mut a, &mut b);
         assert!(!oh.noisy, "a 20x slowdown must not read as noise: {oh:?}");
         assert!(oh.pct > 100.0, "expected a large overhead: {oh:?}");
+        assert!(
+            oh.ci_lo_pct > 0.0,
+            "the CI must exclude zero for a real effect: {oh:?}"
+        );
+    }
+
+    #[test]
+    fn slow_workloads_get_longer_windows() {
+        // ~4 ms per iteration: the old fixed 40 ms window fit only a
+        // handful of iterations and the quad ratios were scheduling
+        // noise — `noisy` stuck on for exactly these workloads. The
+        // adaptive window must stretch instead.
+        let mut a = || std::thread::sleep(Duration::from_millis(4));
+        let mut b = || std::thread::sleep(Duration::from_millis(4));
+        let oh = paired_overhead_pct(&mut a, &mut b);
+        assert!(
+            oh.window_ms > 40.0,
+            "window must stretch for slow iterations: {oh:?}"
+        );
+        assert!(oh.quads >= 9 && oh.quads % 2 == 1, "quads odd and >= 9: {oh:?}");
+        // Sleeps are identical, so whatever the verdict, the CI has to
+        // be tight around zero rather than tens of percent wide.
+        assert!(
+            oh.ci_hi_pct - oh.ci_lo_pct < 20.0,
+            "CI must be tight for identical sleeps: {oh:?}"
+        );
     }
 }

@@ -1,0 +1,242 @@
+//! Campaign jobs: one simulation each, verdict + counters out.
+
+use crate::report::{CampaignReport, JobRecord};
+use crate::runner::run_sharded;
+use crate::CampaignError;
+use hwdbg_ip::StdModels;
+use hwdbg_obs::SimCounters;
+use hwdbg_sim::{
+    run_with_faults, CompiledDesign, FaultPlan, RegInit, SimConfig, SimError, Simulator,
+};
+use hwdbg_testbed::{workloads, BugId, Outcome};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How a job drives its simulator.
+#[derive(Debug, Clone)]
+pub enum Drive {
+    /// Run the bug's testbed workload (pass/fail verdict). Faults do not
+    /// compose with workload drives — the workload owns the clocking.
+    Workload(BugId),
+    /// Free-run `cycles` edges of `clock`, optionally poking stimulus
+    /// before every edge and applying the job's fault plan.
+    FreeRun {
+        /// The clock signal to step.
+        clock: String,
+        /// How many cycles to run.
+        cycles: u64,
+        /// Per-cycle stimulus pokes (resolved to interned IDs once).
+        stim: Vec<Stim>,
+    },
+}
+
+/// One per-cycle stimulus assignment.
+#[derive(Debug, Clone)]
+pub struct Stim {
+    /// Target signal name.
+    pub name: String,
+    /// Value driven before each edge.
+    pub value: StimValue,
+}
+
+/// The value a [`Stim`] drives.
+#[derive(Debug, Clone, Copy)]
+pub enum StimValue {
+    /// The same constant every cycle.
+    Const(u64),
+    /// The current cycle index (0, 1, 2, ...) — a free counter pattern.
+    Counter,
+}
+
+/// One simulation job: which compiled design, which initialization,
+/// which fault plan, and how to drive it. Jobs are `Send + Sync` (the
+/// compiled design is shared by `Arc`) so the pool can hand them to any
+/// worker.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Design label in the report (bug ID or file stem).
+    pub design: String,
+    /// Fault label in the report (`none`, a fault class, or a spec label).
+    pub fault: String,
+    /// Seed label in the report (`zero` or the numeric seed).
+    pub seed: String,
+    /// The shared compiled design.
+    pub shared: Arc<CompiledDesign>,
+    /// Register/memory initialization for this job.
+    pub init: RegInit,
+    /// Fault plan injected while the job runs (free-run drives only).
+    pub plan: Option<FaultPlan>,
+    /// How the simulator is driven.
+    pub drive: Drive,
+}
+
+/// What a finished job reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Workload drive: the design behaved correctly.
+    Pass,
+    /// Workload drive: the design misbehaved (the bug reproduced).
+    Fail,
+    /// Free-run drive: the run completed, faults and all.
+    Completed,
+    /// The simulator returned a typed error (never a panic).
+    Error,
+}
+
+impl Verdict {
+    /// Stable lowercase name used in report JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Fail => "fail",
+            Verdict::Completed => "completed",
+            Verdict::Error => "error",
+        }
+    }
+}
+
+/// A named batch of jobs ready to run.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Report name (spec `name` line, or the client's).
+    pub name: String,
+    /// The expanded job matrix, in deterministic spec order.
+    pub jobs: Vec<Job>,
+}
+
+impl Campaign {
+    /// Runs the campaign on `workers` threads with work stealing and
+    /// aggregates one report. The deterministic section of the report
+    /// ([`CampaignReport::results_json`]) is byte-identical for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Only scheduling failures (a panicked worker) error out; per-job
+    /// simulator errors become [`Verdict::Error`] records.
+    pub fn run(&self, workers: usize) -> Result<CampaignReport, CampaignError> {
+        let out = run_sharded(&self.jobs, workers, |_, job| run_job(job))?;
+        Ok(CampaignReport::new(
+            self.name.clone(),
+            out.results,
+            workers.clamp(1, self.jobs.len().max(1)),
+            out.wall,
+            out.steals,
+            out.job_wall,
+        ))
+    }
+
+    /// The legacy serial loop: same jobs, same aggregation, no queue and
+    /// no threads. Exists as the reference implementation the determinism
+    /// suite compares the pool against.
+    pub fn run_serial(&self) -> Result<CampaignReport, CampaignError> {
+        let t0 = Instant::now();
+        let mut results = Vec::with_capacity(self.jobs.len());
+        let mut job_wall = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let j0 = Instant::now();
+            results.push(run_job(job));
+            job_wall.push(j0.elapsed());
+        }
+        Ok(CampaignReport::new(
+            self.name.clone(),
+            results,
+            1,
+            t0.elapsed(),
+            0,
+            job_wall,
+        ))
+    }
+}
+
+/// Executes one job to a record. Infallible by construction: every
+/// simulator error is a typed [`Verdict::Error`] outcome, mirroring the
+/// legacy fault suite's "completes or typed error, never a panic"
+/// contract.
+pub(crate) fn run_job(job: &Job) -> JobRecord {
+    let config = SimConfig {
+        init: job.init,
+        ..SimConfig::default()
+    }
+    .with_metrics(true);
+    let record = |verdict: Verdict, detail: String, cycles: u64, counters: SimCounters| JobRecord {
+        design: job.design.clone(),
+        fault: job.fault.clone(),
+        seed: job.seed.clone(),
+        verdict,
+        detail,
+        cycles,
+        counters,
+    };
+    let mut sim = match Simulator::from_compiled(Arc::clone(&job.shared), &StdModels, config) {
+        Ok(s) => s,
+        Err(e) => return record(Verdict::Error, e.to_string(), 0, SimCounters::default()),
+    };
+    let (verdict, detail, cycles) = match &job.drive {
+        Drive::Workload(id) => match workloads::run(*id, &mut sim) {
+            Ok(Outcome::Pass) => (Verdict::Pass, String::new(), steps_of(&sim)),
+            Ok(Outcome::Fail { symptom, detail }) => (
+                Verdict::Fail,
+                format!("{symptom:?}: {detail}"),
+                steps_of(&sim),
+            ),
+            Err(e) => (Verdict::Error, e.to_string(), steps_of(&sim)),
+        },
+        Drive::FreeRun {
+            clock,
+            cycles,
+            stim,
+        } => match free_run(&mut sim, clock, *cycles, stim, job.plan.as_ref()) {
+            Ok(ran) => (Verdict::Completed, String::new(), ran),
+            Err(e) => (Verdict::Error, e.to_string(), sim.cycle(clock)),
+        },
+    };
+    let counters = sim.counters().copied().unwrap_or_default();
+    record(verdict, detail, cycles, counters)
+}
+
+/// Total steps the simulator took (the workload picks its own clock, so
+/// report the step counter rather than guessing a clock name).
+fn steps_of(sim: &Simulator) -> u64 {
+    sim.counters().map(|c| c.steps).unwrap_or_default()
+}
+
+fn free_run(
+    sim: &mut Simulator,
+    clock: &str,
+    cycles: u64,
+    stim: &[Stim],
+    plan: Option<&FaultPlan>,
+) -> Result<u64, SimError> {
+    if stim.is_empty() {
+        // No stimulus: identical call shape to the legacy fault suite.
+        return match plan {
+            Some(p) => run_with_faults(sim, clock, cycles, p),
+            None => {
+                sim.run(clock, cycles)?;
+                Ok(sim.cycle(clock))
+            }
+        };
+    }
+    let names: Vec<&str> = stim.iter().map(|s| s.name.as_str()).collect();
+    let splan = sim.stimulus_plan(&names)?;
+    let mut ran = 0;
+    for cycle in 0..cycles {
+        if sim.finished() {
+            break;
+        }
+        for (i, s) in stim.iter().enumerate() {
+            let v = match s.value {
+                StimValue::Const(c) => c,
+                StimValue::Counter => cycle,
+            };
+            sim.poke_id_u64(splan.id(i), v);
+        }
+        match plan {
+            Some(p) => hwdbg_sim::step_with_faults(sim, clock, p)?,
+            None => sim.step(clock)?,
+        }
+        ran += 1;
+    }
+    Ok(ran)
+}

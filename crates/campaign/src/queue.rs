@@ -1,0 +1,150 @@
+//! A std-only work-stealing job queue.
+//!
+//! Jobs are dealt to per-worker deques up front in contiguous chunks.
+//! Each worker pops LIFO from the **back** of its own deque (freshest
+//! first, cache-warm) and, when empty, steals the **front half** of the
+//! first non-empty victim deque (the oldest jobs, which the owner would
+//! reach last). This is the classic Chase–Lev shape implemented with
+//! `Mutex<VecDeque>` instead of lock-free buffers: jobs here are whole
+//! simulations (microseconds to seconds), so queue overhead is noise and
+//! the std-only constraint wins.
+//!
+//! Determinism note: the queue hands out job *indices*; the runner slots
+//! results back by index, so scheduling order never leaks into reports.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Recover the guard from a poisoned mutex: a panicked worker has already
+/// failed the run (the runner surfaces it), so the queue state — plain
+/// indices — is still safe to read.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) struct StealQueue {
+    decks: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
+}
+
+impl StealQueue {
+    /// Deals job indices `0..n_jobs` across `workers` deques in
+    /// contiguous chunks (worker `w` starts with its own slice of the
+    /// matrix, so neighboring jobs — usually the same design — stay on
+    /// one core until stealing kicks in).
+    pub fn new(n_jobs: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut decks: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for i in 0..n_jobs {
+            decks[i * workers / n_jobs.max(1)].push_back(i);
+        }
+        StealQueue {
+            decks: decks.into_iter().map(Mutex::new).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Next job for worker `me`: own deque first (LIFO), then steal-half
+    /// from the first non-empty victim. `None` means every deque is empty
+    /// — remaining jobs are already executing on other workers, so the
+    /// caller can retire.
+    pub fn next(&self, me: usize) -> Option<usize> {
+        if let Some(i) = lock(&self.decks[me]).pop_back() {
+            return Some(i);
+        }
+        let n = self.decks.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            // Take the front half as a batch under the victim's lock only,
+            // then re-home it under our own lock. Never holding two deck
+            // locks at once rules out lock-order deadlocks between
+            // concurrent thieves.
+            let batch = {
+                let mut v = lock(&self.decks[victim]);
+                let len = v.len();
+                if len == 0 {
+                    continue;
+                }
+                let take = len.div_ceil(2);
+                let mut batch = Vec::with_capacity(take);
+                for _ in 0..take {
+                    match v.pop_front() {
+                        Some(i) => batch.push(i),
+                        None => break,
+                    }
+                }
+                batch
+            };
+            let Some((&first, rest)) = batch.split_first() else {
+                continue;
+            };
+            if !rest.is_empty() {
+                let mut mine = lock(&self.decks[me]);
+                // Push in reverse so our LIFO pop_back walks the stolen
+                // jobs in their original (front-to-back) order.
+                for &i in rest.iter().rev() {
+                    mine.push_back(i);
+                }
+            }
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(first);
+        }
+        None
+    }
+
+    /// How many steal operations happened (telemetry; nondeterministic).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn single_worker_drains_in_lifo_order() {
+        let q = StealQueue::new(4, 1);
+        let got: Vec<usize> = std::iter::from_fn(|| q.next(0)).collect();
+        assert_eq!(got, vec![3, 2, 1, 0]);
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn every_job_is_handed_out_exactly_once() {
+        for workers in [1, 2, 3, 8] {
+            let q = StealQueue::new(23, workers);
+            let mut seen = BTreeSet::new();
+            // Drive all workers round-robin from one thread: interleaving
+            // exercises stealing without scheduler nondeterminism.
+            let mut live = true;
+            while live {
+                live = false;
+                for w in 0..workers {
+                    if let Some(i) = q.next(w) {
+                        assert!(seen.insert(i), "job {i} handed out twice");
+                        live = true;
+                    }
+                }
+            }
+            assert_eq!(seen.len(), 23, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn thieves_take_the_front_half() {
+        // Two workers, all 8 jobs dealt to... both (chunked). Empty out
+        // worker 1's own chunk, then force it to steal from worker 0.
+        let q = StealQueue::new(8, 2);
+        // Worker 1 owns 4..8; drain them.
+        for _ in 0..4 {
+            assert!(q.next(1).is_some());
+        }
+        // Next call must steal half of worker 0's remaining 4 jobs.
+        let stolen = q.next(1);
+        assert!(stolen.is_some());
+        assert_eq!(q.steals(), 1);
+    }
+}

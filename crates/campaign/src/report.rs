@@ -1,0 +1,182 @@
+//! Aggregated campaign reports.
+//!
+//! A report has two sections with different determinism guarantees:
+//!
+//! * the **results** section ([`CampaignReport::results_json`]) — per-job
+//!   verdicts and counters in input-job order plus the merged counter
+//!   total. Byte-identical for any worker count, by construction;
+//! * the **timing** section (the rest of [`CampaignReport::to_json`]) —
+//!   wall clocks, throughput, steal counts. Honest measurements, and
+//!   therefore different on every run.
+
+use crate::job::Verdict;
+use hwdbg_obs::{counters_json, json_escape, SimCounters};
+use std::time::Duration;
+
+/// One job's deterministic outcome.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Design label (bug ID or file stem).
+    pub design: String,
+    /// Fault label (`none`, a class name, or a spec label).
+    pub fault: String,
+    /// Seed label (`zero` or the numeric seed).
+    pub seed: String,
+    /// What happened.
+    pub verdict: Verdict,
+    /// Failure symptom / error message; empty on pass/completed.
+    pub detail: String,
+    /// Cycles actually simulated.
+    pub cycles: u64,
+    /// The job's own hot-path counters.
+    pub counters: SimCounters,
+}
+
+impl JobRecord {
+    fn json(&self) -> String {
+        format!(
+            "{{\"design\": \"{}\", \"fault\": \"{}\", \"seed\": \"{}\", \"verdict\": \"{}\", \"detail\": \"{}\", \"cycles\": {}, \"counters\": {}}}",
+            json_escape(&self.design),
+            json_escape(&self.fault),
+            json_escape(&self.seed),
+            self.verdict.name(),
+            json_escape(&self.detail),
+            self.cycles,
+            counters_json(&self.counters),
+        )
+    }
+}
+
+/// The aggregated output of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Per-job records in input-job order.
+    pub records: Vec<JobRecord>,
+    /// Every job's counters merged.
+    pub merged: SimCounters,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total wall time of the run.
+    pub wall: Duration,
+    /// Steal operations observed (0 when serial).
+    pub steals: u64,
+    /// Per-job wall times, input-job order.
+    pub job_wall: Vec<Duration>,
+}
+
+impl CampaignReport {
+    pub(crate) fn new(
+        name: String,
+        records: Vec<JobRecord>,
+        workers: usize,
+        wall: Duration,
+        steals: u64,
+        job_wall: Vec<Duration>,
+    ) -> Self {
+        let merged = SimCounters::merge_all(records.iter().map(|r| &r.counters));
+        CampaignReport {
+            name,
+            records,
+            merged,
+            workers,
+            wall,
+            steals,
+            job_wall,
+        }
+    }
+
+    /// Jobs per wall-clock second (throughput; nondeterministic).
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.records.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Count of records with a given verdict.
+    pub fn count(&self, v: Verdict) -> usize {
+        self.records.iter().filter(|r| r.verdict == v).count()
+    }
+
+    /// The deterministic section only: per-job verdicts/counters plus the
+    /// merged totals. Two runs of the same campaign produce the same
+    /// bytes here regardless of worker count — the determinism suite and
+    /// CI artifact diffing rely on that.
+    pub fn results_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"campaign\": \"{}\", \"jobs\": {},\n \"records\": [\n",
+            json_escape(&self.name),
+            self.records.len()
+        ));
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&r.json());
+            out.push_str(if i + 1 < self.records.len() { ",\n" } else { "\n" });
+        }
+        out.push_str(&format!(" ],\n \"counters\": {}}}", counters_json(&self.merged)));
+        out
+    }
+
+    /// The full report: the deterministic results section plus wall-clock
+    /// timings and scheduler telemetry.
+    pub fn to_json(&self) -> String {
+        let job_ms: Vec<String> = self
+            .job_wall
+            .iter()
+            .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
+            .collect();
+        format!(
+            "{{\"results\": {},\n \"workers\": {}, \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.1}, \"steals\": {}, \"job_wall_ms\": [{}]}}",
+            self.results_json(),
+            self.workers,
+            self.wall.as_secs_f64() * 1e3,
+            self.jobs_per_sec(),
+            self.steals,
+            job_ms.join(", "),
+        )
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign {}: {} jobs on {} worker{} in {:.1} ms ({:.1} jobs/s, {} steals)\n",
+            self.name,
+            self.records.len(),
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            self.wall.as_secs_f64() * 1e3,
+            self.jobs_per_sec(),
+            self.steals,
+        ));
+        out.push_str(&format!(
+            "  verdicts: {} pass, {} fail, {} completed, {} error\n",
+            self.count(Verdict::Pass),
+            self.count(Verdict::Fail),
+            self.count(Verdict::Completed),
+            self.count(Verdict::Error),
+        ));
+        for r in &self.records {
+            let detail = if r.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", r.detail)
+            };
+            out.push_str(&format!(
+                "  {:<6} {:<16} {:<10} {:>9}  {:>5} cycles{}\n",
+                r.design,
+                r.fault,
+                r.seed,
+                r.verdict.name(),
+                r.cycles,
+                detail
+            ));
+        }
+        out
+    }
+}

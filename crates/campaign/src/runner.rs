@@ -1,0 +1,121 @@
+//! Sharded execution: scoped worker threads draining the steal queue.
+
+use crate::queue::StealQueue;
+use crate::CampaignError;
+use std::time::{Duration, Instant};
+
+/// Everything the pool measured about one run.
+#[derive(Debug)]
+pub(crate) struct RunOutput<R> {
+    /// Per-job results, in input-job order regardless of scheduling.
+    pub results: Vec<R>,
+    /// Per-job wall time, same order (telemetry; nondeterministic).
+    pub job_wall: Vec<Duration>,
+    /// Total wall time of the pool.
+    pub wall: Duration,
+    /// Steal operations across all workers.
+    pub steals: u64,
+}
+
+/// Runs `run` over every job on `workers` threads via work stealing.
+/// `Simulator: Send` (static-asserted in `hwdbg-sim`) is what lets each
+/// worker own full engines; the shared compiled designs inside the jobs
+/// are `Sync` and cross thread boundaries by `Arc`.
+pub(crate) fn run_sharded<J, R, F>(
+    jobs: &[J],
+    workers: usize,
+    run: F,
+) -> Result<RunOutput<R>, CampaignError>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let queue = StealQueue::new(jobs.len(), workers);
+    let t0 = Instant::now();
+    let mut collected: Vec<(usize, R, Duration)> = Vec::with_capacity(jobs.len());
+    let mut worker_panic = false;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                let run = &run;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Some(i) = queue.next(w) {
+                        let j0 = Instant::now();
+                        let r = run(i, &jobs[i]);
+                        out.push((i, r, j0.elapsed()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(mut v) => collected.append(&mut v),
+                Err(_) => worker_panic = true,
+            }
+        }
+    });
+    let wall = t0.elapsed();
+    if worker_panic {
+        return Err(CampaignError::Worker(
+            "a worker thread panicked; report would be incomplete".into(),
+        ));
+    }
+    if collected.len() != jobs.len() {
+        return Err(CampaignError::Worker(format!(
+            "job accounting mismatch: ran {} of {} jobs",
+            collected.len(),
+            jobs.len()
+        )));
+    }
+    // Re-slot by input index: this is the determinism boundary. Whatever
+    // interleaving the steals produced, the output order is the job order.
+    collected.sort_by_key(|(i, _, _)| *i);
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut job_wall = Vec::with_capacity(jobs.len());
+    for (_, r, d) in collected {
+        results.push(r);
+        job_wall.push(d);
+    }
+    Ok(RunOutput {
+        results,
+        job_wall,
+        wall,
+        steals: queue.steals(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let jobs: Vec<usize> = (0..97).collect();
+        for workers in [1, 2, 8] {
+            let out = run_sharded(&jobs, workers, |i, j| {
+                assert_eq!(i, *j);
+                j * 10
+            })
+            .unwrap();
+            let want: Vec<usize> = (0..97).map(|i| i * 10).collect();
+            assert_eq!(out.results, want, "workers={workers}");
+            assert_eq!(out.job_wall.len(), 97);
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error() {
+        let jobs: Vec<usize> = (0..8).collect();
+        let err = run_sharded(&jobs, 2, |_, j| {
+            assert!(*j != 5, "boom");
+            *j
+        })
+        .unwrap_err();
+        assert!(matches!(err, CampaignError::Worker(_)));
+    }
+}

@@ -104,7 +104,7 @@ impl Blackbox for Scfifo {
         self
     }
 
-    fn snapshot(&self) -> Option<Box<dyn Any>> {
+    fn snapshot(&self) -> Option<Box<dyn Any + Send>> {
         Some(Box::new(self.clone()))
     }
 
@@ -183,7 +183,7 @@ impl Blackbox for Dcfifo {
         self
     }
 
-    fn snapshot(&self) -> Option<Box<dyn Any>> {
+    fn snapshot(&self) -> Option<Box<dyn Any + Send>> {
         Some(Box::new(self.clone()))
     }
 

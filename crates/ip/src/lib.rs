@@ -203,7 +203,7 @@ impl BlackboxLib for StdIpLib {
 pub struct StdModels;
 
 impl BlackboxFactory for StdModels {
-    fn create(&self, inst: &BbInst) -> Option<Box<dyn Blackbox>> {
+    fn create(&self, inst: &BbInst) -> Option<Box<dyn Blackbox + Send>> {
         match inst.module.as_str() {
             "scfifo" => Some(Box::new(Scfifo::new(&inst.params))),
             "dcfifo" => Some(Box::new(Dcfifo::new(&inst.params))),

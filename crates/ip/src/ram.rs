@@ -81,7 +81,7 @@ impl Blackbox for Altsyncram {
         self
     }
 
-    fn snapshot(&self) -> Option<Box<dyn Any>> {
+    fn snapshot(&self) -> Option<Box<dyn Any + Send>> {
         Some(Box::new(self.clone()))
     }
 

@@ -151,7 +151,7 @@ impl Blackbox for TraceBuffer {
         self
     }
 
-    fn snapshot(&self) -> Option<Box<dyn Any>> {
+    fn snapshot(&self) -> Option<Box<dyn Any + Send>> {
         Some(Box::new(self.clone()))
     }
 

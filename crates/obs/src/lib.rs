@@ -238,6 +238,17 @@ impl SimCounters {
         self.lint_passes += lint_passes;
         self.lint_findings += lint_findings;
     }
+
+    /// Sums many counter sets into one — the campaign aggregation path,
+    /// where every job reports its own [`SimCounters`] and the fleet
+    /// report carries the total.
+    pub fn merge_all<'a>(sets: impl IntoIterator<Item = &'a SimCounters>) -> SimCounters {
+        let mut out = SimCounters::default();
+        for s in sets {
+            out.merge(s);
+        }
+        out
+    }
 }
 
 /// Milliseconds with enough precision for sub-millisecond stages.

@@ -623,13 +623,16 @@ const POOL_CAP: usize = 64;
 
 impl EvalScratch {
     /// A pool pre-sized to `max_width` so even wide designs reach
-    /// steady-state without allocating: 32 temporaries comfortably exceed
-    /// any realistic expression depth × concurrent lvalue resolution.
+    /// steady-state without allocating. Every retainable entry (the full
+    /// `POOL_CAP`) is pre-spilled to the design's maximum write width at
+    /// compile time: a half-filled pool used to leave the remaining
+    /// entries to spill lazily during warmup, which showed up as one-time
+    /// allocations on the first settles.
     pub fn with_max_width(max_width: u32) -> Self {
         let w = max_width.max(1);
         EvalScratch {
-            pool: (0..32).map(|_| Bits::zero(w)).collect(),
-            writes: Vec::with_capacity(8),
+            pool: (0..POOL_CAP).map(|_| Bits::zero(w)).collect(),
+            writes: Vec::with_capacity(16),
         }
     }
 

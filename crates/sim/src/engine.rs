@@ -17,7 +17,7 @@ use hwdbg_dataflow::{Design, SigId};
 use hwdbg_obs::SimCounters;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Combinational settling strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,7 +89,8 @@ impl SimConfig {
     }
 }
 
-/// Pre-resolved per-clock stepping info, cached on first use of each clock.
+/// Pre-resolved per-clock stepping info, built once per scalar signal at
+/// compile time (see [`CompiledDesign`]).
 #[derive(Debug)]
 struct ClockPlan {
     /// The clock's signal ID, if it names a declared scalar.
@@ -100,6 +101,113 @@ struct ClockPlan {
     ticks: Vec<(usize, String)>,
 }
 
+/// A design compiled once into the immutable schedule the hot path
+/// executes: the elaborated [`Design`], the interned unit schedule with
+/// its per-signal reader/writer tables, and the pre-resolved per-clock
+/// stepping plans.
+///
+/// A `CompiledDesign` is `Send + Sync` and carries no mutable state, so a
+/// single `Arc<CompiledDesign>` can back any number of [`Simulator`]s —
+/// including simulators running concurrently on worker threads. Compiling
+/// is the expensive part of [`Simulator::new`]; campaign runners compile
+/// once and spin up cheap per-job engines with
+/// [`Simulator::from_compiled`].
+pub struct CompiledDesign {
+    design: Design,
+    compiled: Compiled,
+    /// Widest scalar/memory-element width, for pre-sizing scratch pools.
+    max_width: u32,
+    /// Per-clock stepping plans, one per declared scalar signal.
+    plans: BTreeMap<String, Arc<ClockPlan>>,
+    /// Plan returned for names that are not declared scalars: no edge
+    /// toggles, no processes — stepping such a "clock" just settles.
+    empty_plan: Arc<ClockPlan>,
+}
+
+impl std::fmt::Debug for CompiledDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledDesign")
+            .field("design", &self.design.name)
+            .field("units", &self.compiled.n_units())
+            .finish()
+    }
+}
+
+impl CompiledDesign {
+    /// Compiles `design` into the immutable, shareable schedule.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the design references signals that cannot be resolved at
+    /// compile time.
+    pub fn new(design: Design) -> Result<Self, SimError> {
+        // Layout (signal IDs, memory slots) is a pure function of the
+        // design, so a throwaway zero-initialized state is enough to
+        // compile against; per-job states built later line up exactly.
+        let layout = SimState::new(&design, RegInit::Zero);
+        let compiled = Compiled::build(&design, &layout)?;
+        let max_width = design.signals.values().map(|s| s.width).max().unwrap_or(1);
+        let mut plans = BTreeMap::new();
+        for (name, sig) in &design.signals {
+            if sig.mem_depth.is_some() {
+                continue;
+            }
+            let Some(clock_id) = design.sig_id(name) else {
+                continue;
+            };
+            let root = compiled.alias_root(clock_id);
+            let procs = compiled
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.edge_roots.contains(&root))
+                .map(|(i, _)| i)
+                .collect();
+            let mut ticks = Vec::new();
+            for (bi, bb) in compiled.bbs.iter().enumerate() {
+                for (port, roots) in &bb.clock_conns {
+                    if roots.contains(&root) {
+                        ticks.push((bi, port.clone()));
+                    }
+                }
+            }
+            plans.insert(
+                name.clone(),
+                Arc::new(ClockPlan {
+                    clock_id: Some(clock_id),
+                    procs,
+                    ticks,
+                }),
+            );
+        }
+        Ok(CompiledDesign {
+            design,
+            compiled,
+            max_width,
+            plans,
+            empty_plan: Arc::new(ClockPlan {
+                clock_id: None,
+                procs: Vec::new(),
+                ticks: Vec::new(),
+            }),
+        })
+    }
+
+    /// The elaborated design this schedule was compiled from.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The pre-resolved stepping plan for `clock` (the empty plan for
+    /// names that are not declared scalar signals).
+    fn clock_plan(&self, clock: &str) -> Arc<ClockPlan> {
+        self.plans
+            .get(clock)
+            .cloned()
+            .unwrap_or_else(|| Arc::clone(&self.empty_plan))
+    }
+}
+
 /// A cycle-accurate simulator for an elaborated [`Design`].
 ///
 /// Semantics follow the two-phase synchronous model: combinational logic
@@ -107,19 +215,18 @@ struct ClockPlan {
 /// processes read pre-edge values, and nonblocking assignments commit after
 /// every process has run.
 pub struct Simulator {
-    design: Design,
+    /// The immutable compiled schedule, shareable across simulators (and
+    /// threads — see [`CompiledDesign`]).
+    shared: Arc<CompiledDesign>,
     state: SimState,
     config: SimConfig,
-    compiled: Compiled,
-    blackboxes: Vec<Box<dyn Blackbox>>,
+    blackboxes: Vec<Box<dyn Blackbox + Send>>,
     logs: Vec<LogRecord>,
     dropped_logs: u64,
     time: u64,
     cycles: BTreeMap<String, u64>,
     finished: bool,
-    vcd: Option<crate::vcd::VcdWriter<Box<dyn std::io::Write>>>,
-    /// Per-clock stepping plans, built lazily.
-    clock_plans: BTreeMap<String, Rc<ClockPlan>>,
+    vcd: Option<crate::vcd::VcdWriter<Box<dyn std::io::Write + Send>>>,
     /// Signals written since the last settle (pokes, clocked-process writes,
     /// nonblocking commits). Consumed to seed the settle work-list.
     dirty_sigs: Vec<SigId>,
@@ -187,7 +294,7 @@ pub struct Checkpoint {
     cycles: BTreeMap<String, u64>,
     finished: bool,
     logs_len: usize,
-    bb_states: Vec<Box<dyn std::any::Any>>,
+    bb_states: Vec<Box<dyn std::any::Any + Send>>,
     /// Active [`Simulator::force`] pins at capture time. Restoring puts the
     /// pin set back exactly: forces applied after the checkpoint (e.g. a
     /// fault plan's stuck-at) must not survive a rewind.
@@ -206,7 +313,7 @@ impl std::fmt::Debug for Checkpoint {
 impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
-            .field("design", &self.design.name)
+            .field("design", &self.shared.design.name)
             .field("time", &self.time)
             .field("finished", &self.finished)
             .finish()
@@ -228,7 +335,27 @@ impl Simulator {
         factory: &dyn BlackboxFactory,
         config: SimConfig,
     ) -> Result<Self, SimError> {
-        let mut blackboxes = Vec::new();
+        let shared = Arc::new(CompiledDesign::new(design)?);
+        Simulator::from_compiled(shared, factory, config)
+    }
+
+    /// Builds a simulator over an already-compiled design. This is the
+    /// cheap path: no elaboration or schedule construction happens here,
+    /// only per-engine mutable state (value store, scratch pools, blackbox
+    /// models). Campaign runners share one `Arc<CompiledDesign>` across
+    /// every job — and every worker thread — and call this per job.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a blackbox instance has no model in `factory`, or if
+    /// `config.strict_width` rejects a blackbox connection width.
+    pub fn from_compiled(
+        shared: Arc<CompiledDesign>,
+        factory: &dyn BlackboxFactory,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        let design = &shared.design;
+        let mut blackboxes = Vec::with_capacity(design.blackboxes.len());
         for bb in &design.blackboxes {
             let model = factory
                 .create(bb)
@@ -236,20 +363,15 @@ impl Simulator {
             blackboxes.push(model);
         }
         if config.strict_width {
-            check_connection_widths(&design)?;
+            check_connection_widths(design)?;
         }
-        let state = SimState::new(&design, config.init);
-        let compiled = Compiled::build(&design, &state)?;
+        let state = SimState::new(design, config.init);
         let config_metrics = config.metrics;
-        let max_width = design
-            .signals
-            .values()
-            .map(|s| s.width)
-            .max()
-            .unwrap_or(1);
-        let scratch = EvalScratch::with_max_width(max_width);
-        let n_units = compiled.n_units();
-        let bb_input_scratch = compiled
+        let scratch = EvalScratch::with_max_width(shared.max_width);
+        let n_units = shared.compiled.n_units();
+        let n_sigs = design.table.len();
+        let bb_input_scratch = shared
+            .compiled
             .bbs
             .iter()
             .map(|bb| {
@@ -260,10 +382,9 @@ impl Simulator {
             })
             .collect();
         Ok(Simulator {
-            design,
+            shared,
             state,
             config,
-            compiled,
             blackboxes,
             logs: Vec::new(),
             dropped_logs: 0,
@@ -271,15 +392,17 @@ impl Simulator {
             cycles: BTreeMap::new(),
             finished: false,
             vcd: None,
-            clock_plans: BTreeMap::new(),
-            dirty_sigs: Vec::new(),
-            dirty_units: Vec::new(),
+            // Dirty sets are pre-sized so first-cycle pushes do not
+            // allocate; duplicates can exceed these caps, but growth is
+            // one-time and amortized.
+            dirty_sigs: Vec::with_capacity(n_sigs),
+            dirty_units: Vec::with_capacity(n_units),
             force_full: true,
-            changed_scratch: Vec::new(),
+            changed_scratch: Vec::with_capacity(n_sigs),
             scratch,
             settle_heap: BinaryHeap::with_capacity(n_units),
             queued: vec![false; n_units],
-            nb_scratch: Vec::new(),
+            nb_scratch: Vec::with_capacity(16),
             logs_scratch: Vec::new(),
             bb_input_scratch,
             forces: BTreeMap::new(),
@@ -293,22 +416,29 @@ impl Simulator {
 
     /// The elaborated design under simulation.
     pub fn design(&self) -> &Design {
-        &self.design
+        &self.shared.design
+    }
+
+    /// The shared compiled schedule backing this simulator. Clone the
+    /// `Arc` to build sibling simulators with
+    /// [`from_compiled`](Self::from_compiled).
+    pub fn compiled_design(&self) -> &Arc<CompiledDesign> {
+        &self.shared
     }
 
     /// Access a blackbox model by flat instance name (e.g. to read a trace
     /// buffer's captured entries after a run).
     pub fn blackbox(&self, name: &str) -> Option<&dyn Blackbox> {
-        self.design
+        self.shared.design
             .blackboxes
             .iter()
             .position(|b| b.name == name)
-            .map(|i| self.blackboxes[i].as_ref())
+            .map(|i| self.blackboxes[i].as_ref() as &dyn Blackbox)
     }
 
     /// Names of all blackbox instances of a given IP module.
     pub fn blackbox_instances(&self, module: &str) -> Vec<String> {
-        self.design
+        self.shared.design
             .blackboxes
             .iter()
             .filter(|b| b.module == module)
@@ -374,6 +504,7 @@ impl Simulator {
     /// Fails for unknown signals and width mismatches.
     pub fn poke(&mut self, name: &str, value: Bits) -> Result<(), SimError> {
         let sig = self
+            .shared
             .design
             .signals
             .get(name)
@@ -387,6 +518,7 @@ impl Simulator {
             });
         }
         let id = self
+            .shared
             .design
             .sig_id(name)
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
@@ -405,13 +537,13 @@ impl Simulator {
     pub fn poke_id(&mut self, id: SigId, value: &Bits) -> Result<(), SimError> {
         if self.state.mem_slot_of(id).is_some() {
             return Err(SimError::UnknownSignal(
-                self.design.table.name(id).to_owned(),
+                self.shared.design.table.name(id).to_owned(),
             ));
         }
         let expected = self.state.get_id(id).width();
         if value.width() != expected {
             return Err(SimError::WidthMismatch {
-                signal: self.design.table.name(id).to_owned(),
+                signal: self.shared.design.table.name(id).to_owned(),
                 expected,
                 got: value.width(),
             });
@@ -436,7 +568,7 @@ impl Simulator {
             }
             self.dirty_sigs.push(id);
             self.dirty_units
-                .extend_from_slice(&self.compiled.writers[id.index()]);
+                .extend_from_slice(&self.shared.compiled.writers[id.index()]);
         }
     }
 
@@ -452,11 +584,11 @@ impl Simulator {
         let ids = names
             .iter()
             .map(|name| {
-                self.design
+                self.shared.design
                     .signals
                     .get(*name)
                     .filter(|s| s.mem_depth.is_none())
-                    .and_then(|_| self.design.sig_id(name))
+                    .and_then(|_| self.shared.design.sig_id(name))
                     .ok_or_else(|| SimError::UnknownSignal((*name).to_owned()))
             })
             .collect::<Result<Vec<SigId>, SimError>>()?;
@@ -479,7 +611,7 @@ impl Simulator {
             }
             self.dirty_sigs.push(id);
             self.dirty_units
-                .extend_from_slice(&self.compiled.writers[id.index()]);
+                .extend_from_slice(&self.shared.compiled.writers[id.index()]);
         }
     }
 
@@ -493,6 +625,7 @@ impl Simulator {
     /// Fails for unknown signals and width mismatches.
     pub fn force(&mut self, name: &str, value: Bits) -> Result<(), SimError> {
         let sig = self
+            .shared
             .design
             .signals
             .get(name)
@@ -506,6 +639,7 @@ impl Simulator {
             });
         }
         let id = self
+            .shared
             .design
             .sig_id(name)
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
@@ -524,6 +658,7 @@ impl Simulator {
     /// Fails for unknown signals.
     pub fn release(&mut self, name: &str) -> Result<(), SimError> {
         let id = self
+            .shared
             .design
             .sig_id(name)
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
@@ -532,7 +667,7 @@ impl Simulator {
             // and its readers so the recomputed value propagates.
             self.dirty_sigs.push(id);
             self.dirty_units
-                .extend_from_slice(&self.compiled.writers[id.index()]);
+                .extend_from_slice(&self.shared.compiled.writers[id.index()]);
         }
         Ok(())
     }
@@ -541,7 +676,7 @@ impl Simulator {
     pub fn forced_signals(&self) -> Vec<String> {
         self.forces
             .keys()
-            .map(|id| self.design.table.name(*id).to_owned())
+            .map(|id| self.shared.design.table.name(*id).to_owned())
             .collect()
     }
 
@@ -555,11 +690,12 @@ impl Simulator {
     /// Fails for unknown signals.
     pub fn poke_u64(&mut self, name: &str, value: u64) -> Result<(), SimError> {
         let id = self
+            .shared
             .design
             .signals
             .get(name)
             .filter(|s| s.mem_depth.is_none())
-            .and_then(|_| self.design.sig_id(name))
+            .and_then(|_| self.shared.design.sig_id(name))
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
         if !self.forces.is_empty() && self.forces.contains_key(&id) {
             if let Some(c) = &mut self.counters {
@@ -573,7 +709,7 @@ impl Simulator {
             }
             self.dirty_sigs.push(id);
             self.dirty_units
-                .extend_from_slice(&self.compiled.writers[id.index()]);
+                .extend_from_slice(&self.shared.compiled.writers[id.index()]);
         }
         Ok(())
     }
@@ -596,6 +732,7 @@ impl Simulator {
     /// Fails if `name` is not a memory.
     pub fn peek_mem(&self, name: &str, idx: u64) -> Result<Bits, SimError> {
         let sig = self
+            .shared
             .design
             .signals
             .get(name)
@@ -609,10 +746,10 @@ impl Simulator {
     /// Runs one settle unit (comb driver or blackbox), appending the IDs of
     /// signals whose value changed to `self.changed_scratch`.
     fn run_unit(&mut self, unit: u32) -> Result<(), SimError> {
-        let n_combs = self.compiled.combs.len();
+        let n_combs = self.shared.compiled.combs.len();
         let u = unit as usize;
         if u < n_combs {
-            let body = &self.compiled.combs[u].body;
+            let body = &self.shared.compiled.combs[u].body;
             let mut exec = CExec {
                 state: &mut self.state,
                 scratch: &mut self.scratch,
@@ -628,7 +765,7 @@ impl Simulator {
         } else {
             let bi = u - n_combs;
             self.refresh_bb_inputs(bi)?;
-            let bb = &self.compiled.bbs[bi];
+            let bb = &self.shared.compiled.bbs[bi];
             for (port, lv) in &bb.outs {
                 let mut v = self.scratch.take();
                 let produced = self.blackboxes[bi].eval_port(
@@ -661,7 +798,7 @@ impl Simulator {
     /// map, in place. `ins` and the map iterate in the same (sorted port
     /// name) order, so the two zip up.
     fn refresh_bb_inputs(&mut self, bi: usize) -> Result<(), SimError> {
-        let bb = &self.compiled.bbs[bi];
+        let bb = &self.shared.compiled.bbs[bi];
         let inputs = &mut self.bb_input_scratch[bi];
         debug_assert_eq!(inputs.len(), bb.ins.len());
         for ((port, w, ce), (key, slot)) in bb.ins.iter().zip(inputs.iter_mut()) {
@@ -689,7 +826,7 @@ impl Simulator {
     /// Interpreter-equivalent full-pass fixpoint: every unit, every
     /// iteration, in declaration order.
     fn settle_full(&mut self) -> Result<(), SimError> {
-        let n_units = self.compiled.n_units() as u32;
+        let n_units = self.shared.compiled.n_units() as u32;
         let mut iters = 0u64;
         for _ in 0..self.config.max_comb_iters {
             iters += 1;
@@ -720,7 +857,7 @@ impl Simulator {
         SimError::CombLoop {
             unstable: unstable
                 .into_iter()
-                .map(|id| self.design.table.name(id).to_owned())
+                .map(|id| self.shared.design.table.name(id).to_owned())
                 .collect(),
         }
     }
@@ -730,7 +867,7 @@ impl Simulator {
     /// signal in its read-set changes; total unit executions are bounded by
     /// `max_comb_iters × n_units`, so combinational loops are still caught.
     fn settle_event(&mut self) -> Result<(), SimError> {
-        let n_units = self.compiled.n_units() as u32;
+        let n_units = self.shared.compiled.n_units() as u32;
         // The heap + `queued` flags act as an ordered set of unit indices:
         // a unit sits in the heap at most once, and pops come lowest-first.
         // Both live on the simulator, so settling allocates nothing. The
@@ -750,7 +887,7 @@ impl Simulator {
         } else {
             let dirty = std::mem::take(&mut self.dirty_sigs);
             for &id in &dirty {
-                let readers = &self.compiled.readers[id.index()];
+                let readers = &self.shared.compiled.readers[id.index()];
                 pushes += readers.len() as u64;
                 for &u in readers {
                     if !self.queued[u as usize] {
@@ -795,7 +932,7 @@ impl Simulator {
             }
             let changed = std::mem::take(&mut self.changed_scratch);
             for &id in &changed {
-                let readers = &self.compiled.readers[id.index()];
+                let readers = &self.shared.compiled.readers[id.index()];
                 pushes += readers.len() as u64;
                 for &ru in readers {
                     if !self.queued[ru as usize] {
@@ -827,7 +964,7 @@ impl Simulator {
         if self.finished {
             return Ok(());
         }
-        let plan = self.clock_plan(clock);
+        let plan = self.shared.clock_plan(clock);
         if let Some(cid) = plan.clock_id {
             self.poke_id_u64(cid, 0);
         }
@@ -836,7 +973,7 @@ impl Simulator {
         // Snapshot blackbox inputs at the pre-edge instant, refreshing the
         // prebuilt port maps in place. Nothing between here and the ticks
         // touches the maps (clocked processes run through `CExec` only).
-        for bi in 0..self.compiled.bbs.len() {
+        for bi in 0..self.shared.compiled.bbs.len() {
             self.refresh_bb_inputs(bi)?;
         }
 
@@ -859,7 +996,7 @@ impl Simulator {
         debug_assert!(nb.is_empty() && new_logs.is_empty());
         let mut finished = false;
         for &pi in &plan.procs {
-            let body = &self.compiled.procs[pi].body;
+            let body = &self.shared.compiled.procs[pi].body;
             let mut exec = CExec {
                 state: &mut self.state,
                 scratch: &mut self.scratch,
@@ -879,7 +1016,7 @@ impl Simulator {
         // Tick blackboxes clocked by this signal, with pre-edge inputs.
         // A ticked model's outputs may change with no input edge, so its
         // unit is re-scheduled explicitly.
-        let n_combs = self.compiled.combs.len() as u32;
+        let n_combs = self.shared.compiled.combs.len() as u32;
         for (bi, port) in &plan.ticks {
             self.blackboxes[*bi].tick(port, &self.bb_input_scratch[*bi]);
             self.dirty_units.push(n_combs + *bi as u32);
@@ -932,43 +1069,6 @@ impl Simulator {
         Ok(())
     }
 
-    /// Builds (or fetches) the pre-resolved stepping plan for `clock`.
-    fn clock_plan(&mut self, clock: &str) -> Rc<ClockPlan> {
-        if let Some(p) = self.clock_plans.get(clock) {
-            return Rc::clone(p);
-        }
-        let clock_id = self
-            .design
-            .sig_id(clock)
-            .filter(|_| self.design.signals[clock].mem_depth.is_none());
-        let clock_root = clock_id.map(|id| self.compiled.alias_root(id));
-        let procs = self
-            .compiled
-            .procs
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| {
-                clock_root.is_some_and(|r| p.edge_roots.contains(&r))
-            })
-            .map(|(i, _)| i)
-            .collect();
-        let mut ticks = Vec::new();
-        for (bi, bb) in self.compiled.bbs.iter().enumerate() {
-            for (port, roots) in &bb.clock_conns {
-                if clock_root.is_some_and(|r| roots.contains(&r)) {
-                    ticks.push((bi, port.clone()));
-                }
-            }
-        }
-        let plan = Rc::new(ClockPlan {
-            clock_id,
-            procs,
-            ticks,
-        });
-        self.clock_plans.insert(clock.to_owned(), Rc::clone(&plan));
-        plan
-    }
-
     /// Runs `n` cycles of `clock` (stops early at `$finish`).
     ///
     /// # Errors
@@ -1000,7 +1100,7 @@ impl Simulator {
                 Some(st) => bb_states.push(st),
                 None => {
                     return Err(SimError::NoModel(
-                        self.design.blackboxes[i].module.clone(),
+                        self.shared.design.blackboxes[i].module.clone(),
                     ))
                 }
             }
@@ -1030,7 +1130,7 @@ impl Simulator {
         for (i, bb) in self.blackboxes.iter_mut().enumerate() {
             if !bb.restore(cp.bb_states[i].as_ref()) {
                 return Err(SimError::NoModel(
-                    self.design.blackboxes[i].module.clone(),
+                    self.shared.design.blackboxes[i].module.clone(),
                 ));
             }
         }
@@ -1056,11 +1156,14 @@ impl Simulator {
     /// # Errors
     ///
     /// Propagates I/O errors from writing the VCD header.
-    pub fn attach_vcd<W: std::io::Write + 'static>(
+    pub fn attach_vcd<W: std::io::Write + Send + 'static>(
         &mut self,
         sink: W,
     ) -> std::io::Result<()> {
-        let writer = crate::vcd::VcdWriter::new(Box::new(sink) as Box<dyn std::io::Write>, &self.design)?;
+        let writer = crate::vcd::VcdWriter::new(
+            Box::new(sink) as Box<dyn std::io::Write + Send>,
+            &self.shared.design,
+        )?;
         self.vcd = Some(writer);
         Ok(())
     }
@@ -1147,6 +1250,20 @@ fn check_connection_widths(design: &Design) -> Result<(), SimError> {
     }
     Ok(())
 }
+
+// `Simulator: Send` holds by construction (no `Rc`, no `RefCell`, `Send`
+// blackbox models, `Send` VCD sinks), and `CompiledDesign` is additionally
+// `Sync` so one `Arc` can back simulators on many threads. Campaign
+// sharding depends on both; a field change that silently loses either
+// fails to compile here.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Simulator>();
+    assert_send_sync::<CompiledDesign>();
+    assert_send_sync::<SimConfig>();
+    assert_send::<Checkpoint>();
+};
 
 #[allow(dead_code)]
 fn _assert_name_based_eval_stays_public(design: &Design, state: &SimState) {

@@ -39,7 +39,7 @@ pub mod format;
 mod state;
 pub mod vcd;
 
-pub use engine::{Checkpoint, SettleMode, SimConfig, Simulator, StimulusPlan};
+pub use engine::{CompiledDesign, Checkpoint, SettleMode, SimConfig, Simulator, StimulusPlan};
 pub use fault::{run_with_faults, step_with_faults, Fault, FaultKind, FaultPlan};
 pub use eval::{effective_mem_addr, eval_expr, expr_width, is_signed};
 pub use state::{RegInit, SimState};
@@ -102,8 +102,9 @@ pub trait Blackbox {
     /// Captures the model's internal state for checkpointing. Models that
     /// do not support checkpointing return `None` (the default), which
     /// makes [`Simulator::checkpoint`] fail rather than silently produce
-    /// a partial snapshot.
-    fn snapshot(&self) -> Option<Box<dyn std::any::Any>> {
+    /// a partial snapshot. The payload is `Send` so checkpoints can move
+    /// between campaign worker threads with the simulators they rewind.
+    fn snapshot(&self) -> Option<Box<dyn std::any::Any + Send>> {
         None
     }
 
@@ -114,10 +115,11 @@ pub trait Blackbox {
     }
 }
 
-/// Creates behavioral models for blackbox instances.
+/// Creates behavioral models for blackbox instances. Models are `Send`
+/// so a simulator (and everything it owns) can run on a worker thread.
 pub trait BlackboxFactory {
     /// Returns a model for `inst`, or `None` if the IP is unknown.
-    fn create(&self, inst: &BbInst) -> Option<Box<dyn Blackbox>>;
+    fn create(&self, inst: &BbInst) -> Option<Box<dyn Blackbox + Send>>;
 }
 
 /// A factory with no models (pure-RTL designs).
@@ -125,7 +127,7 @@ pub trait BlackboxFactory {
 pub struct NoModels;
 
 impl BlackboxFactory for NoModels {
-    fn create(&self, _inst: &BbInst) -> Option<Box<dyn Blackbox>> {
+    fn create(&self, _inst: &BbInst) -> Option<Box<dyn Blackbox + Send>> {
         None
     }
 }

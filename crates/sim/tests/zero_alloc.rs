@@ -159,3 +159,66 @@ fn comb_chain_settle_allocates_nothing() {
         "comb-chain settle allocated {allocs} times over 1000 settles"
     );
 }
+
+/// Satellite of the pre-spilled scratch pool: with every pooled buffer
+/// allocated to the design's maximum write width at compile time, the
+/// *first* settle after construction — historically the warmup that grew
+/// the pool — allocates nothing either. No warmup loop here on purpose.
+#[test]
+fn first_settle_after_build_allocates_nothing() {
+    let src = "module m(input clk, input [191:0] a, input [191:0] b, output [191:0] q);
+                 wire [191:0] s; assign s = a + b;
+                 wire [191:0] x; assign x = s ^ a;
+                 wire [191:0] d; assign d = x - b;
+                 assign q = d;
+               endmodule";
+    let design = hwdbg_dataflow::elaborate(
+        &hwdbg_rtl::parse(src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap();
+    let mut sim = Simulator::new(design, &hwdbg_sim::NoModels, SimConfig::default()).unwrap();
+    let before = thread_allocs();
+    sim.poke_u64("a", 0x00C0_FFEE).unwrap();
+    sim.poke_u64("b", 0x0BAD_F00D).unwrap();
+    sim.settle().unwrap();
+    std::hint::black_box(sim.peek("q").unwrap());
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "first settle after construction allocated {allocs} times"
+    );
+}
+
+/// The campaign-engine configuration: many simulators built from one
+/// shared `Arc<CompiledDesign>` via `Simulator::from_compiled`. The
+/// shared compile artifact must not reintroduce per-cycle allocations —
+/// this is the same steady-state invariant as above, on the shared path.
+#[test]
+fn shared_compiled_design_steady_state_allocates_nothing() {
+    use std::sync::Arc;
+    let design = buggy_design(BugId::D2).unwrap();
+    let shared = Arc::new(hwdbg_sim::CompiledDesign::new(design).unwrap());
+    let mut sim = Simulator::from_compiled(
+        Arc::clone(&shared),
+        &hwdbg_ip::StdModels,
+        SimConfig::default(),
+    )
+    .unwrap();
+    sim.poke_u64("pix_in_valid", 1).unwrap();
+    for i in 0..200u64 {
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    }
+    let before = thread_allocs();
+    for i in 200..1200u64 {
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    }
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "shared-design steady state allocated {allocs} times over 1000 cycles"
+    );
+}

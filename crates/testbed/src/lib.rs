@@ -212,6 +212,20 @@ impl fmt::Display for BugId {
     }
 }
 
+impl std::str::FromStr for BugId {
+    type Err = String;
+
+    /// Parses a bug ID by its Table-2 name (`D2`, `c4`, ...), case
+    /// insensitively — campaign spec files and CLI arguments both resolve
+    /// through here.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BugId::ALL
+            .into_iter()
+            .find(|id| id.to_string().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown bug id `{s}` (expected one of D1..D13, C1..C4, S1..S3)"))
+    }
+}
+
 /// LossCheck configuration metadata for the data-loss bugs.
 #[derive(Debug, Clone, Copy)]
 pub struct LossSpec {

@@ -16,6 +16,8 @@
 //!                                                   stage timings + hot-path counters
 //! hwdbg lint <file.v|BUG_ID> [--json] [--deny IDS] [--allow IDS] [--warn IDS]
 //!                                                   static bug-pattern analysis (§6)
+//! hwdbg campaign <spec|fault-matrix|seed-sweep> [--jobs N] [--json] [--out FILE]
+//!                                                   parallel simulation fleet
 //! ```
 //!
 //! All errors surface as rendered [`hwdbg::diag::HwdbgError`] diagnostics
@@ -70,6 +72,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         "faults" => cmd_faults(rest),
         "profile" => cmd_profile(rest),
         "lint" => cmd_lint(rest),
+        "campaign" => cmd_campaign(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -92,7 +95,8 @@ fn print_usage() {
          hwdbg testbed [BUG_ID|all]\n  \
          hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]\n  \
          hwdbg profile <file.v|BUG_ID> [--top NAME] [--cycles N] [--clock CLK] [--json]\n  \
-         hwdbg lint <file.v|BUG_ID> [--top NAME] [--json] [--deny IDS] [--allow IDS] [--warn IDS]"
+         hwdbg lint <file.v|BUG_ID> [--top NAME] [--json] [--deny IDS] [--allow IDS] [--warn IDS]\n  \
+         hwdbg campaign <spec|fault-matrix|seed-sweep> [--jobs N] [--json] [--out FILE] [--seeds N]"
     );
 }
 
@@ -691,4 +695,55 @@ fn cmd_faults(args: &[String]) -> Result<(), Anyhow> {
             Err(diag.render(None).into())
         }
     }
+}
+
+/// `hwdbg campaign` — run a job matrix across worker threads and print
+/// one aggregated report.
+///
+/// The target is a builtin campaign (`fault-matrix`, `seed-sweep`) or a
+/// spec file in the job-matrix grammar (see `hwdbg-campaign` docs and
+/// README). `--jobs N` picks the worker count (default: available
+/// parallelism); `--json` prints the full machine-readable report (the
+/// `results` section of which is byte-identical for any `--jobs` value);
+/// `--out FILE` writes the JSON report to a file as well.
+fn cmd_campaign(args: &[String]) -> Result<(), Anyhow> {
+    let json = args.iter().any(|a| a == "--json");
+    let filtered: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--json")
+        .cloned()
+        .collect();
+    let opts = Opts::parse(&filtered)?;
+    let target = opts.file.as_deref().ok_or(
+        "missing campaign target: a spec file, `fault-matrix`, or `seed-sweep`",
+    )?;
+    let jobs: usize = match opts.get("jobs") {
+        Some(n) => n.parse()?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let campaign = match target {
+        "fault-matrix" => hwdbg::campaign::clients::fault_matrix()?,
+        "seed-sweep" => {
+            let seeds: u64 = opts.get("seeds").unwrap_or("4").parse()?;
+            hwdbg::campaign::clients::seed_sweep(seeds)?
+        }
+        path => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            hwdbg::campaign::CampaignSpec::parse(&src)?.build()?
+        }
+    };
+    let report = campaign.run(jobs)?;
+    if let Some(out) = opts.get("out") {
+        std::fs::write(out, report.to_json())?;
+    }
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    // Surface hard errors in the exit code: `error` verdicts are typed
+    // findings, but a campaign that could not even schedule has already
+    // returned Err above.
+    Ok(())
 }

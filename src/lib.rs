@@ -16,6 +16,8 @@
 //!   Monitor, and LossCheck
 //! * [`lint`] — bug-study-driven static analysis passes with stable L-codes
 //! * [`testbed`] — 20 reproducible FPGA bugs plus the 68-bug study catalog
+//! * [`campaign`] — work-stealing parallel campaign runner over shared
+//!   compiled designs
 //!
 //! # Example
 //!
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub use hwdbg_bits as bits;
+pub use hwdbg_campaign as campaign;
 pub use hwdbg_dataflow as dataflow;
 pub use hwdbg_diag as diag;
 pub use hwdbg_ip as ip;
