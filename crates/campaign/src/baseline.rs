@@ -1,0 +1,221 @@
+//! Baseline diffing: compare a fresh campaign's deterministic verdicts
+//! against a previously saved report and surface any drift.
+//!
+//! `hwdbg campaign ... --baseline old.json` parses the prior report
+//! (either the full [`CampaignReport::to_json`] layout or the bare
+//! results section), keys each record by its `(design, fault, seed)`
+//! labels, and compares verdicts. Any change — a pass that now fails, a
+//! completed job that now crashes — is **drift**, rendered as a per-job
+//! table and reported through a nonzero exit code so CI can gate on it.
+//! Jobs present on only one side are listed separately (the matrix
+//! itself changed; that is reshaping, not drift).
+//!
+//! [`CampaignReport::to_json`]: crate::CampaignReport::to_json
+
+use crate::journal::{parse_json, Json};
+use crate::report::JobRecord;
+use crate::CampaignError;
+use std::collections::BTreeMap;
+
+/// Baseline verdicts keyed by `(design, fault, seed)` labels; a `Vec`
+/// per key so duplicate labels compare positionally.
+pub type BaselineMap = BTreeMap<(String, String, String), Vec<String>>;
+
+/// One job whose verdict changed between the baseline and this run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Design label.
+    pub design: String,
+    /// Fault label.
+    pub fault: String,
+    /// Seed label.
+    pub seed: String,
+    /// Verdict recorded in the baseline.
+    pub was: String,
+    /// Verdict observed now.
+    pub now: String,
+}
+
+/// The outcome of diffing a run against a baseline report.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDiff {
+    /// Jobs present in both whose verdicts differ.
+    pub drifted: Vec<Drift>,
+    /// Baseline jobs absent from this run (`design/fault/seed` labels).
+    pub missing: Vec<String>,
+    /// Jobs in this run absent from the baseline.
+    pub added: Vec<String>,
+}
+
+impl BaselineDiff {
+    /// True when no verdict drifted (matrix reshaping alone is clean).
+    pub fn is_clean(&self) -> bool {
+        self.drifted.is_empty()
+    }
+
+    /// The per-job drift table (empty string when clean).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.drifted.is_empty() {
+            out.push_str(&format!("verdict drift in {} job(s):\n", self.drifted.len()));
+            out.push_str(&format!(
+                "  {:<8} {:<18} {:<10} {:>10} -> {:<10}\n",
+                "design", "fault", "seed", "baseline", "now"
+            ));
+            for d in &self.drifted {
+                out.push_str(&format!(
+                    "  {:<8} {:<18} {:<10} {:>10} -> {:<10}\n",
+                    d.design, d.fault, d.seed, d.was, d.now
+                ));
+            }
+        }
+        if !self.missing.is_empty() {
+            out.push_str(&format!(
+                "baseline-only jobs (not drift): {}\n",
+                self.missing.join(", ")
+            ));
+        }
+        if !self.added.is_empty() {
+            out.push_str(&format!(
+                "new jobs (not in baseline): {}\n",
+                self.added.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Parses a saved report's JSON text into a [`BaselineMap`].
+///
+/// # Errors
+///
+/// [`CampaignError::Baseline`] when the text is not a campaign report.
+pub fn parse_baseline(text: &str) -> Result<BaselineMap, CampaignError> {
+    let root = parse_json(text)
+        .map_err(|e| CampaignError::Baseline(format!("baseline is not valid JSON: {e}")))?;
+    // Accept the full report ({"results": {...}, "workers": ...}) or the
+    // bare results section ({"campaign": ..., "records": [...]}).
+    let results = root.get("results").unwrap_or(&root);
+    let Some(Json::Arr(records)) = results.get("records") else {
+        return Err(CampaignError::Baseline(
+            "baseline has no records array — not a campaign report".into(),
+        ));
+    };
+    let mut map = BaselineMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let get = |k: &str| -> Result<String, CampaignError> {
+            r.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    CampaignError::Baseline(format!("baseline record {i} lacks `{k}`"))
+                })
+        };
+        let key = (get("design")?, get("fault")?, get("seed")?);
+        map.entry(key).or_default().push(get("verdict")?);
+    }
+    Ok(map)
+}
+
+/// Diffs this run's records against a parsed baseline.
+pub fn diff(records: &[JobRecord], baseline: &BaselineMap) -> BaselineDiff {
+    let mut now = BaselineMap::new();
+    for r in records {
+        now.entry((r.design.clone(), r.fault.clone(), r.seed.clone()))
+            .or_default()
+            .push(r.verdict.name().to_string());
+    }
+    let mut out = BaselineDiff::default();
+    for (key, was_list) in baseline {
+        match now.get(key) {
+            None => out.missing.push(format!("{}/{}/{}", key.0, key.1, key.2)),
+            Some(now_list) => {
+                for (pos, was) in was_list.iter().enumerate() {
+                    match now_list.get(pos) {
+                        None => out.missing.push(format!("{}/{}/{}", key.0, key.1, key.2)),
+                        Some(v) if v != was => out.drifted.push(Drift {
+                            design: key.0.clone(),
+                            fault: key.1.clone(),
+                            seed: key.2.clone(),
+                            was: was.clone(),
+                            now: v.clone(),
+                        }),
+                        Some(_) => {}
+                    }
+                }
+                if now_list.len() > was_list.len() {
+                    out.added.push(format!("{}/{}/{}", key.0, key.1, key.2));
+                }
+            }
+        }
+    }
+    for key in now.keys() {
+        if !baseline.contains_key(key) {
+            out.added.push(format!("{}/{}/{}", key.0, key.1, key.2));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Verdict;
+    use hwdbg_obs::SimCounters;
+
+    fn rec(design: &str, fault: &str, seed: &str, verdict: Verdict) -> JobRecord {
+        JobRecord {
+            design: design.into(),
+            fault: fault.into(),
+            seed: seed.into(),
+            verdict,
+            detail: String::new(),
+            cycles: 1,
+            counters: SimCounters::default(),
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn clean_when_verdicts_match() {
+        let baseline = parse_baseline(
+            "{\"campaign\": \"x\", \"jobs\": 2,\n \"records\": [\n  {\"design\": \"d1\", \"fault\": \"none\", \"seed\": \"0\", \"verdict\": \"pass\"},\n  {\"design\": \"d2\", \"fault\": \"none\", \"seed\": \"0\", \"verdict\": \"fail\"}\n ]}",
+        )
+        .unwrap();
+        let records = vec![
+            rec("d1", "none", "0", Verdict::Pass),
+            rec("d2", "none", "0", Verdict::Fail),
+        ];
+        let d = diff(&records, &baseline);
+        assert!(d.is_clean());
+        assert!(d.missing.is_empty() && d.added.is_empty());
+    }
+
+    #[test]
+    fn drift_and_reshaping_are_reported_separately() {
+        let baseline = parse_baseline(
+            "{\"results\": {\"campaign\": \"x\", \"jobs\": 2,\n \"records\": [\n  {\"design\": \"d1\", \"fault\": \"none\", \"seed\": \"0\", \"verdict\": \"pass\"},\n  {\"design\": \"gone\", \"fault\": \"none\", \"seed\": \"0\", \"verdict\": \"pass\"}\n ]}, \"workers\": 2}",
+        )
+        .unwrap();
+        let records = vec![
+            rec("d1", "none", "0", Verdict::Crashed),
+            rec("new", "none", "0", Verdict::Pass),
+        ];
+        let d = diff(&records, &baseline);
+        assert_eq!(d.drifted.len(), 1);
+        assert_eq!(d.drifted[0].was, "pass");
+        assert_eq!(d.drifted[0].now, "crashed");
+        assert_eq!(d.missing, vec!["gone/none/0"]);
+        assert_eq!(d.added, vec!["new/none/0"]);
+        assert!(!d.is_clean());
+        let table = d.render_table();
+        assert!(table.contains("pass"), "{table}");
+        assert!(table.contains("crashed"), "{table}");
+    }
+
+    #[test]
+    fn rejects_non_report_json() {
+        assert!(parse_baseline("{\"hello\": 1}").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+}

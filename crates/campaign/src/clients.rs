@@ -10,7 +10,7 @@
 //!   bug run under N random register/memory initializations, checking
 //!   the verdict is seed-stable.
 
-use crate::job::{Campaign, Drive, Job};
+use crate::job::{Campaign, Drive, Job, ModelSet};
 use crate::CampaignError;
 use hwdbg_sim::{CompiledDesign, RegInit};
 use hwdbg_testbed::{buggy_design, faults, BugId};
@@ -58,6 +58,7 @@ pub fn fault_matrix() -> Result<Campaign, CampaignError> {
                     cycles: MATRIX_CYCLES,
                     stim: Vec::new(),
                 },
+                models: ModelSet::std(),
             });
         }
     }
@@ -88,6 +89,7 @@ pub fn seed_sweep(n_seeds: u64) -> Result<Campaign, CampaignError> {
                 init: RegInit::Random(seed),
                 plan: None,
                 drive: Drive::Workload(id),
+                models: ModelSet::std(),
             });
         }
     }

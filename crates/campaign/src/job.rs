@@ -1,16 +1,19 @@
 //! Campaign jobs: one simulation each, verdict + counters out.
 
 use crate::report::{CampaignReport, JobRecord};
-use crate::runner::run_sharded;
+use crate::runner::{panic_message, run_sharded};
 use crate::CampaignError;
 use hwdbg_ip::StdModels;
 use hwdbg_obs::SimCounters;
 use hwdbg_sim::{
-    run_with_faults, CompiledDesign, FaultPlan, RegInit, SimConfig, SimError, Simulator,
+    run_with_faults, BlackboxFactory, CompiledDesign, FaultPlan, RegInit, SimConfig, SimError,
+    Simulator,
 };
 use hwdbg_testbed::{workloads, BugId, Outcome};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How a job drives its simulator.
 #[derive(Debug, Clone)]
@@ -48,6 +51,42 @@ pub enum StimValue {
     Counter,
 }
 
+/// The blackbox model factory a job's simulator is built with. Shared by
+/// `Arc` so jobs stay cheap to clone and `Send + Sync`; defaults to the
+/// standard IP library. Campaigns that exercise crash isolation inject a
+/// deliberately panicking model through [`ModelSet::custom`].
+#[derive(Clone)]
+pub struct ModelSet(Arc<dyn BlackboxFactory + Send + Sync>);
+
+impl ModelSet {
+    /// The standard IP model library (`hwdbg-ip`).
+    pub fn std() -> Self {
+        ModelSet(Arc::new(StdModels))
+    }
+
+    /// A custom factory — e.g. a fault-injection wrapper around the
+    /// standard models.
+    pub fn custom(factory: Arc<dyn BlackboxFactory + Send + Sync>) -> Self {
+        ModelSet(factory)
+    }
+
+    pub(crate) fn factory(&self) -> &dyn BlackboxFactory {
+        &*self.0
+    }
+}
+
+impl Default for ModelSet {
+    fn default() -> Self {
+        ModelSet::std()
+    }
+}
+
+impl std::fmt::Debug for ModelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ModelSet(..)")
+    }
+}
+
 /// One simulation job: which compiled design, which initialization,
 /// which fault plan, and how to drive it. Jobs are `Send + Sync` (the
 /// compiled design is shared by `Arc`) so the pool can hand them to any
@@ -68,6 +107,8 @@ pub struct Job {
     pub plan: Option<FaultPlan>,
     /// How the simulator is driven.
     pub drive: Drive,
+    /// Blackbox models the simulator is built with.
+    pub models: ModelSet,
 }
 
 /// What a finished job reports.
@@ -81,6 +122,12 @@ pub enum Verdict {
     Completed,
     /// The simulator returned a typed error (never a panic).
     Error,
+    /// The job body panicked; the panic was caught, the worker survived,
+    /// and the payload is in the record's `detail`.
+    Crashed,
+    /// The job's wall-clock budget ([`RunOptions::job_timeout`]) expired
+    /// before it finished — a hung or livelocked design.
+    TimedOut,
 }
 
 impl Verdict {
@@ -91,8 +138,45 @@ impl Verdict {
             Verdict::Fail => "fail",
             Verdict::Completed => "completed",
             Verdict::Error => "error",
+            Verdict::Crashed => "crashed",
+            Verdict::TimedOut => "timed-out",
         }
     }
+
+    /// Inverse of [`name`](Self::name), used when replaying journals.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "pass" => Some(Verdict::Pass),
+            "fail" => Some(Verdict::Fail),
+            "completed" => Some(Verdict::Completed),
+            "error" => Some(Verdict::Error),
+            "crashed" => Some(Verdict::Crashed),
+            "timed-out" => Some(Verdict::TimedOut),
+            _ => None,
+        }
+    }
+}
+
+/// Fault-tolerance knobs for a campaign run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Per-job wall-clock budget. When set, each simulator is armed with
+    /// a cooperative deadline ([`SimConfig::with_timeout`]) and a job
+    /// that exceeds it becomes a [`Verdict::TimedOut`] record instead of
+    /// wedging its worker. `None` (the default) runs unbounded, exactly
+    /// like the pre-watchdog engine.
+    ///
+    /// Timed-out records are the one place wall clocks leak into the
+    /// results section: their `cycles` and counters depend on how far the
+    /// job got before the deadline, so they vary run to run. Pass/fail/
+    /// completed/error/crashed records stay fully deterministic.
+    pub job_timeout: Option<Duration>,
+    /// How many times a crashed or timed-out job is rerun before its
+    /// outcome is accepted. Retries target transient classes (scheduler
+    /// jitter pushing a job over its deadline); a deterministic panic
+    /// crashes identically every attempt and the final record reports
+    /// how many retries were burned.
+    pub retries: u32,
 }
 
 /// A named batch of jobs ready to run.
@@ -112,17 +196,74 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Only scheduling failures (a panicked worker) error out; per-job
-    /// simulator errors become [`Verdict::Error`] records.
+    /// Never errors in practice: job panics become [`Verdict::Crashed`]
+    /// records, simulator errors become [`Verdict::Error`] records, and
+    /// dead workers are recovered by the coordinator. The `Result` is
+    /// kept for the richer entry points ([`run_with`](Self::run_with))
+    /// that validate resume state.
     pub fn run(&self, workers: usize) -> Result<CampaignReport, CampaignError> {
-        let out = run_sharded(&self.jobs, workers, |_, job| run_job(job))?;
+        self.run_with(workers, RunOptions::default(), &BTreeMap::new(), |_, _| {})
+    }
+
+    /// The full-control entry point: fault-tolerance options, previously
+    /// completed records to skip (resume), and a `retire` hook that fires
+    /// once per freshly-run job as it completes — in scheduling order,
+    /// not input order — for streaming consumers (journal, `--out`).
+    ///
+    /// `completed` maps job indices to records replayed from a journal;
+    /// those jobs are not rerun and their records are spliced into the
+    /// report at their original positions, so a resumed run's
+    /// [`CampaignReport::results_json`] is byte-identical to an
+    /// uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Journal`] when `completed` references a job index
+    /// outside this campaign (a journal/spec mismatch).
+    pub fn run_with(
+        &self,
+        workers: usize,
+        opts: RunOptions,
+        completed: &BTreeMap<usize, JobRecord>,
+        retire: impl Fn(usize, &JobRecord) + Sync,
+    ) -> Result<CampaignReport, CampaignError> {
+        if let Some(&bad) = completed.keys().find(|&&i| i >= self.jobs.len()) {
+            return Err(CampaignError::Journal(format!(
+                "journal references job {bad} but the campaign has only {} jobs",
+                self.jobs.len()
+            )));
+        }
+        let todo: Vec<usize> = (0..self.jobs.len())
+            .filter(|i| !completed.contains_key(i))
+            .collect();
+        let out = run_sharded(
+            &todo,
+            workers,
+            |_, &gi| run_job(&self.jobs[gi], &opts),
+            |_, &gi, msg| crashed_record(&self.jobs[gi], msg, 0),
+            |li, r| retire(todo[li], r),
+        );
+        // Splice fresh results and replayed records back into input-job
+        // order — the determinism boundary for resumed runs.
+        let mut records: Vec<Option<JobRecord>> = vec![None; self.jobs.len()];
+        let mut job_wall = vec![Duration::ZERO; self.jobs.len()];
+        for ((gi, r), d) in todo.iter().zip(out.results).zip(out.job_wall) {
+            records[*gi] = Some(r);
+            job_wall[*gi] = d;
+        }
+        for (gi, r) in completed {
+            records[*gi] = Some(r.clone());
+        }
+        let records: Vec<JobRecord> = records.into_iter().flatten().collect();
+        debug_assert_eq!(records.len(), self.jobs.len());
         Ok(CampaignReport::new(
             self.name.clone(),
-            out.results,
+            records,
             workers.clamp(1, self.jobs.len().max(1)),
             out.wall,
             out.steals,
-            out.job_wall,
+            job_wall,
+            out.worker_deaths,
         ))
     }
 
@@ -130,12 +271,13 @@ impl Campaign {
     /// no threads. Exists as the reference implementation the determinism
     /// suite compares the pool against.
     pub fn run_serial(&self) -> Result<CampaignReport, CampaignError> {
+        let opts = RunOptions::default();
         let t0 = Instant::now();
         let mut results = Vec::with_capacity(self.jobs.len());
         let mut job_wall = Vec::with_capacity(self.jobs.len());
         for job in &self.jobs {
             let j0 = Instant::now();
-            results.push(run_job(job));
+            results.push(run_job(job, &opts));
             job_wall.push(j0.elapsed());
         }
         Ok(CampaignReport::new(
@@ -145,20 +287,66 @@ impl Campaign {
             t0.elapsed(),
             0,
             job_wall,
+            0,
         ))
     }
 }
 
-/// Executes one job to a record. Infallible by construction: every
-/// simulator error is a typed [`Verdict::Error`] outcome, mirroring the
-/// legacy fault suite's "completes or typed error, never a panic"
-/// contract.
-pub(crate) fn run_job(job: &Job) -> JobRecord {
-    let config = SimConfig {
+/// A record for a job whose body panicked: the payload lands in `detail`
+/// and the crash shows up in the counter plane.
+fn crashed_record(job: &Job, message: String, retries: u32) -> JobRecord {
+    let counters = SimCounters {
+        jobs_crashed: 1,
+        jobs_retried: u64::from(retries),
+        ..SimCounters::default()
+    };
+    JobRecord {
+        design: job.design.clone(),
+        fault: job.fault.clone(),
+        seed: job.seed.clone(),
+        verdict: Verdict::Crashed,
+        detail: message,
+        cycles: 0,
+        counters,
+        retries,
+    }
+}
+
+/// Executes one job to a record, with panic isolation and bounded retry.
+/// Infallible by construction: simulator errors are [`Verdict::Error`],
+/// panics are [`Verdict::Crashed`], expired deadlines are
+/// [`Verdict::TimedOut`] — never an abort, never a lost report.
+pub(crate) fn run_job(job: &Job, opts: &RunOptions) -> JobRecord {
+    let mut attempt = 0u32;
+    loop {
+        let mut record = match catch_unwind(AssertUnwindSafe(|| run_job_once(job, opts))) {
+            Ok(r) => r,
+            Err(payload) => crashed_record(job, panic_message(payload.as_ref()), attempt),
+        };
+        let transient = matches!(record.verdict, Verdict::Crashed | Verdict::TimedOut);
+        if transient && attempt < opts.retries {
+            attempt += 1;
+            continue;
+        }
+        record.retries = attempt;
+        record.counters.jobs_retried = u64::from(attempt);
+        return record;
+    }
+}
+
+/// One attempt at a job. Every simulator error is a typed
+/// [`Verdict::Error`] outcome, mirroring the legacy fault suite's
+/// "completes or typed error, never a panic" contract; panics escape to
+/// the retry loop in [`run_job`].
+fn run_job_once(job: &Job, opts: &RunOptions) -> JobRecord {
+    let mut config = SimConfig {
         init: job.init,
         ..SimConfig::default()
     }
     .with_metrics(true);
+    if let Some(budget) = opts.job_timeout {
+        config = config.with_timeout(budget);
+    }
     let record = |verdict: Verdict, detail: String, cycles: u64, counters: SimCounters| JobRecord {
         design: job.design.clone(),
         fault: job.fault.clone(),
@@ -167,10 +355,16 @@ pub(crate) fn run_job(job: &Job) -> JobRecord {
         detail,
         cycles,
         counters,
+        retries: 0,
     };
-    let mut sim = match Simulator::from_compiled(Arc::clone(&job.shared), &StdModels, config) {
+    let mut sim = match Simulator::from_compiled(Arc::clone(&job.shared), job.models.factory(), config)
+    {
         Ok(s) => s,
         Err(e) => return record(Verdict::Error, e.to_string(), 0, SimCounters::default()),
+    };
+    let classify = |e: SimError| match e {
+        SimError::DeadlineExceeded { .. } => (Verdict::TimedOut, e.to_string()),
+        other => (Verdict::Error, other.to_string()),
     };
     let (verdict, detail, cycles) = match &job.drive {
         Drive::Workload(id) => match workloads::run(*id, &mut sim) {
@@ -180,7 +374,10 @@ pub(crate) fn run_job(job: &Job) -> JobRecord {
                 format!("{symptom:?}: {detail}"),
                 steps_of(&sim),
             ),
-            Err(e) => (Verdict::Error, e.to_string(), steps_of(&sim)),
+            Err(e) => {
+                let (v, d) = classify(e);
+                (v, d, steps_of(&sim))
+            }
         },
         Drive::FreeRun {
             clock,
@@ -188,10 +385,16 @@ pub(crate) fn run_job(job: &Job) -> JobRecord {
             stim,
         } => match free_run(&mut sim, clock, *cycles, stim, job.plan.as_ref()) {
             Ok(ran) => (Verdict::Completed, String::new(), ran),
-            Err(e) => (Verdict::Error, e.to_string(), sim.cycle(clock)),
+            Err(e) => {
+                let (v, d) = classify(e);
+                (v, d, sim.cycle(clock))
+            }
         },
     };
-    let counters = sim.counters().copied().unwrap_or_default();
+    let mut counters = sim.counters().copied().unwrap_or_default();
+    if verdict == Verdict::TimedOut {
+        counters.jobs_timed_out = 1;
+    }
     record(verdict, detail, cycles, counters)
 }
 

@@ -31,9 +31,11 @@ mod report;
 mod runner;
 mod spec;
 
+pub mod baseline;
 pub mod clients;
+pub mod journal;
 
-pub use job::{Campaign, Drive, Job, Stim, StimValue, Verdict};
+pub use job::{Campaign, Drive, Job, ModelSet, RunOptions, Stim, StimValue, Verdict};
 pub use report::{CampaignReport, JobRecord};
 pub use spec::{CampaignSpec, DesignRef, FaultRef, Mode, SeedSpec};
 
@@ -51,8 +53,15 @@ pub enum CampaignError {
     /// A simulator error outside any job (job-level errors become
     /// [`Verdict::Error`] records instead).
     Sim(SimError),
-    /// A worker thread died; the report would be incomplete.
+    /// A worker thread died; the report would be incomplete. Legacy
+    /// variant: the pool now recovers dead workers, so this no longer
+    /// arises from scheduling.
     Worker(String),
+    /// The journal file is unreadable, corrupt beyond a torn tail, or
+    /// does not match the campaign being resumed.
+    Journal(String),
+    /// The `--baseline` report is unreadable or not a campaign report.
+    Baseline(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -62,6 +71,8 @@ impl fmt::Display for CampaignError {
             CampaignError::Design(m) => write!(f, "campaign design error: {m}"),
             CampaignError::Sim(e) => write!(f, "campaign simulator error: {e}"),
             CampaignError::Worker(m) => write!(f, "campaign worker error: {m}"),
+            CampaignError::Journal(m) => write!(f, "campaign journal error: {m}"),
+            CampaignError::Baseline(m) => write!(f, "campaign baseline error: {m}"),
         }
     }
 }
@@ -71,5 +82,26 @@ impl std::error::Error for CampaignError {}
 impl From<SimError> for CampaignError {
     fn from(e: SimError) -> Self {
         CampaignError::Sim(e)
+    }
+}
+
+impl From<CampaignError> for hwdbg_diag::HwdbgError {
+    fn from(e: CampaignError) -> Self {
+        use hwdbg_diag::{ErrorCode, HwdbgError};
+        match e {
+            CampaignError::Sim(se) => se.into(),
+            CampaignError::Spec(m) => HwdbgError::new(ErrorCode::CampaignSpec, m),
+            CampaignError::Design(m) => HwdbgError::new(ErrorCode::CampaignDesign, m),
+            CampaignError::Worker(m) => HwdbgError::new(ErrorCode::CampaignWorker, m),
+            CampaignError::Journal(m) => {
+                let code = if m.contains("corrupt") || m.contains("malformed") {
+                    ErrorCode::JournalCorrupt
+                } else {
+                    ErrorCode::JournalMismatch
+                };
+                HwdbgError::new(code, m)
+            }
+            CampaignError::Baseline(m) => HwdbgError::new(ErrorCode::BaselineDrift, m),
+        }
     }
 }

@@ -6,8 +6,14 @@
 //!   verdicts and counters in input-job order plus the merged counter
 //!   total. Byte-identical for any worker count, by construction;
 //! * the **timing** section (the rest of [`CampaignReport::to_json`]) —
-//!   wall clocks, throughput, steal counts. Honest measurements, and
-//!   therefore different on every run.
+//!   wall clocks, throughput, steal counts, worker deaths, journal
+//!   flushes. Honest measurements, and therefore different on every run.
+//!
+//! The layout helpers ([`results_header`], [`JobRecord::json`],
+//! [`results_footer`], [`timing_tail`]) are shared with the streaming
+//! writer in `journal.rs`, so a report streamed record-by-record to
+//! `--out` is byte-identical to one rendered at the end by
+//! [`CampaignReport::to_json`].
 
 use crate::job::Verdict;
 use hwdbg_obs::{counters_json, json_escape, SimCounters};
@@ -24,27 +30,75 @@ pub struct JobRecord {
     pub seed: String,
     /// What happened.
     pub verdict: Verdict,
-    /// Failure symptom / error message; empty on pass/completed.
+    /// Failure symptom / error message / panic payload; empty on
+    /// pass/completed.
     pub detail: String,
     /// Cycles actually simulated.
     pub cycles: u64,
     /// The job's own hot-path counters.
     pub counters: SimCounters,
+    /// How many times the job was rerun before this record was accepted
+    /// (crashed/timed-out outcomes only; see `RunOptions::retries`).
+    pub retries: u32,
 }
 
 impl JobRecord {
-    fn json(&self) -> String {
+    /// One record as a single JSON line (shared between the aggregated
+    /// report, the streaming `--out` writer, and the journal).
+    pub(crate) fn json(&self) -> String {
         format!(
-            "{{\"design\": \"{}\", \"fault\": \"{}\", \"seed\": \"{}\", \"verdict\": \"{}\", \"detail\": \"{}\", \"cycles\": {}, \"counters\": {}}}",
+            "{{\"design\": \"{}\", \"fault\": \"{}\", \"seed\": \"{}\", \"verdict\": \"{}\", \"detail\": \"{}\", \"cycles\": {}, \"retries\": {}, \"counters\": {}}}",
             json_escape(&self.design),
             json_escape(&self.fault),
             json_escape(&self.seed),
             self.verdict.name(),
             json_escape(&self.detail),
             self.cycles,
+            self.retries,
             counters_json(&self.counters),
         )
     }
+}
+
+/// Opening of the results section, through the start of the record list.
+pub(crate) fn results_header(name: &str, jobs: usize) -> String {
+    format!(
+        "{{\"campaign\": \"{}\", \"jobs\": {},\n \"records\": [\n",
+        json_escape(name),
+        jobs
+    )
+}
+
+/// Closing of the results section: the merged counter totals.
+pub(crate) fn results_footer(merged: &SimCounters) -> String {
+    format!(" ],\n \"counters\": {}}}", counters_json(merged))
+}
+
+/// The nondeterministic timing/telemetry tail of the full report,
+/// starting right after the results section's closing brace.
+pub(crate) fn timing_tail(
+    workers: usize,
+    wall: Duration,
+    jobs_per_sec: f64,
+    steals: u64,
+    worker_deaths: u64,
+    journal_flushes: u64,
+    job_wall: &[Duration],
+) -> String {
+    let job_ms: Vec<String> = job_wall
+        .iter()
+        .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
+        .collect();
+    format!(
+        ",\n \"workers\": {}, \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.1}, \"steals\": {}, \"worker_deaths\": {}, \"journal_flushes\": {}, \"job_wall_ms\": [{}]}}",
+        workers,
+        wall.as_secs_f64() * 1e3,
+        jobs_per_sec,
+        steals,
+        worker_deaths,
+        journal_flushes,
+        job_ms.join(", "),
+    )
 }
 
 /// The aggregated output of one campaign run.
@@ -62,8 +116,15 @@ pub struct CampaignReport {
     pub wall: Duration,
     /// Steal operations observed (0 when serial).
     pub steals: u64,
-    /// Per-job wall times, input-job order.
+    /// Per-job wall times, input-job order (`Duration::ZERO` for records
+    /// replayed from a journal on resume).
     pub job_wall: Vec<Duration>,
+    /// Worker threads that died mid-run and were recovered by the
+    /// coordinator (telemetry; 0 in healthy runs).
+    pub worker_deaths: u64,
+    /// fsync batches the journal writer issued, when one was attached
+    /// (telemetry; set by the CLI, 0 otherwise).
+    pub journal_flushes: u64,
 }
 
 impl CampaignReport {
@@ -74,6 +135,7 @@ impl CampaignReport {
         wall: Duration,
         steals: u64,
         job_wall: Vec<Duration>,
+        worker_deaths: u64,
     ) -> Self {
         let merged = SimCounters::merge_all(records.iter().map(|r| &r.counters));
         CampaignReport {
@@ -84,6 +146,8 @@ impl CampaignReport {
             wall,
             steals,
             job_wall,
+            worker_deaths,
+            journal_flushes: 0,
         }
     }
 
@@ -104,40 +168,36 @@ impl CampaignReport {
 
     /// The deterministic section only: per-job verdicts/counters plus the
     /// merged totals. Two runs of the same campaign produce the same
-    /// bytes here regardless of worker count — the determinism suite and
-    /// CI artifact diffing rely on that.
+    /// bytes here regardless of worker count — and a resumed run produces
+    /// the same bytes as an uninterrupted one — the determinism suite and
+    /// CI artifact diffing rely on that. (Exception: `timed-out` records
+    /// embed how far the job got before its wall-clock deadline.)
     pub fn results_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{{\"campaign\": \"{}\", \"jobs\": {},\n \"records\": [\n",
-            json_escape(&self.name),
-            self.records.len()
-        ));
+        let mut out = results_header(&self.name, self.records.len());
         for (i, r) in self.records.iter().enumerate() {
             out.push_str("  ");
             out.push_str(&r.json());
             out.push_str(if i + 1 < self.records.len() { ",\n" } else { "\n" });
         }
-        out.push_str(&format!(" ],\n \"counters\": {}}}", counters_json(&self.merged)));
+        out.push_str(&results_footer(&self.merged));
         out
     }
 
     /// The full report: the deterministic results section plus wall-clock
     /// timings and scheduler telemetry.
     pub fn to_json(&self) -> String {
-        let job_ms: Vec<String> = self
-            .job_wall
-            .iter()
-            .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
-            .collect();
         format!(
-            "{{\"results\": {},\n \"workers\": {}, \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.1}, \"steals\": {}, \"job_wall_ms\": [{}]}}",
+            "{{\"results\": {}{}",
             self.results_json(),
-            self.workers,
-            self.wall.as_secs_f64() * 1e3,
-            self.jobs_per_sec(),
-            self.steals,
-            job_ms.join(", "),
+            timing_tail(
+                self.workers,
+                self.wall,
+                self.jobs_per_sec(),
+                self.steals,
+                self.worker_deaths,
+                self.journal_flushes,
+                &self.job_wall,
+            ),
         )
     }
 
@@ -155,25 +215,40 @@ impl CampaignReport {
             self.steals,
         ));
         out.push_str(&format!(
-            "  verdicts: {} pass, {} fail, {} completed, {} error\n",
+            "  verdicts: {} pass, {} fail, {} completed, {} error, {} crashed, {} timed-out\n",
             self.count(Verdict::Pass),
             self.count(Verdict::Fail),
             self.count(Verdict::Completed),
             self.count(Verdict::Error),
+            self.count(Verdict::Crashed),
+            self.count(Verdict::TimedOut),
         ));
+        if self.worker_deaths > 0 {
+            out.push_str(&format!(
+                "  recovered {} dead worker{}\n",
+                self.worker_deaths,
+                if self.worker_deaths == 1 { "" } else { "s" },
+            ));
+        }
         for r in &self.records {
             let detail = if r.detail.is_empty() {
                 String::new()
             } else {
                 format!("  ({})", r.detail)
             };
+            let retried = if r.retries > 0 {
+                format!("  [{} retries]", r.retries)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "  {:<6} {:<16} {:<10} {:>9}  {:>5} cycles{}\n",
+                "  {:<6} {:<16} {:<10} {:>9}  {:>5} cycles{}{}\n",
                 r.design,
                 r.fault,
                 r.seed,
                 r.verdict.name(),
                 r.cycles,
+                retried,
                 detail
             ));
         }

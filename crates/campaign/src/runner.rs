@@ -1,7 +1,22 @@
 //! Sharded execution: scoped worker threads draining the steal queue.
+//!
+//! Fault tolerance lives at two layers here:
+//!
+//! * **job panics** — each `run` call is wrapped in
+//!   [`std::panic::catch_unwind`], so a crashing job is converted to a
+//!   record by the caller's `on_panic` hook and the worker re-enters the
+//!   steal loop. A buggy design (or buggy model) costs one record, not
+//!   the whole report;
+//! * **worker deaths** — results are pushed into a shared ledger as each
+//!   job retires, so if a worker thread dies anyway (a panic in the
+//!   retire hook, a stack overflow aborting unwind), only its in-flight
+//!   job is lost. The coordinator recomputes the missing indices after
+//!   the scope closes and reruns them inline, so the output is always
+//!   complete.
 
 use crate::queue::StealQueue;
-use crate::CampaignError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Everything the pool measured about one run.
@@ -15,63 +30,110 @@ pub(crate) struct RunOutput<R> {
     pub wall: Duration,
     /// Steal operations across all workers.
     pub steals: u64,
+    /// Worker threads that died mid-run; their lost jobs were rerun
+    /// inline by the coordinator, so `results` is complete regardless.
+    pub worker_deaths: u64,
+}
+
+/// Renders a panic payload for a crash record: the `&str` / `String`
+/// payloads `panic!` produces, or a placeholder for exotic ones.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Locks a mutex, riding through poisoning: a worker that panicked while
+/// holding the ledger lock has already recorded its result or will be
+/// recovered by the coordinator, so the data is still consistent.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// Runs `run` over every job on `workers` threads via work stealing.
 /// `Simulator: Send` (static-asserted in `hwdbg-sim`) is what lets each
 /// worker own full engines; the shared compiled designs inside the jobs
 /// are `Sync` and cross thread boundaries by `Arc`.
-pub(crate) fn run_sharded<J, R, F>(
+///
+/// Infallible: a `run` call that panics is mapped to a result by
+/// `on_panic(index, job, message)`; `retire(index, &result)` fires once
+/// per job as it completes (in scheduling order, not input order) for
+/// streaming consumers like the journal; and jobs lost to a dying worker
+/// are rerun inline by the coordinator. The returned `results` vector is
+/// always exactly `jobs.len()` long, in input order.
+pub(crate) fn run_sharded<J, R, F, P, T>(
     jobs: &[J],
     workers: usize,
     run: F,
-) -> Result<RunOutput<R>, CampaignError>
+    on_panic: P,
+    retire: T,
+) -> RunOutput<R>
 where
     J: Sync,
     R: Send,
     F: Fn(usize, &J) -> R + Sync,
+    P: Fn(usize, &J, String) -> R + Sync,
+    T: Fn(usize, &R) + Sync,
 {
     let workers = workers.clamp(1, jobs.len().max(1));
     let queue = StealQueue::new(jobs.len(), workers);
     let t0 = Instant::now();
-    let mut collected: Vec<(usize, R, Duration)> = Vec::with_capacity(jobs.len());
-    let mut worker_panic = false;
+    // The shared ledger: workers push as each job retires, so a dying
+    // worker loses only its in-flight job, never its finished ones.
+    let ledger: Mutex<Vec<(usize, R, Duration)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let mut worker_deaths = 0u64;
+    let execute = |i: usize| {
+        let j0 = Instant::now();
+        let r = match catch_unwind(AssertUnwindSafe(|| run(i, &jobs[i]))) {
+            Ok(r) => r,
+            Err(payload) => on_panic(i, &jobs[i], panic_message(payload.as_ref())),
+        };
+        retire(i, &r);
+        (i, r, j0.elapsed())
+    };
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let queue = &queue;
-                let run = &run;
+                let ledger = &ledger;
+                let execute = &execute;
                 s.spawn(move || {
-                    let mut out = Vec::new();
                     while let Some(i) = queue.next(w) {
-                        let j0 = Instant::now();
-                        let r = run(i, &jobs[i]);
-                        out.push((i, r, j0.elapsed()));
+                        let entry = execute(i);
+                        lock(ledger).push(entry);
                     }
-                    out
                 })
             })
             .collect();
         for h in handles {
-            match h.join() {
-                Ok(mut v) => collected.append(&mut v),
-                Err(_) => worker_panic = true,
+            if h.join().is_err() {
+                worker_deaths += 1;
             }
         }
     });
-    let wall = t0.elapsed();
-    if worker_panic {
-        return Err(CampaignError::Worker(
-            "a worker thread panicked; report would be incomplete".into(),
-        ));
-    }
+    let mut collected = ledger.into_inner().unwrap_or_else(|p| p.into_inner());
+    // Recovery: any index missing from the ledger was in flight on a
+    // worker that died (or stranded in its deque). Rerun inline — the
+    // jobs are pure functions of their inputs, so the record is the same
+    // one the lost worker would have produced.
     if collected.len() != jobs.len() {
-        return Err(CampaignError::Worker(format!(
-            "job accounting mismatch: ran {} of {} jobs",
-            collected.len(),
-            jobs.len()
-        )));
+        let mut done = vec![false; jobs.len()];
+        for (i, _, _) in &collected {
+            done[*i] = true;
+        }
+        let missing: Vec<usize> = (0..jobs.len()).filter(|&i| !done[i]).collect();
+        for i in missing {
+            collected.push(execute(i));
+        }
     }
+    let wall = t0.elapsed();
     // Re-slot by input index: this is the determinism boundary. Whatever
     // interleaving the steals produced, the output order is the job order.
     collected.sort_by_key(|(i, _, _)| *i);
@@ -81,41 +143,110 @@ where
         results.push(r);
         job_wall.push(d);
     }
-    Ok(RunOutput {
+    RunOutput {
         results,
         job_wall,
         wall,
         steals: queue.steals(),
-    })
+        worker_deaths,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn no_panic(_: usize, _: &usize, msg: String) -> usize {
+        panic!("unexpected job panic: {msg}");
+    }
 
     #[test]
     fn results_come_back_in_input_order() {
         let jobs: Vec<usize> = (0..97).collect();
         for workers in [1, 2, 8] {
-            let out = run_sharded(&jobs, workers, |i, j| {
-                assert_eq!(i, *j);
-                j * 10
-            })
-            .unwrap();
+            let out = run_sharded(
+                &jobs,
+                workers,
+                |i, j| {
+                    assert_eq!(i, *j);
+                    j * 10
+                },
+                no_panic,
+                |_, _| {},
+            );
             let want: Vec<usize> = (0..97).map(|i| i * 10).collect();
             assert_eq!(out.results, want, "workers={workers}");
             assert_eq!(out.job_wall.len(), 97);
+            assert_eq!(out.worker_deaths, 0);
         }
     }
 
     #[test]
-    fn worker_panic_is_a_typed_error() {
-        let jobs: Vec<usize> = (0..8).collect();
-        let err = run_sharded(&jobs, 2, |_, j| {
-            assert!(*j != 5, "boom");
-            *j
-        })
-        .unwrap_err();
-        assert!(matches!(err, CampaignError::Worker(_)));
+    fn job_panic_is_isolated_and_mapped() {
+        let jobs: Vec<usize> = (0..32).collect();
+        let out = run_sharded(
+            &jobs,
+            4,
+            |_, j| {
+                assert!(*j != 5, "boom {j}");
+                *j
+            },
+            |i, _, msg| {
+                assert!(msg.contains("boom 5"), "payload lost: {msg}");
+                i + 1000
+            },
+            |_, _| {},
+        );
+        // The pool survived: every other job ran, the panicking one got
+        // the on_panic substitute, and no worker died.
+        let want: Vec<usize> = (0..32).map(|i| if i == 5 { 1005 } else { i }).collect();
+        assert_eq!(out.results, want);
+        assert_eq!(out.worker_deaths, 0);
+    }
+
+    #[test]
+    fn retire_fires_once_per_job() {
+        let jobs: Vec<usize> = (0..40).collect();
+        let fired = AtomicUsize::new(0);
+        let out = run_sharded(
+            &jobs,
+            4,
+            |_, j| *j,
+            no_panic,
+            |i, r| {
+                assert_eq!(i, *r);
+                fired.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 40);
+        assert_eq!(out.results, jobs);
+    }
+
+    #[test]
+    fn dying_worker_is_recovered_by_the_coordinator() {
+        // A retire hook that panics once kills exactly one worker after
+        // its job ran but before the result reached the ledger. The
+        // coordinator must notice, rerun the lost job, and still return
+        // the complete result set.
+        let jobs: Vec<usize> = (0..24).collect();
+        let killed = AtomicUsize::new(0);
+        let out = run_sharded(
+            &jobs,
+            3,
+            |_, j| *j * 2,
+            no_panic,
+            |i, _| {
+                if i == 7 && killed.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("retire hook died");
+                }
+            },
+        );
+        let want: Vec<usize> = (0..24).map(|i| i * 2).collect();
+        assert_eq!(out.results, want);
+        assert_eq!(out.worker_deaths, 1);
+        // Job 7 retired twice: once fatally on the worker, once on the
+        // coordinator's recovery pass.
+        assert_eq!(killed.load(Ordering::SeqCst), 2);
     }
 }

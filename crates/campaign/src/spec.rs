@@ -24,7 +24,7 @@
 //! order that the report preserves.
 
 use crate::clients::MATRIX_SEED;
-use crate::job::{Campaign, Drive, Job, Stim, StimValue};
+use crate::job::{Campaign, Drive, Job, ModelSet, Stim, StimValue};
 use crate::CampaignError;
 use hwdbg_dataflow::{elaborate, Design};
 use hwdbg_ip::StdIpLib;
@@ -327,6 +327,7 @@ impl CampaignSpec {
                         init,
                         plan: plan.clone(),
                         drive,
+                        models: ModelSet::std(),
                     });
                 }
             }

@@ -40,8 +40,8 @@ fn fault_matrix_is_worker_count_invariant() {
     assert_eq!(results_of(&one), results_of(&eight));
 
     // And the matrix still honors the legacy contract: every pair
-    // completes or errors in a typed way — the runner would have
-    // surfaced any panic as CampaignError::Worker.
+    // completes or errors in a typed way — a panicking job would show
+    // up here as a `crashed` record instead.
     assert_eq!(serial.records.len(), 80);
     for rec in &eight.records {
         assert!(

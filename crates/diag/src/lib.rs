@@ -63,6 +63,7 @@ impl fmt::Display for Severity {
 /// * `E05xx` — analysis tools
 /// * `E06xx` — fault injection / testbed harness
 /// * `E07xx` — I/O and environment
+/// * `E08xx` — campaign orchestration (specs, journals, baselines)
 ///
 /// Static-analysis (lint) findings use a parallel `L`-code range, grouped
 /// by the bug-study taxonomy the passes are keyed to:
@@ -126,6 +127,9 @@ pub enum ErrorCode {
     OutOfBounds,
     /// `$finish` executed before the awaited condition held.
     EarlyFinish,
+    /// The wall-clock deadline expired before the run finished (the
+    /// cooperative per-job watchdog of campaign runs).
+    DeadlineExceeded,
     // E05xx: tools.
     /// The design has no clocked logic to instrument.
     NoClock,
@@ -147,6 +151,19 @@ pub enum ErrorCode {
     Io,
     /// Anything that escaped classification.
     Internal,
+    // E08xx: campaign orchestration.
+    /// A campaign job-matrix spec is malformed.
+    CampaignSpec,
+    /// A campaign design failed to load, elaborate, or compile.
+    CampaignDesign,
+    /// A campaign worker died beyond what recovery could absorb.
+    CampaignWorker,
+    /// A resume journal does not match the campaign being resumed.
+    JournalMismatch,
+    /// A resume journal is unreadable or structurally corrupt.
+    JournalCorrupt,
+    /// Campaign verdicts drifted from the `--baseline` report.
+    BaselineDrift,
     // L01xx: sim/synth mismatch.
     /// A `case` in a combinational block does not cover every path
     /// (missing `default` / partial writes): latch inference.
@@ -222,6 +239,7 @@ impl ErrorCode {
             Watchdog => "E0404",
             OutOfBounds => "E0405",
             EarlyFinish => "E0406",
+            DeadlineExceeded => "E0407",
             NoClock => "E0501",
             NothingToInstrument => "E0502",
             ToolElaboration => "E0503",
@@ -231,6 +249,12 @@ impl ErrorCode {
             BadFaultPlan => "E0602",
             Io => "E0701",
             Internal => "E0799",
+            CampaignSpec => "E0801",
+            CampaignDesign => "E0802",
+            CampaignWorker => "E0803",
+            JournalMismatch => "E0804",
+            JournalCorrupt => "E0805",
+            BaselineDrift => "E0806",
             LintIncompleteCase => "L0101",
             LintBlockingInSeq => "L0102",
             LintNonblockingInComb => "L0103",
@@ -442,10 +466,11 @@ mod tests {
             BadOutputConnection, ConflictingDrivers, DuplicateDriver,
             UndrivenSignal, RecursionLimit, Unsupported, NoModel,
             WidthMismatch, NonConstSelect, CombLoop, LoopCap, Watchdog,
-            OutOfBounds, EarlyFinish, NoClock, NothingToInstrument,
-            ToolElaboration,
+            OutOfBounds, EarlyFinish, DeadlineExceeded, NoClock,
+            NothingToInstrument, ToolElaboration,
             NoPath, DegradedOutput, BadFaultTarget, BadFaultPlan, Io,
-            Internal,
+            Internal, CampaignSpec, CampaignDesign, CampaignWorker,
+            JournalMismatch, JournalCorrupt, BaselineDrift,
             LintIncompleteCase, LintBlockingInSeq, LintNonblockingInComb,
             LintMultiProcWrite, LintCombLoop, LintWidthTruncation,
             LintUnreachableState, LintTrapState, LintUndeclaredState,

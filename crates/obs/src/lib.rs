@@ -168,12 +168,21 @@ pub struct SimCounters {
     pub lint_passes: u64,
     /// Lint findings emitted (all severities, before allow-filtering).
     pub lint_findings: u64,
+    // --- campaign fault tolerance ---
+    /// Jobs whose final attempt panicked (isolated to a `crashed` record).
+    pub jobs_crashed: u64,
+    /// Jobs whose final attempt blew its wall-clock deadline.
+    pub jobs_timed_out: u64,
+    /// Extra attempts consumed by bounded retries of transient failures.
+    pub jobs_retried: u64,
+    /// Batched fsyncs performed by the campaign journal writer.
+    pub journal_flushes: u64,
 }
 
 impl SimCounters {
     /// Every counter as `(name, value)` pairs, in declaration order. The
     /// single source of truth for both renderers.
-    pub fn pairs(&self) -> [(&'static str, u64); 18] {
+    pub fn pairs(&self) -> [(&'static str, u64); 22] {
         [
             ("steps", self.steps),
             ("settles", self.settles),
@@ -193,7 +202,44 @@ impl SimCounters {
             ("shadow_updates", self.shadow_updates),
             ("lint_passes", self.lint_passes),
             ("lint_findings", self.lint_findings),
+            ("jobs_crashed", self.jobs_crashed),
+            ("jobs_timed_out", self.jobs_timed_out),
+            ("jobs_retried", self.jobs_retried),
+            ("journal_flushes", self.journal_flushes),
         ]
+    }
+
+    /// Sets a counter by its [`pairs`](Self::pairs) name; returns false
+    /// for unknown names. This is the inverse of the JSON renderer, used
+    /// by the campaign journal loader to round-trip records exactly.
+    pub fn set(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "steps" => &mut self.steps,
+            "settles" => &mut self.settles,
+            "full_settles" => &mut self.full_settles,
+            "units_executed" => &mut self.units_executed,
+            "worklist_pushes" => &mut self.worklist_pushes,
+            "proc_runs" => &mut self.proc_runs,
+            "nb_commits" => &mut self.nb_commits,
+            "force_hits" => &mut self.force_hits,
+            "fault_events" => &mut self.fault_events,
+            "pokes" => &mut self.pokes,
+            "trace_entries" => &mut self.trace_entries,
+            "trace_wraps" => &mut self.trace_wraps,
+            "fsm_transitions" => &mut self.fsm_transitions,
+            "dep_updates" => &mut self.dep_updates,
+            "stat_events" => &mut self.stat_events,
+            "shadow_updates" => &mut self.shadow_updates,
+            "lint_passes" => &mut self.lint_passes,
+            "lint_findings" => &mut self.lint_findings,
+            "jobs_crashed" => &mut self.jobs_crashed,
+            "jobs_timed_out" => &mut self.jobs_timed_out,
+            "jobs_retried" => &mut self.jobs_retried,
+            "journal_flushes" => &mut self.journal_flushes,
+            _ => return false,
+        };
+        *slot = value;
+        true
     }
 
     /// Adds every counter of `other` into `self` (merging per-run
@@ -218,6 +264,10 @@ impl SimCounters {
             shadow_updates,
             lint_passes,
             lint_findings,
+            jobs_crashed,
+            jobs_timed_out,
+            jobs_retried,
+            journal_flushes,
         } = other;
         self.steps += steps;
         self.settles += settles;
@@ -237,6 +287,10 @@ impl SimCounters {
         self.shadow_updates += shadow_updates;
         self.lint_passes += lint_passes;
         self.lint_findings += lint_findings;
+        self.jobs_crashed += jobs_crashed;
+        self.jobs_timed_out += jobs_timed_out;
+        self.jobs_retried += jobs_retried;
+        self.journal_flushes += journal_flushes;
     }
 
     /// Sums many counter sets into one — the campaign aggregation path,
@@ -402,8 +456,20 @@ mod tests {
         let json = counters_json(&a);
         assert!(json.contains("\"steps\": 5"));
         assert!(json.contains("\"shadow_updates\": 5"));
-        // Stable schema: all 18 counters present even when zero.
-        assert_eq!(json.matches(':').count(), 18);
+        // Stable schema: all 22 counters present even when zero.
+        assert_eq!(json.matches(':').count(), 22);
+    }
+
+    #[test]
+    fn set_by_name_round_trips_every_pair() {
+        let mut c = SimCounters::default();
+        for (i, (name, _)) in SimCounters::default().pairs().iter().enumerate() {
+            assert!(c.set(name, i as u64 + 1), "unknown counter {name}");
+        }
+        for (i, (name, v)) in c.pairs().iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1, "{name} did not round-trip");
+        }
+        assert!(!c.set("no_such_counter", 1));
     }
 
     #[test]

@@ -63,7 +63,21 @@ pub struct SimConfig {
     /// default: the disabled path pays one branch per settle/step, the
     /// same pattern the `forces` map uses.
     pub metrics: bool,
+    /// Wall-clock deadline for the whole run. `None` (the default) pays
+    /// one branch per check site — the same one-branch-when-disabled
+    /// pattern as `forces` — and never calls the clock. When set, the
+    /// deadline is checked cooperatively once per [`Simulator::step`] and
+    /// every [`DEADLINE_CHECK_MASK`]+1 unit executions inside a settle, so
+    /// even a livelocked combinational loop with an enormous
+    /// `max_comb_iters` budget surfaces as
+    /// [`SimError::DeadlineExceeded`] instead of wedging the thread.
+    pub deadline: Option<std::time::Instant>,
 }
+
+/// A settle checks the deadline whenever `runs & DEADLINE_CHECK_MASK == 0`:
+/// every 1024 unit executions, a few microseconds of work even in debug
+/// builds, so deadline precision stays far below any sane budget.
+pub const DEADLINE_CHECK_MASK: u64 = 0x3FF;
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -76,6 +90,7 @@ impl Default for SimConfig {
             strict_bounds: false,
             strict_width: false,
             metrics: false,
+            deadline: None,
         }
     }
 }
@@ -85,6 +100,21 @@ impl SimConfig {
     #[must_use]
     pub fn with_metrics(mut self, on: bool) -> Self {
         self.metrics = on;
+        self
+    }
+
+    /// Builder-style setter for [`SimConfig::deadline`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline to `budget` from now — the per-job wall-clock
+    /// watchdog campaign runners configure via `--job-timeout`.
+    #[must_use]
+    pub fn with_timeout(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = std::time::Instant::now().checked_add(budget);
         self
     }
 }
@@ -810,6 +840,19 @@ impl Simulator {
         Ok(())
     }
 
+    /// One cooperative deadline probe: an error once the wall clock has
+    /// passed [`SimConfig::deadline`], `Ok` otherwise — and always `Ok`,
+    /// without touching the clock, when no deadline is configured.
+    #[inline]
+    fn check_deadline(&self) -> Result<(), SimError> {
+        match self.config.deadline {
+            Some(d) if std::time::Instant::now() >= d => {
+                Err(SimError::DeadlineExceeded { steps: self.time })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Settles combinational logic (and blackbox outputs) to a fixpoint.
     ///
     /// # Errors
@@ -830,6 +873,9 @@ impl Simulator {
         let mut iters = 0u64;
         for _ in 0..self.config.max_comb_iters {
             iters += 1;
+            if self.config.deadline.is_some() {
+                self.check_deadline()?;
+            }
             self.changed_scratch.clear();
             for u in 0..n_units {
                 self.run_unit(u)?;
@@ -925,6 +971,11 @@ impl Simulator {
             if runs > budget {
                 return Err(self.comb_loop_error(unstable));
             }
+            // The disabled path pays the `is_some` load only; enabled, the
+            // clock is consulted once per 1024 unit executions.
+            if self.config.deadline.is_some() && runs & DEADLINE_CHECK_MASK == 0 {
+                self.check_deadline()?;
+            }
             self.changed_scratch.clear();
             self.run_unit(u)?;
             if runs > tail_start {
@@ -963,6 +1014,9 @@ impl Simulator {
     pub fn step(&mut self, clock: &str) -> Result<(), SimError> {
         if self.finished {
             return Ok(());
+        }
+        if self.config.deadline.is_some() {
+            self.check_deadline()?;
         }
         let plan = self.shared.clock_plan(clock);
         if let Some(cid) = plan.clock_id {

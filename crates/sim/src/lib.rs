@@ -39,7 +39,10 @@ pub mod format;
 mod state;
 pub mod vcd;
 
-pub use engine::{CompiledDesign, Checkpoint, SettleMode, SimConfig, Simulator, StimulusPlan};
+pub use engine::{
+    CompiledDesign, Checkpoint, SettleMode, SimConfig, Simulator, StimulusPlan,
+    DEADLINE_CHECK_MASK,
+};
 pub use fault::{run_with_faults, step_with_faults, Fault, FaultKind, FaultPlan};
 pub use eval::{effective_mem_addr, eval_expr, expr_width, is_signed};
 pub use state::{RegInit, SimState};
@@ -160,6 +163,15 @@ pub enum SimError {
         /// How many cycles were executed before `$finish`.
         cycles: u64,
     },
+    /// The wall-clock deadline ([`SimConfig::deadline`]) expired before
+    /// the run finished. This is the cooperative per-job watchdog campaign
+    /// runners use to surface hung jobs as `timed-out` records instead of
+    /// wedging a worker forever; checked once per step and periodically
+    /// inside long combinational settles.
+    DeadlineExceeded {
+        /// Global step count when the deadline fired.
+        steps: u64,
+    },
     /// A blackbox instance has no behavioral model.
     NoModel(String),
     /// A poke or connection whose value width does not match the signal.
@@ -207,6 +219,10 @@ impl fmt::Display for SimError {
                 f,
                 "$finish after {cycles} cycles before the awaited condition held"
             ),
+            SimError::DeadlineExceeded { steps } => write!(
+                f,
+                "wall-clock deadline exceeded after {steps} steps"
+            ),
             SimError::NoModel(m) => write!(f, "no behavioral model for blackbox `{m}`"),
             SimError::WidthMismatch {
                 signal,
@@ -243,6 +259,7 @@ impl From<SimError> for hwdbg_diag::HwdbgError {
             SimError::LoopCap(v) => (ErrorCode::LoopCap, vec![v.clone()]),
             SimError::Watchdog { .. } => (ErrorCode::Watchdog, vec![]),
             SimError::EarlyFinish { .. } => (ErrorCode::EarlyFinish, vec![]),
+            SimError::DeadlineExceeded { .. } => (ErrorCode::DeadlineExceeded, vec![]),
             SimError::NoModel(m) => (ErrorCode::NoModel, vec![m.clone()]),
             SimError::WidthMismatch { signal, .. } => {
                 (ErrorCode::WidthMismatch, vec![signal.clone()])

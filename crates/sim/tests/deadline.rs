@@ -1,0 +1,112 @@
+//! Wall-clock deadline (cooperative watchdog) tests.
+//!
+//! Campaign fleets run thousands of deliberately buggy designs; a job
+//! that livelocks must surface as a typed `DeadlineExceeded` error
+//! instead of wedging its worker thread forever. The deadline is checked
+//! once per `step` and periodically inside long settles, so both failure
+//! shapes — a run loop that never ends and a single settle that never
+//! converges — are caught.
+
+use hwdbg_dataflow::{elaborate, NoBlackboxes};
+use hwdbg_sim::{NoModels, SimConfig, SimError, Simulator};
+use std::time::{Duration, Instant};
+
+fn build(src: &str, top: &str, config: SimConfig) -> Simulator {
+    let file = hwdbg_rtl::parse(src).expect("parses");
+    let design = elaborate(&file, top, &NoBlackboxes).expect("elaborates");
+    Simulator::new(design, &NoModels, config).expect("builds")
+}
+
+const COUNTER: &str = "module counter(input clk, output reg [15:0] q);
+    always @(posedge clk) q <= q + 16'd1;
+endmodule";
+
+/// A combinational loop that never settles: `a = ~a` oscillates forever.
+/// With the default iteration budget this is a `CombLoop` finding; with a
+/// huge budget it is a genuine livelock only a wall-clock deadline stops.
+const LIVELOCK: &str = "module livelock(input clk, output a);
+    assign a = ~a;
+endmodule";
+
+#[test]
+fn deadline_stops_an_endless_run_loop() {
+    let config = SimConfig::default().with_timeout(Duration::from_millis(50));
+    let mut sim = build(COUNTER, "counter", config);
+    let t0 = Instant::now();
+    let err = sim.run("clk", u64::MAX).unwrap_err();
+    assert!(
+        matches!(err, SimError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    // The probe runs once per step, so the overshoot is tiny; allow a wide
+    // margin for loaded CI machines.
+    assert!(t0.elapsed() < Duration::from_secs(30), "took {:?}", t0.elapsed());
+    // The design made real progress before the deadline fired.
+    assert!(sim.cycle("clk") > 0);
+}
+
+#[test]
+fn deadline_fires_inside_a_livelocked_settle() {
+    // An effectively unbounded settle budget: the CombLoop guard would
+    // take ages to trip, so only the deadline probe (every 1024 unit
+    // executions) can end the settle.
+    let config = SimConfig {
+        max_comb_iters: usize::MAX,
+        ..SimConfig::default()
+    }
+    .with_timeout(Duration::from_millis(50));
+    let mut sim = build(LIVELOCK, "livelock", config);
+    let t0 = Instant::now();
+    let err = sim.settle().unwrap_err();
+    assert!(
+        matches!(err, SimError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(30), "took {:?}", t0.elapsed());
+}
+
+#[test]
+fn full_pass_settle_honors_the_deadline_too() {
+    let config = SimConfig {
+        max_comb_iters: usize::MAX,
+        settle_mode: hwdbg_sim::SettleMode::FullPass,
+        ..SimConfig::default()
+    }
+    .with_timeout(Duration::from_millis(50));
+    let mut sim = build(LIVELOCK, "livelock", config);
+    let err = sim.settle().unwrap_err();
+    assert!(matches!(err, SimError::DeadlineExceeded { .. }), "{err:?}");
+}
+
+#[test]
+fn no_deadline_keeps_legacy_semantics() {
+    // Default config: the livelock is still a CombLoop finding (the
+    // bounded-iteration guard), not a deadline error.
+    let mut sim = build(LIVELOCK, "livelock", SimConfig::default());
+    let err = sim.settle().unwrap_err();
+    assert!(matches!(err, SimError::CombLoop { .. }), "{err:?}");
+
+    // And a finite run completes exactly as before.
+    let mut sim = build(COUNTER, "counter", SimConfig::default());
+    sim.run("clk", 100).unwrap();
+    assert_eq!(sim.peek("q").unwrap().to_u64(), 100);
+}
+
+#[test]
+fn generous_deadline_never_interferes() {
+    let config = SimConfig::default().with_timeout(Duration::from_secs(3600));
+    let mut sim = build(COUNTER, "counter", config);
+    sim.run("clk", 500).unwrap();
+    assert_eq!(sim.peek("q").unwrap().to_u64(), 500);
+}
+
+#[test]
+fn expired_deadline_fails_the_very_first_step() {
+    let config = SimConfig::default().with_deadline(Instant::now());
+    let mut sim = build(COUNTER, "counter", config);
+    let err = sim.step("clk").unwrap_err();
+    assert!(matches!(err, SimError::DeadlineExceeded { steps: 0 }), "{err:?}");
+    // The diagnostic carries the stable deadline code.
+    let diag: hwdbg_diag::HwdbgError = err.into();
+    assert_eq!(diag.code.as_str(), "E0407");
+}

@@ -191,6 +191,32 @@ fn first_settle_after_build_allocates_nothing() {
     );
 }
 
+/// Watchdog-armed campaign jobs: the same grayscale steady state with a
+/// wall-clock deadline set. `Instant::now()` reads the vDSO clock and the
+/// probe is a branch plus a comparison — arming the per-job watchdog must
+/// not cost an allocation per cycle.
+#[test]
+fn deadline_enabled_steady_state_allocates_nothing() {
+    let design = buggy_design(BugId::D2).unwrap();
+    let config = SimConfig::default().with_timeout(std::time::Duration::from_secs(3600));
+    let mut sim = Simulator::new(design, &hwdbg_ip::StdModels, config).unwrap();
+    sim.poke_u64("pix_in_valid", 1).unwrap();
+    for i in 0..200u64 {
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    }
+    let before = thread_allocs();
+    for i in 200..1200u64 {
+        sim.poke_u64("pix_in", i).unwrap();
+        sim.step("clk").unwrap();
+    }
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "deadline-armed steady state allocated {allocs} times over 1000 cycles"
+    );
+}
+
 /// The campaign-engine configuration: many simulators built from one
 /// shared `Arc<CompiledDesign>` via `Simulator::from_compiled`. The
 /// shared compile artifact must not reintroduce per-cycle allocations —

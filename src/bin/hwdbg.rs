@@ -17,7 +17,9 @@
 //! hwdbg lint <file.v|BUG_ID> [--json] [--deny IDS] [--allow IDS] [--warn IDS]
 //!                                                   static bug-pattern analysis (§6)
 //! hwdbg campaign <spec|fault-matrix|seed-sweep> [--jobs N] [--json] [--out FILE]
-//!                                                   parallel simulation fleet
+//!                [--job-timeout SECS] [--retries N] [--journal FILE]
+//!                [--resume FILE] [--baseline FILE]
+//!                                                   fault-tolerant simulation fleet
 //! ```
 //!
 //! All errors surface as rendered [`hwdbg::diag::HwdbgError`] diagnostics
@@ -96,7 +98,8 @@ fn print_usage() {
          hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]\n  \
          hwdbg profile <file.v|BUG_ID> [--top NAME] [--cycles N] [--clock CLK] [--json]\n  \
          hwdbg lint <file.v|BUG_ID> [--top NAME] [--json] [--deny IDS] [--allow IDS] [--warn IDS]\n  \
-         hwdbg campaign <spec|fault-matrix|seed-sweep> [--jobs N] [--json] [--out FILE] [--seeds N]"
+         hwdbg campaign <spec|fault-matrix|seed-sweep> [--jobs N] [--json] [--out FILE] [--seeds N]\n           \
+         [--job-timeout SECS] [--retries N] [--journal FILE] [--resume FILE] [--baseline FILE]"
     );
 }
 
@@ -705,8 +708,33 @@ fn cmd_faults(args: &[String]) -> Result<(), Anyhow> {
 /// README). `--jobs N` picks the worker count (default: available
 /// parallelism); `--json` prints the full machine-readable report (the
 /// `results` section of which is byte-identical for any `--jobs` value);
-/// `--out FILE` writes the JSON report to a file as well.
+/// `--out FILE` streams the JSON report to a file as jobs retire.
+///
+/// Fault tolerance: `--job-timeout SECS` arms a per-job wall-clock
+/// watchdog (hung jobs become `timed-out` records); `--retries N` reruns
+/// crashed/timed-out jobs up to N times; `--journal FILE` appends each
+/// retired record to a crash-safe JSONL journal; `--resume FILE` replays
+/// a journal from a killed run and executes only the remainder (the
+/// final results section is byte-identical to an uninterrupted run);
+/// `--baseline FILE` diffs this run's verdicts against a prior report
+/// and exits nonzero on drift.
 fn cmd_campaign(args: &[String]) -> Result<(), Anyhow> {
+    use hwdbg::campaign::journal::{self, JournalWriter, StreamingReport};
+    use hwdbg::campaign::{baseline, CampaignError, JobRecord, RunOptions};
+    use std::collections::BTreeMap;
+    use std::path::Path;
+    use std::sync::Mutex;
+
+    // CampaignError carries a stable E08xx code; render it like every
+    // other diagnostic instead of Debug-dumping.
+    fn rendered_campaign(e: CampaignError) -> Anyhow {
+        let diag: HwdbgError = e.into();
+        diag.render(None).into()
+    }
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     let json = args.iter().any(|a| a == "--json");
     let filtered: Vec<String> = args
         .iter()
@@ -721,6 +749,17 @@ fn cmd_campaign(args: &[String]) -> Result<(), Anyhow> {
         Some(n) => n.parse()?,
         None => std::thread::available_parallelism().map_or(1, |n| n.get()),
     };
+    let mut run_opts = RunOptions::default();
+    if let Some(t) = opts.get("job-timeout") {
+        let secs: f64 = t.parse()?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(format!("--job-timeout must be a positive number of seconds, got `{t}`").into());
+        }
+        run_opts.job_timeout = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(r) = opts.get("retries") {
+        run_opts.retries = r.parse()?;
+    }
     let campaign = match target {
         "fault-matrix" => hwdbg::campaign::clients::fault_matrix()?,
         "seed-sweep" => {
@@ -733,17 +772,95 @@ fn cmd_campaign(args: &[String]) -> Result<(), Anyhow> {
             hwdbg::campaign::CampaignSpec::parse(&src)?.build()?
         }
     };
-    let report = campaign.run(jobs)?;
-    if let Some(out) = opts.get("out") {
-        std::fs::write(out, report.to_json())?;
+
+    // Journal: `--resume` replays + appends to an existing journal;
+    // `--journal` starts a fresh one.
+    let mut completed: BTreeMap<usize, JobRecord> = BTreeMap::new();
+    let mut writer: Option<JournalWriter> = None;
+    if let Some(rp) = opts.get("resume") {
+        let state = journal::load(Path::new(rp)).map_err(rendered_campaign)?;
+        journal::validate(&state, &campaign).map_err(rendered_campaign)?;
+        if state.torn_tail {
+            eprintln!("{rp}: torn final line (crash damage); that job will rerun");
+        }
+        eprintln!(
+            "resuming {rp}: {} of {} jobs already journaled",
+            state.completed.len(),
+            campaign.jobs.len()
+        );
+        completed = state.completed;
+        writer = Some(JournalWriter::resume(Path::new(rp))?);
+    } else if let Some(jp) = opts.get("journal") {
+        writer = Some(JournalWriter::create(Path::new(jp), &campaign)?);
     }
+
+    // `--out` streams the report as jobs retire; replayed records land
+    // in the stream up front so a resumed file is complete too.
+    let mut stream: Option<StreamingReport> = None;
+    if let Some(out) = opts.get("out") {
+        let mut s = StreamingReport::create(Path::new(out), &campaign.name, campaign.jobs.len())?;
+        for (i, r) in &completed {
+            s.push(*i, r)?;
+        }
+        stream = Some(s);
+    }
+
+    let writer = Mutex::new(writer);
+    let stream = Mutex::new(stream);
+    let retire = |i: usize, r: &JobRecord| {
+        // On I/O failure, warn once and stop writing — a full disk must
+        // not take down the campaign itself.
+        let mut w = lock(&writer);
+        if let Some(jw) = w.as_mut() {
+            if let Err(e) = jw.append(i, r) {
+                eprintln!("journal write failed, disabling journal: {e}");
+                *w = None;
+            }
+        }
+        drop(w);
+        let mut s = lock(&stream);
+        if let Some(sr) = s.as_mut() {
+            if let Err(e) = sr.push(i, r) {
+                eprintln!("--out stream write failed, disabling: {e}");
+                *s = None;
+            }
+        }
+    };
+    let mut report = campaign
+        .run_with(jobs, run_opts, &completed, retire)
+        .map_err(rendered_campaign)?;
+
+    if let Some(mut jw) = lock(&writer).take() {
+        jw.sync()?;
+        report.journal_flushes = jw.flushes();
+    }
+    if let Some(sr) = lock(&stream).take() {
+        sr.finish(&report)?;
+    }
+
     if json {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.render_human());
     }
-    // Surface hard errors in the exit code: `error` verdicts are typed
-    // findings, but a campaign that could not even schedule has already
-    // returned Err above.
+
+    // `--baseline`: typed verdict drift is a failure the exit code must
+    // carry, with the per-job table on stderr.
+    if let Some(bp) = opts.get("baseline") {
+        let text = std::fs::read_to_string(bp).map_err(|e| format!("{bp}: {e}"))?;
+        let base = baseline::parse_baseline(&text).map_err(rendered_campaign)?;
+        let d = baseline::diff(&report.records, &base);
+        if !d.is_clean() {
+            eprintln!("{}", d.render_table());
+            return Err(rendered_campaign(CampaignError::Baseline(format!(
+                "{} verdict(s) drifted from baseline {bp}",
+                d.drifted.len()
+            ))));
+        }
+        if !d.missing.is_empty() || !d.added.is_empty() {
+            eprint!("{}", d.render_table());
+        }
+        eprintln!("baseline {bp}: no verdict drift");
+    }
     Ok(())
 }
