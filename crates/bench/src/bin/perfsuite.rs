@@ -42,7 +42,7 @@ use hwdbg_bench::harness::{bench, json_escape, paired_overhead_pct, Measurement}
 use hwdbg_dataflow::elaborate;
 use hwdbg_ip::StdModels;
 use hwdbg_obs::{counters_json, stages_json, thread_allocs, CountingAlloc, StageTimer};
-use hwdbg_sim::{SimConfig, Simulator};
+use hwdbg_sim::{Backend, SimConfig, Simulator};
 use hwdbg_testbed::{buggy_design, BugId};
 
 // Counts allocations for the `allocs_per_cycle` column. Steady-state
@@ -214,6 +214,37 @@ fn main() {
         });
     }
 
+    // Tree-walker companion for the settle headline: the default records
+    // above run the bytecode backend, and this one reruns the 256-stage
+    // chain on the reference tree-walker so the `bytecode_speedup` field
+    // records the lowering win in the same report.
+    {
+        let bytecode_ips = records
+            .iter()
+            .find(|r| r.m.name == "sim_comb_chain/256")
+            .unwrap()
+            .m
+            .iters_per_sec();
+        let (m, mut sim) = bench_comb_chain(
+            "sim_comb_chain/256+tree",
+            SimConfig::default().with_backend(Backend::Tree),
+        );
+        let speedup = bytecode_ips / m.iters_per_sec();
+        let mut toggle = 0u64;
+        let apc = allocs_per_cycle(1, || {
+            toggle = toggle.wrapping_add(1);
+            sim.poke_u64("d", 7 + (toggle & 1)).unwrap();
+            sim.settle().unwrap();
+            std::hint::black_box(sim.peek("q").unwrap().to_u64());
+        });
+        records.push(Record {
+            m,
+            work_per_iter: 1,
+            allocs_per_cycle: apc,
+            extra: format!(", \"bytecode_speedup\": {speedup:.2}"),
+        });
+    }
+
     let design = buggy_design(BugId::D2).unwrap();
     {
         let m = bench("sim_grayscale_1000_cycles", || {
@@ -225,6 +256,27 @@ fn main() {
             work_per_iter: GRAYSCALE_CYCLES,
             allocs_per_cycle: apc,
             extra: String::new(),
+        });
+    }
+    // Tree-walker companion for the clocked-pipeline headline.
+    {
+        let bytecode_ips = records
+            .iter()
+            .find(|r| r.m.name == "sim_grayscale_1000_cycles")
+            .unwrap()
+            .m
+            .iters_per_sec();
+        let tree = SimConfig::default().with_backend(Backend::Tree);
+        let m = bench("sim_grayscale_1000_cycles+tree", || {
+            grayscale_iter(&design, tree.clone()).cycle("clk")
+        });
+        let speedup = bytecode_ips / m.iters_per_sec();
+        let apc = grayscale_steady_apc(&design, tree);
+        records.push(Record {
+            m,
+            work_per_iter: GRAYSCALE_CYCLES,
+            allocs_per_cycle: apc,
+            extra: format!(", \"bytecode_speedup\": {speedup:.2}"),
         });
     }
 

@@ -130,6 +130,8 @@ pub enum ErrorCode {
     /// The wall-clock deadline expired before the run finished (the
     /// cooperative per-job watchdog of campaign runs).
     DeadlineExceeded,
+    /// A part-select whose constant bounds are reversed (`msb < lsb`).
+    ReversedRange,
     // E05xx: tools.
     /// The design has no clocked logic to instrument.
     NoClock,
@@ -240,6 +242,7 @@ impl ErrorCode {
             OutOfBounds => "E0405",
             EarlyFinish => "E0406",
             DeadlineExceeded => "E0407",
+            ReversedRange => "E0408",
             NoClock => "E0501",
             NothingToInstrument => "E0502",
             ToolElaboration => "E0503",
@@ -466,7 +469,7 @@ mod tests {
             BadOutputConnection, ConflictingDrivers, DuplicateDriver,
             UndrivenSignal, RecursionLimit, Unsupported, NoModel,
             WidthMismatch, NonConstSelect, CombLoop, LoopCap, Watchdog,
-            OutOfBounds, EarlyFinish, DeadlineExceeded, NoClock,
+            OutOfBounds, EarlyFinish, DeadlineExceeded, ReversedRange, NoClock,
             NothingToInstrument, ToolElaboration,
             NoPath, DegradedOutput, BadFaultTarget, BadFaultPlan, Io,
             Internal, CampaignSpec, CampaignDesign, CampaignWorker,

@@ -135,7 +135,13 @@ pub(crate) enum CStmt {
         step: CExpr,
         body: Box<CStmt>,
     },
-    Display { format: String, args: Vec<CExpr> },
+    Display {
+        format: String,
+        args: Vec<CExpr>,
+        /// Per-argument declared signedness (via [`crate::eval::is_signed`]
+        /// at compile time), so `%d` renders two's-complement values.
+        signs: Vec<bool>,
+    },
     Finish,
     Empty,
 }
@@ -599,6 +605,10 @@ impl Ctx<'_> {
                     .iter()
                     .map(|a| self.expr(a))
                     .collect::<Result<_, _>>()?,
+                signs: args
+                    .iter()
+                    .map(|a| crate::eval::is_signed(a, self.design))
+                    .collect(),
             },
             Stmt::Finish => CStmt::Finish,
             Stmt::Empty => CStmt::Empty,
@@ -616,6 +626,12 @@ pub(crate) struct EvalScratch {
     pool: Vec<Bits>,
     /// Resolved-write buffer reused across blocking assignments.
     writes: Vec<CNbWrite>,
+    /// Narrow (≤ 64-bit) register file for the bytecode backend. Values
+    /// are canonical: bits above a register's static width are zero.
+    pub(crate) nregs: Vec<u64>,
+    /// Wide (> 64-bit) register file for the bytecode backend, pre-spilled
+    /// to the design's maximum width so steady state never allocates.
+    pub(crate) wregs: Vec<Bits>,
 }
 
 /// Pool entries kept alive; extras returned beyond this are dropped.
@@ -633,6 +649,8 @@ impl EvalScratch {
         EvalScratch {
             pool: (0..POOL_CAP).map(|_| Bits::zero(w)).collect(),
             writes: Vec::with_capacity(16),
+            nregs: Vec::new(),
+            wregs: Vec::new(),
         }
     }
 
@@ -641,7 +659,18 @@ impl EvalScratch {
         EvalScratch {
             pool: Vec::new(),
             writes: Vec::new(),
+            nregs: Vec::new(),
+            wregs: Vec::new(),
         }
+    }
+
+    /// Sizes the bytecode register files to the compiled programs' maxima.
+    /// Wide registers are pre-spilled to `max_width` up front, preserving
+    /// the zero-allocations-per-cycle invariant under the bytecode backend.
+    pub(crate) fn size_registers(&mut self, n_narrow: usize, n_wide: usize, max_width: u32) {
+        self.nregs = vec![0; n_narrow];
+        let w = max_width.max(65); // force the spilled representation
+        self.wregs = (0..n_wide).map(|_| Bits::zero(w)).collect();
     }
 
     #[inline]
@@ -962,13 +991,17 @@ impl CExec<'_> {
                 self.scratch.put(v);
                 Ok(Flow::Continue)
             }
-            CStmt::Display { format, args } => {
+            CStmt::Display {
+                format,
+                args,
+                signs,
+            } => {
                 if let Some((sink, time, cycle)) = &mut self.logs {
                     let mut vals = Vec::new();
                     for a in args {
                         vals.push(eval(self.state, a)?);
                     }
-                    let message = crate::format::render(format, &vals);
+                    let message = crate::format::render_signed(format, &vals, signs);
                     sink.push(LogRecord {
                         time: *time,
                         cycle: *cycle,

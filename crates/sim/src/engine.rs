@@ -8,6 +8,7 @@
 //! read-set intersects the signals written since their last run are
 //! re-executed.
 
+use crate::bytecode::{lower_unit, BcProgram};
 use crate::compile::{eval_into, CExec, CNbWrite, Compiled, EvalScratch, Flow};
 use crate::eval::eval_expr;
 use crate::state::{RegInit, SimState};
@@ -33,6 +34,28 @@ pub enum SettleMode {
     FullPass,
 }
 
+/// Execution backend for compiled unit bodies.
+///
+/// Both backends run the same compiled schedule and are observably
+/// identical (the differential suite in
+/// `crates/sim/tests/backend_differential.rs` holds them to byte-identical
+/// verdicts, logs, and waveforms); they differ only in how a unit body
+/// executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Walk the `CStmt`/`CExpr` tree directly. The reference
+    /// implementation — simplest possible execution, kept for
+    /// differential testing and as a fallback.
+    Tree,
+    /// Execute flat register-machine bytecode lowered from the tree at
+    /// compile time (see [`crate::bytecode`]). Unit bodies that cannot be
+    /// statically lowered (non-constant part-select bounds and the like)
+    /// transparently keep the tree-walker. This is the production
+    /// backend.
+    #[default]
+    Bytecode,
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -49,6 +72,8 @@ pub struct SimConfig {
     pub log_capacity: usize,
     /// Combinational scheduling strategy.
     pub settle_mode: SettleMode,
+    /// Unit-body execution backend (bytecode by default; see [`Backend`]).
+    pub backend: Backend,
     /// When true, out-of-bounds memory and bit writes raise
     /// [`SimError::OutOfBounds`] instead of being silently dropped.
     /// Off by default: the drop semantics are the paper's §3.2.1
@@ -87,6 +112,7 @@ impl Default for SimConfig {
             for_cap: 65_536,
             log_capacity: 1_000_000,
             settle_mode: SettleMode::EventDriven,
+            backend: Backend::default(),
             strict_bounds: false,
             strict_width: false,
             metrics: false,
@@ -96,6 +122,13 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Builder-style setter for [`SimConfig::backend`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Builder-style toggle for [`SimConfig::metrics`].
     #[must_use]
     pub fn with_metrics(mut self, on: bool) -> Self {
@@ -147,6 +180,15 @@ pub struct CompiledDesign {
     compiled: Compiled,
     /// Widest scalar/memory-element width, for pre-sizing scratch pools.
     max_width: u32,
+    /// Per comb unit: its lowered bytecode, or `None` when the body could
+    /// not be statically lowered (that unit keeps the tree-walker).
+    comb_progs: Vec<Option<BcProgram>>,
+    /// Per clocked process: its lowered bytecode (same fallback rule).
+    proc_progs: Vec<Option<BcProgram>>,
+    /// Register-file sizes needed by the largest lowered program, for
+    /// pre-sizing each simulator's [`EvalScratch`] once at build time.
+    bc_narrow: usize,
+    bc_wide: usize,
     /// Per-clock stepping plans, one per declared scalar signal.
     plans: BTreeMap<String, Arc<ClockPlan>>,
     /// Plan returned for names that are not declared scalars: no edge
@@ -177,6 +219,35 @@ impl CompiledDesign {
         let layout = SimState::new(&design, RegInit::Zero);
         let compiled = Compiled::build(&design, &layout)?;
         let max_width = design.signals.values().map(|s| s.width).max().unwrap_or(1);
+        // Static width tables for bytecode lowering: one entry per signal
+        // ID (memories hold their 1-bit placeholder slot width, matching
+        // what `get_id` returns for them) and one per memory slot
+        // (element width; what `read_mem_slot_into` yields in range).
+        // `design.signals` iterates in name order, which is ID order.
+        let mut sig_width = vec![1u32; design.table.len()];
+        let mut mem_width = Vec::new();
+        for (id, sig) in design.signals.values().enumerate() {
+            sig_width[id] = if sig.mem_depth.is_some() { 1 } else { sig.width };
+            if let Some(depth) = sig.mem_depth {
+                // A zero-depth memory reads back 1-bit zeros.
+                mem_width.push(if depth == 0 { 1 } else { sig.width });
+            }
+        }
+        let comb_progs: Vec<Option<BcProgram>> = compiled
+            .combs
+            .iter()
+            .map(|c| lower_unit(&c.body, &sig_width, &mem_width))
+            .collect();
+        let proc_progs: Vec<Option<BcProgram>> = compiled
+            .procs
+            .iter()
+            .map(|p| lower_unit(&p.body, &sig_width, &mem_width))
+            .collect();
+        let (mut bc_narrow, mut bc_wide) = (0, 0);
+        for prog in comb_progs.iter().chain(&proc_progs).flatten() {
+            bc_narrow = bc_narrow.max(prog.n_narrow);
+            bc_wide = bc_wide.max(prog.n_wide);
+        }
         let mut plans = BTreeMap::new();
         for (name, sig) in &design.signals {
             if sig.mem_depth.is_some() {
@@ -214,6 +285,10 @@ impl CompiledDesign {
             design,
             compiled,
             max_width,
+            comb_progs,
+            proc_progs,
+            bc_narrow,
+            bc_wide,
             plans,
             empty_plan: Arc::new(ClockPlan {
                 clock_id: None,
@@ -226,6 +301,16 @@ impl CompiledDesign {
     /// The elaborated design this schedule was compiled from.
     pub fn design(&self) -> &Design {
         &self.design
+    }
+
+    /// `(lowered, total)` unit-body counts: how many comb units and
+    /// clocked processes execute bytecode under [`Backend::Bytecode`]
+    /// (the rest keep the tree-walker). Diagnostics and tests use this to
+    /// prove lowering actually engages on a design.
+    pub fn lowering_coverage(&self) -> (usize, usize) {
+        let all = self.comb_progs.iter().chain(&self.proc_progs);
+        let total = self.comb_progs.len() + self.proc_progs.len();
+        (all.filter(|p| p.is_some()).count(), total)
     }
 
     /// The pre-resolved stepping plan for `clock` (the empty plan for
@@ -397,7 +482,10 @@ impl Simulator {
         }
         let state = SimState::new(design, config.init);
         let config_metrics = config.metrics;
-        let scratch = EvalScratch::with_max_width(shared.max_width);
+        let mut scratch = EvalScratch::with_max_width(shared.max_width);
+        if config.backend == Backend::Bytecode {
+            scratch.size_registers(shared.bc_narrow, shared.bc_wide, shared.max_width);
+        }
         let n_units = shared.compiled.n_units();
         let n_sigs = design.table.len();
         let bb_input_scratch = shared
@@ -780,6 +868,10 @@ impl Simulator {
         let u = unit as usize;
         if u < n_combs {
             let body = &self.shared.compiled.combs[u].body;
+            let prog = match self.config.backend {
+                Backend::Bytecode => self.shared.comb_progs[u].as_ref(),
+                Backend::Tree => None,
+            };
             let mut exec = CExec {
                 state: &mut self.state,
                 scratch: &mut self.scratch,
@@ -791,7 +883,14 @@ impl Simulator {
                 strict_bounds: self.config.strict_bounds,
                 counters: self.counters.as_deref_mut(),
             };
-            exec.stmt(body)?;
+            match prog {
+                Some(p) => {
+                    crate::bytecode::run(p, &mut exec)?;
+                }
+                None => {
+                    exec.stmt(body)?;
+                }
+            }
         } else {
             let bi = u - n_combs;
             self.refresh_bb_inputs(bi)?;
@@ -1051,6 +1150,10 @@ impl Simulator {
         let mut finished = false;
         for &pi in &plan.procs {
             let body = &self.shared.compiled.procs[pi].body;
+            let prog = match self.config.backend {
+                Backend::Bytecode => self.shared.proc_progs[pi].as_ref(),
+                Backend::Tree => None,
+            };
             let mut exec = CExec {
                 state: &mut self.state,
                 scratch: &mut self.scratch,
@@ -1062,7 +1165,11 @@ impl Simulator {
                 strict_bounds: self.config.strict_bounds,
                 counters: self.counters.as_deref_mut(),
             };
-            if exec.stmt(body)? == Flow::Finished {
+            let flow = match prog {
+                Some(p) => crate::bytecode::run(p, &mut exec)?,
+                None => exec.stmt(body)?,
+            };
+            if flow == Flow::Finished {
                 finished = true;
             }
         }

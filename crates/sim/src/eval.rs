@@ -56,7 +56,11 @@ pub fn expr_width(expr: &Expr, design: &Design) -> Result<u32, SimError> {
                 .map_err(|_| SimError::NonConstSelect)?
                 .to_u64();
             if l > m {
-                return Err(SimError::NonConstSelect);
+                // The bounds *are* constant — they are reversed. Report
+                // that precisely (matching the spanned reversed-part-select
+                // diagnostic elaboration emits) instead of the misleading
+                // `NonConstSelect`.
+                return Err(SimError::ReversedRange { msb: m, lsb: l });
             }
             (m - l + 1) as u32
         }

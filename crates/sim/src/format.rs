@@ -1,13 +1,26 @@
 //! `$display` format rendering.
 //!
 //! Supports the directives the paper's designs use: `%d`, `%0d`, `%h`/`%x`,
-//! `%b`, `%c`, `%%`, with optional width and zero-pad flags. Unknown
-//! directives are emitted literally.
+//! `%b`, `%c`, `%t`, `%%`, with optional width and zero-pad flags. Unknown
+//! directives are emitted literally. `%d` honours declared signedness when
+//! the caller supplies per-argument sign flags ([`render_signed`]).
 
 use hwdbg_bits::Bits;
 
-/// Renders `fmt` with `args` substituted for format directives.
+/// Renders `fmt` with `args` substituted for format directives, treating
+/// every argument as unsigned.
 pub fn render(fmt: &str, args: &[Bits]) -> String {
+    render_signed(fmt, args, &[])
+}
+
+/// Renders `fmt` with `args` substituted for format directives.
+///
+/// `signs[i]` marks argument `i` as declared-signed: `%d` then prints the
+/// two's-complement value (a leading `-` and the magnitude) when the sign
+/// bit is set. Missing entries default to unsigned, so `&[]` reproduces
+/// [`render`]. Base directives (`%h`, `%b`) always print the raw bit
+/// pattern, like real simulators.
+pub fn render_signed(fmt: &str, args: &[Bits], signs: &[bool]) -> String {
     let mut out = String::new();
     let mut chars = fmt.chars().peekable();
     let mut next_arg = 0usize;
@@ -43,8 +56,9 @@ pub fn render(fmt: &str, args: &[Bits]) -> String {
         let arg = args.get(next_arg);
         let rendered = match (kind.to_ascii_lowercase(), arg) {
             ('d', Some(v)) => {
+                let signed = signs.get(next_arg).copied().unwrap_or(false);
                 next_arg += 1;
-                let s = v.to_dec_string();
+                let s = dec_string(v, signed);
                 pad(&s, default_dec_width(v, width, zero_pad), zero_pad)
             }
             ('h' | 'x', Some(v)) => {
@@ -63,7 +77,7 @@ pub fn render(fmt: &str, args: &[Bits]) -> String {
             }
             ('t', Some(v)) => {
                 next_arg += 1;
-                v.to_dec_string()
+                pad(&v.to_dec_string(), width, zero_pad)
             }
             (_, _) => {
                 out.push('%');
@@ -74,6 +88,16 @@ pub fn render(fmt: &str, args: &[Bits]) -> String {
         out.push_str(&rendered);
     }
     out
+}
+
+/// The decimal rendering of `v`: two's-complement (sign bit set means a
+/// leading `-` and the negated magnitude) when `signed`, plain otherwise.
+fn dec_string(v: &Bits, signed: bool) -> String {
+    if signed && v.bit(v.width() - 1) {
+        format!("-{}", v.neg().to_dec_string())
+    } else {
+        v.to_dec_string()
+    }
 }
 
 /// Verilog pads plain `%d` to the decimal width of the argument's range;
@@ -140,5 +164,30 @@ mod tests {
     #[test]
     fn unknown_directive_literal() {
         assert_eq!(render("%q", &[b(4, 1)]), "%q");
+    }
+
+    #[test]
+    fn signed_decimal_prints_twos_complement() {
+        // 8-bit 0xFF declared signed is -1; 0x80 is the most negative.
+        assert_eq!(render_signed("%0d", &[b(8, 0xFF)], &[true]), "-1");
+        assert_eq!(render_signed("%0d", &[b(8, 0x80)], &[true]), "-128");
+        // Sign bit clear renders like unsigned.
+        assert_eq!(render_signed("%0d", &[b(8, 5)], &[true]), "5");
+        // Unsigned flag (or a missing entry) keeps the raw value.
+        assert_eq!(render_signed("%0d", &[b(8, 0xFF)], &[false]), "255");
+        assert_eq!(render_signed("%0d", &[b(8, 0xFF)], &[]), "255");
+        // Base directives always print the bit pattern.
+        assert_eq!(render_signed("%h", &[b(8, 0xFF)], &[true]), "ff");
+        // Wide signed values work through the limb path too.
+        let wide = Bits::from_u64(65, 1).neg();
+        assert_eq!(render_signed("%0d", &[wide], &[true]), "-1");
+    }
+
+    #[test]
+    fn time_directive_honours_width_flags() {
+        assert_eq!(render("%5t", &[b(32, 42)]), "   42");
+        assert_eq!(render("%05t", &[b(32, 42)]), "00042");
+        assert_eq!(render("%t", &[b(32, 42)]), "42");
+        assert_eq!(render("%0t", &[b(32, 42)]), "42");
     }
 }

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+mod bytecode;
 mod compile;
 mod engine;
 mod eval;
@@ -40,7 +41,7 @@ mod state;
 pub mod vcd;
 
 pub use engine::{
-    CompiledDesign, Checkpoint, SettleMode, SimConfig, Simulator, StimulusPlan,
+    Backend, CompiledDesign, Checkpoint, SettleMode, SimConfig, Simulator, StimulusPlan,
     DEADLINE_CHECK_MASK,
 };
 pub use fault::{run_with_faults, step_with_faults, Fault, FaultKind, FaultPlan};
@@ -143,6 +144,15 @@ pub enum SimError {
     UnknownSignal(String),
     /// A part-select or replication whose bounds are not constant.
     NonConstSelect,
+    /// A part-select whose constant bounds are reversed (`[lsb:msb]` with
+    /// `lsb > msb`). Distinct from [`SimError::NonConstSelect`]: the
+    /// bounds *are* constant, they are just in the wrong order.
+    ReversedRange {
+        /// The (smaller) value written in the msb position.
+        msb: u64,
+        /// The (larger) value written in the lsb position.
+        lsb: u64,
+    },
     /// Combinational logic failed to reach a fixpoint.
     CombLoop {
         /// Signals still changing value in the final settle iterations —
@@ -204,6 +214,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
             SimError::NonConstSelect => write!(f, "non-constant select bounds"),
+            SimError::ReversedRange { msb, lsb } => write!(
+                f,
+                "reversed part-select bounds [{msb}:{lsb}] (msb < lsb)"
+            ),
             SimError::CombLoop { unstable } => {
                 write!(f, "combinational loop: settle did not converge")?;
                 if !unstable.is_empty() {
@@ -255,6 +269,7 @@ impl From<SimError> for hwdbg_diag::HwdbgError {
         let (code, signals): (ErrorCode, Vec<String>) = match &e {
             SimError::UnknownSignal(n) => (ErrorCode::UnknownSignal, vec![n.clone()]),
             SimError::NonConstSelect => (ErrorCode::NonConstSelect, vec![]),
+            SimError::ReversedRange { .. } => (ErrorCode::ReversedRange, vec![]),
             SimError::CombLoop { unstable } => (ErrorCode::CombLoop, unstable.clone()),
             SimError::LoopCap(v) => (ErrorCode::LoopCap, vec![v.clone()]),
             SimError::Watchdog { .. } => (ErrorCode::Watchdog, vec![]),

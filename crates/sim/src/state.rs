@@ -158,6 +158,16 @@ impl SimState {
         }
     }
 
+    /// One memory element as a `u64` (low limb): the bytecode backend's
+    /// narrow-element load. Out-of-range reads are zero, matching
+    /// [`read_mem_slot_into`](SimState::read_mem_slot_into).
+    #[inline]
+    pub fn read_mem_slot_u64(&self, slot: u32, idx: u64) -> u64 {
+        self.mems[slot as usize]
+            .get(idx as usize)
+            .map_or(0, Bits::to_u64)
+    }
+
     /// Writes one element of the memory in `slot` at an already-validated
     /// address, in place. Returns true if the stored value changed.
     #[inline]

@@ -248,3 +248,77 @@ fn shared_compiled_design_steady_state_allocates_nothing() {
         "shared-design steady state allocated {allocs} times over 1000 cycles"
     );
 }
+
+/// Both execution backends, explicitly: the bytecode interpreter's
+/// register files (narrow `u64`s and pre-spilled wide `Bits`) are sized
+/// once at build time, its `$display` path is only reached when a log
+/// sink is attached, and wide-register moves recycle the same heap
+/// buffers — so per-cycle allocations stay at zero under either backend.
+/// (The other tests in this file run the default backend; this one pins
+/// both down even if the default changes.)
+#[test]
+fn both_backends_steady_state_allocate_nothing() {
+    use hwdbg_sim::Backend;
+    for backend in [Backend::Tree, Backend::Bytecode] {
+        let design = buggy_design(BugId::D2).unwrap();
+        let config = SimConfig::default().with_backend(backend);
+        let mut sim = Simulator::new(design, &hwdbg_ip::StdModels, config).unwrap();
+        sim.poke_u64("pix_in_valid", 1).unwrap();
+        for i in 0..200u64 {
+            sim.poke_u64("pix_in", i).unwrap();
+            sim.step("clk").unwrap();
+        }
+        let before = thread_allocs();
+        for i in 200..1200u64 {
+            sim.poke_u64("pix_in", i).unwrap();
+            sim.step("clk").unwrap();
+        }
+        let allocs = thread_allocs() - before;
+        assert_eq!(
+            allocs, 0,
+            "{backend:?} steady state allocated {allocs} times over 1000 cycles"
+        );
+    }
+}
+
+/// The bytecode spill path: a 192-bit mixed ALU (adds, xors, shifts, a
+/// mux, and a 384-bit replication) re-settled every cycle under the
+/// bytecode backend. Wide registers are pre-spilled at build time and
+/// `std::mem::take`-cycled by the interpreter; `store_small` keeps their
+/// heap capacity, so not even the narrow-in-wide transitions allocate.
+#[test]
+fn bytecode_wide_settle_allocates_nothing() {
+    let src = "module m(input clk, input [191:0] a, input [191:0] b, output [191:0] q);
+                 wire [191:0] s; assign s = a + b;
+                 wire [191:0] x; assign x = s ^ a;
+                 wire [383:0] r; assign r = {2{x}};
+                 wire [191:0] m2; assign m2 = (a < b) ? r[383:192] : (s >> 3);
+                 assign q = m2 - b;
+               endmodule";
+    let design = hwdbg_dataflow::elaborate(
+        &hwdbg_rtl::parse(src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap();
+    let config = SimConfig::default().with_backend(hwdbg_sim::Backend::Bytecode);
+    let mut sim = Simulator::new(design, &hwdbg_sim::NoModels, config).unwrap();
+    let (lowered, total) = sim.compiled_design().lowering_coverage();
+    assert_eq!(lowered, total, "wide ALU must lower fully");
+    sim.poke_u64("b", 0x0BAD_F00D).unwrap();
+    for t in 0..16u64 {
+        sim.poke_u64("a", 0x00C0_FFEE ^ (t & 1)).unwrap();
+        sim.settle().unwrap();
+    }
+    let before = thread_allocs();
+    for t in 0..1000u64 {
+        sim.poke_u64("a", 0x00C0_FFEE ^ (t & 1)).unwrap();
+        sim.settle().unwrap();
+        std::hint::black_box(sim.peek("q").unwrap());
+    }
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "bytecode wide settle allocated {allocs} times over 1000 settles"
+    );
+}

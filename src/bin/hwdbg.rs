@@ -3,6 +3,7 @@
 //! ```text
 //! hwdbg parse <file.v> [--top NAME]                 check + print the flat module
 //! hwdbg sim <file.v> [--top NAME] [--cycles N] [--clock clk] [--vcd out.vcd]
+//!           [--backend tree|bytecode]              pick the execution backend
 //! hwdbg fsm <file.v> [--top NAME]                   detect FSMs (§4.2 heuristics)
 //! hwdbg deps <file.v> --var SIGNAL [--cycles K]     dependency chain (§4.3)
 //! hwdbg signalcat <file.v> [--top NAME] [--depth N] emit instrumented Verilog (§4.1)
@@ -32,7 +33,7 @@ use hwdbg::diag::Severity;
 use hwdbg::ip::{StdIpLib, StdModels};
 use hwdbg::lint::{Level, LintConfig};
 use hwdbg::obs::{counters_json, json_escape, render_human, stages_json, SimCounters, StageTimer};
-use hwdbg::sim::{run_with_faults, FaultPlan, SimConfig, Simulator};
+use hwdbg::sim::{run_with_faults, Backend, FaultPlan, SimConfig, Simulator};
 use hwdbg::synth::{estimate, estimate_timing, Platform};
 use hwdbg::testbed::{metadata, reproduce, BugId};
 use hwdbg::tools::losscheck::LossCheckConfig;
@@ -88,7 +89,7 @@ fn print_usage() {
         "hwdbg — software-style bug localization for reconfigurable hardware\n\n\
          usage:\n  \
          hwdbg parse <file.v> [--top NAME]\n  \
-         hwdbg sim <file.v> [--top NAME] [--cycles N] [--clock CLK] [--vcd OUT]\n  \
+         hwdbg sim <file.v> [--top NAME] [--cycles N] [--clock CLK] [--vcd OUT] [--backend tree|bytecode]\n  \
          hwdbg fsm <file.v> [--top NAME]\n  \
          hwdbg deps <file.v> --var SIGNAL [--cycles K] [--top NAME]\n  \
          hwdbg signalcat <file.v> [--top NAME] [--depth N]\n  \
@@ -190,7 +191,16 @@ fn cmd_sim(args: &[String]) -> Result<(), Anyhow> {
     let design = load(&opts)?;
     let clock = opts.get("clock").unwrap_or("clk").to_owned();
     let cycles: u64 = opts.get("cycles").unwrap_or("100").parse()?;
-    let mut sim = Simulator::new(design, &StdModels, SimConfig::default())?;
+    let backend = match opts.get("backend").unwrap_or("bytecode") {
+        "bytecode" => Backend::Bytecode,
+        "tree" => Backend::Tree,
+        other => return Err(format!("unknown backend `{other}` (tree|bytecode)").into()),
+    };
+    let mut sim = Simulator::new(
+        design,
+        &StdModels,
+        SimConfig::default().with_backend(backend),
+    )?;
     if let Some(vcd_path) = opts.get("vcd") {
         sim.attach_vcd(std::fs::File::create(vcd_path)?)?;
     }
