@@ -33,6 +33,16 @@
 //! by `host_cpus` (a 1-core container shows ~1×, honestly).
 //!
 //! Usage: `cargo run --release -p hwdbg-bench --bin perfsuite`
+//!
+//! `--check FILE` turns the suite into a CI regression gate: instead of
+//! writing `BENCH_sim.json`, the fresh numbers are compared against the
+//! baseline records in FILE and the process exits nonzero when any
+//! shared bench regressed more than 30% in `cycles_per_sec` or newly
+//! allocates (`allocs_per_cycle > 0` where the baseline had exactly 0 —
+//! benches the baseline already records as allocating, like the
+//! campaign construction loop, are held to the throughput gate only).
+//! `--bless` (with `--check`) accepts the fresh numbers and rewrites
+//! FILE instead of failing.
 
 // Developer-facing report generator: aborting with a message on a broken
 // fixture is the desired behavior, not a robustness hole.
@@ -160,6 +170,24 @@ fn grayscale_steady_apc(design: &hwdbg_dataflow::Design, config: SimConfig) -> f
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_path: Option<String> = None;
+    let mut bless = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => {
+                check_path = Some(it.next().expect("--check needs a FILE").clone());
+            }
+            "--bless" => bless = true,
+            other => panic!("unknown flag `{other}` (perfsuite [--check FILE [--bless]])"),
+        }
+    }
+    assert!(
+        !bless || check_path.is_some(),
+        "--bless only makes sense with --check FILE"
+    );
+
     let mut records = Vec::new();
 
     for n in [8usize, 64, 256] {
@@ -406,9 +434,17 @@ fn main() {
                 }
                 Some(b) => jps / b,
             };
+            // On a single-core host the two worker counts share one CPU
+            // and the ratio measures scheduler contention, not scaling —
+            // record that honestly instead of a meaningless "speedup".
+            let scaling = if host_cpus == 1 {
+                "\"contended\": true".to_owned()
+            } else {
+                format!("\"speedup_vs_jobs1\": {speedup:.2}")
+            };
             let extra = format!(
-                ", \"workers\": {}, \"host_cpus\": {}, \"steals\": {}, \"speedup_vs_jobs1\": {:.2}",
-                report.workers, host_cpus, report.steals, speedup
+                ", \"workers\": {}, \"host_cpus\": {}, \"steals\": {}, {scaling}",
+                report.workers, host_cpus, report.steals
             );
             records.push(Record {
                 m,
@@ -433,6 +469,78 @@ fn main() {
         ));
     }
     json.push_str("]\n");
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
-    println!("\nwrote BENCH_sim.json:\n{json}");
+
+    match check_path {
+        None => {
+            std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+            println!("\nwrote BENCH_sim.json:\n{json}");
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            let baseline = parse_records(&text);
+            let mut failures = 0usize;
+            for r in &records {
+                let per_sec = r.m.iters_per_sec() * r.work_per_iter as f64;
+                let Some(&(base_cps, base_apc)) = baseline.get(r.m.name.as_str()) else {
+                    println!("check {:<40} NEW (no baseline record)", r.m.name);
+                    continue;
+                };
+                let ratio = per_sec / base_cps;
+                let regressed = ratio < 0.70;
+                let new_allocs = base_apc == 0.0 && r.allocs_per_cycle > 0.0;
+                let verdict = if regressed || new_allocs { failures += 1; "FAIL" } else { "ok" };
+                println!(
+                    "check {:<40} {verdict}: {:.0}/s vs {:.0}/s ({:+.1}%), allocs {:.4} (base {:.4})",
+                    r.m.name,
+                    per_sec,
+                    base_cps,
+                    (ratio - 1.0) * 100.0,
+                    r.allocs_per_cycle,
+                    base_apc,
+                );
+            }
+            if bless {
+                std::fs::write(&path, &json).unwrap_or_else(|e| panic!("bless {path}: {e}"));
+                println!("blessed: rewrote {path} with the fresh numbers");
+            } else if failures > 0 {
+                eprintln!(
+                    "perfsuite --check: {failures} bench(es) regressed >30% or newly allocate \
+                     (rerun with --bless to accept)"
+                );
+                std::process::exit(1);
+            } else {
+                println!("perfsuite --check: all benches within 30% of {path}, no new allocs");
+            }
+        }
+    }
+}
+
+/// Extracts `(cycles_per_sec, allocs_per_cycle)` per bench name from a
+/// `BENCH_sim.json` the suite itself wrote (one record per line — this is
+/// a fixture parser, not a general JSON reader).
+fn parse_records(text: &str) -> std::collections::BTreeMap<&str, (f64, f64)> {
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let rest = &line[line.find(&pat)? + pat.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    let mut out = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let Some(i) = line.find("\"bench\": \"") else { continue };
+        let rest = &line[i + 10..];
+        let Some(j) = rest.find('"') else { continue };
+        let name = &rest[..j];
+        let (Some(cps), Some(apc)) = (
+            num_field(line, "cycles_per_sec"),
+            num_field(line, "allocs_per_cycle"),
+        ) else {
+            continue;
+        };
+        out.insert(name, (cps, apc));
+    }
+    out
 }

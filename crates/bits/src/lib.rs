@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fixed;
 mod literal;
 mod ops;
 pub mod prng;

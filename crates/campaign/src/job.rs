@@ -10,10 +10,45 @@ use hwdbg_sim::{
     Simulator,
 };
 use hwdbg_testbed::{workloads, BugId, Outcome};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Per-worker engine pool: one warm [`Simulator`] per compiled design,
+    /// keyed by the `Arc<CompiledDesign>` allocation address. A pooled
+    /// simulator holds its own clone of that `Arc`, so the allocation (and
+    /// therefore the key) cannot be reused by a different design while the
+    /// entry exists. Jobs *take* the engine out, [`Simulator::reset`] it to
+    /// the job's config, run, and put it back; a panicking job simply drops
+    /// the engine (it is out of the pool for the duration), so crashed
+    /// state never leaks into a later job.
+    static ENGINE_POOL: RefCell<BTreeMap<usize, Simulator>> = const { RefCell::new(BTreeMap::new()) };
+}
+
+/// A warm engine for `job`: pooled and reset when this thread has run the
+/// design before, freshly compiled otherwise. `reset` reproduces
+/// construction byte-for-byte (same RNG draw order for random init), so
+/// pooled and cold runs yield identical records.
+fn pooled_simulator(job: &Job, config: SimConfig) -> Result<Simulator, SimError> {
+    let key = Arc::as_ptr(&job.shared) as usize;
+    if let Some(mut sim) = ENGINE_POOL.with(|p| p.borrow_mut().remove(&key)) {
+        sim.reset(job.models.factory(), config)?;
+        return Ok(sim);
+    }
+    Simulator::from_compiled(Arc::clone(&job.shared), job.models.factory(), config)
+}
+
+/// Returns a finished job's engine to this worker's pool. Safe even after
+/// a typed simulator error — the next take resets it wholesale.
+fn return_simulator(job: &Job, sim: Simulator) {
+    let key = Arc::as_ptr(&job.shared) as usize;
+    ENGINE_POOL.with(|p| {
+        p.borrow_mut().insert(key, sim);
+    });
+}
 
 /// How a job drives its simulator.
 #[derive(Debug, Clone)]
@@ -357,8 +392,7 @@ fn run_job_once(job: &Job, opts: &RunOptions) -> JobRecord {
         counters,
         retries: 0,
     };
-    let mut sim = match Simulator::from_compiled(Arc::clone(&job.shared), job.models.factory(), config)
-    {
+    let mut sim = match pooled_simulator(job, config) {
         Ok(s) => s,
         Err(e) => return record(Verdict::Error, e.to_string(), 0, SimCounters::default()),
     };
@@ -395,6 +429,7 @@ fn run_job_once(job: &Job, opts: &RunOptions) -> JobRecord {
     if verdict == Verdict::TimedOut {
         counters.jobs_timed_out = 1;
     }
+    return_simulator(job, sim);
     record(verdict, detail, cycles, counters)
 }
 

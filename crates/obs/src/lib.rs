@@ -140,6 +140,12 @@ pub struct SimCounters {
     pub units_executed: u64,
     /// Unit indices offered to the event-driven work-list (pre-dedup).
     pub worklist_pushes: u64,
+    /// Fused-region executions under the levelized backend (each runs all
+    /// of its member units straight-line, no worklist).
+    pub regions_executed: u64,
+    /// Regions left untouched by a levelized settle because none of their
+    /// external inputs changed (per settle: total regions − executed).
+    pub region_skips: u64,
     /// Clocked-process executions at posedges.
     pub proc_runs: u64,
     /// Nonblocking writes committed after clock edges.
@@ -182,13 +188,15 @@ pub struct SimCounters {
 impl SimCounters {
     /// Every counter as `(name, value)` pairs, in declaration order. The
     /// single source of truth for both renderers.
-    pub fn pairs(&self) -> [(&'static str, u64); 22] {
+    pub fn pairs(&self) -> [(&'static str, u64); 24] {
         [
             ("steps", self.steps),
             ("settles", self.settles),
             ("full_settles", self.full_settles),
             ("units_executed", self.units_executed),
             ("worklist_pushes", self.worklist_pushes),
+            ("regions_executed", self.regions_executed),
+            ("region_skips", self.region_skips),
             ("proc_runs", self.proc_runs),
             ("nb_commits", self.nb_commits),
             ("force_hits", self.force_hits),
@@ -219,6 +227,8 @@ impl SimCounters {
             "full_settles" => &mut self.full_settles,
             "units_executed" => &mut self.units_executed,
             "worklist_pushes" => &mut self.worklist_pushes,
+            "regions_executed" => &mut self.regions_executed,
+            "region_skips" => &mut self.region_skips,
             "proc_runs" => &mut self.proc_runs,
             "nb_commits" => &mut self.nb_commits,
             "force_hits" => &mut self.force_hits,
@@ -251,6 +261,8 @@ impl SimCounters {
             full_settles,
             units_executed,
             worklist_pushes,
+            regions_executed,
+            region_skips,
             proc_runs,
             nb_commits,
             force_hits,
@@ -274,6 +286,8 @@ impl SimCounters {
         self.full_settles += full_settles;
         self.units_executed += units_executed;
         self.worklist_pushes += worklist_pushes;
+        self.regions_executed += regions_executed;
+        self.region_skips += region_skips;
         self.proc_runs += proc_runs;
         self.nb_commits += nb_commits;
         self.force_hits += force_hits;
@@ -457,7 +471,7 @@ mod tests {
         assert!(json.contains("\"steps\": 5"));
         assert!(json.contains("\"shadow_updates\": 5"));
         // Stable schema: all 22 counters present even when zero.
-        assert_eq!(json.matches(':').count(), 22);
+        assert_eq!(json.matches(':').count(), 24);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::compile::{CCaseArm, CExec, CExpr, CLValue, CNbWrite, CStmt, EvalScrat
 use crate::eval::{apply_binary_signed_into, effective_mem_addr};
 use crate::state::SimState;
 use crate::{LogRecord, SimError};
-use hwdbg_bits::Bits;
+use hwdbg_bits::{fixed, Bits};
 use hwdbg_dataflow::{apply_binary_into, SigId};
 use hwdbg_rtl::{BinaryOp, UnaryOp};
 
@@ -148,8 +148,14 @@ pub(crate) enum Op {
     /// tree-walker's `CExpr::Binary` arm, including the pooled-buffer
     /// `divmod_into` path for > 128-bit `/` and `%`.
     WBin { dst: u16, a: u16, b: u16, op: BinaryOp, signed: bool },
+    /// Fixed-limb unrolled wide binary ([`hwdbg_bits::fixed`]): unsigned
+    /// add/sub/and/or/xor over equal-width operands of exactly `limbs`
+    /// (2 or 4) limbs, skipping the generic limb loop.
+    WBinF { dst: u16, a: u16, b: u16, op: BinaryOp, limbs: u8 },
     /// Boolean-result binary over wide operands; result lands narrow.
     WCmp { dst: u16, a: u16, b: u16, op: BinaryOp, signed: bool },
+    /// Fixed-limb unsigned wide compare; result lands narrow.
+    WCmpF { dst: u16, a: u16, b: u16, kind: CmpKind, limbs: u8 },
     WNot { dst: u16, src: u16 },
     WNeg { dst: u16, src: u16 },
     /// Reduction / logical-not over a wide register; result lands narrow.
@@ -182,6 +188,11 @@ pub(crate) enum Op {
     /// Hot path: blocking whole-signal store of a narrow value (the slot
     /// itself may be wide; `update_u64` zero-fills the upper limbs).
     StSigN { sig: SigId, src: u16 },
+    /// Blind flush of a pinned (promoted) register to its signal slot: no
+    /// force check, no compare, no changed-list push. Only emitted inside
+    /// fused region programs, where the promoted signal's readers are all
+    /// in-region and a force on the signal demotes the whole region.
+    StFlushN { sig: SigId, src: u16 },
     /// General whole-signal store (wide value and/or nonblocking).
     StSig { sig: SigId, w: u32, src: Src, nb: bool },
     /// Single-bit store; OOB drops (or errors under strict bounds).
@@ -218,6 +229,31 @@ pub(crate) struct BcProgram {
     pub wconsts: Vec<Bits>,
     pub n_narrow: usize,
     pub n_wide: usize,
+}
+
+impl BcProgram {
+    /// Whether the program can raise `Flow::Finished`. Units that can
+    /// finish are excluded from region fusion so `$finish` ordering stays
+    /// identical to per-unit dispatch.
+    pub(crate) fn has_finish(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, Op::Finish))
+    }
+}
+
+/// Fixed-limb kernel eligibility: unsigned, equal operand widths, and a
+/// limb count with an unrolled kernel (2 = 65..=128 bits, 4 = 193..=256).
+/// Equal static widths also guarantee the generic path's in-place operand
+/// resize is a no-op, so the kernels see canonical operands.
+#[inline]
+fn fixed_limbs(signed: bool, aw: u32, bw: u32) -> Option<u8> {
+    if signed || aw != bw || aw <= 64 {
+        return None;
+    }
+    match aw.div_ceil(64) {
+        2 => Some(2),
+        4 => Some(4),
+        _ => None,
+    }
 }
 
 #[inline]
@@ -268,6 +304,7 @@ pub(crate) fn lower_unit(
     let mut l = Lower {
         sig_width,
         mem_width,
+        promoted: &[],
         ops: Vec::new(),
         displays: Vec::new(),
         wconsts: Vec::new(),
@@ -286,9 +323,55 @@ pub(crate) fn lower_unit(
     })
 }
 
+/// Sentinel for "not promoted" in a promotion map.
+pub(crate) const NO_PROMOTION: u32 = u32::MAX;
+
+/// Lowers the member bodies of one fused acyclic region into a single
+/// straight-line program, in topological rank order. `promoted` maps a
+/// signal index to a pinned narrow register (or [`NO_PROMOTION`]); the
+/// first `n_promoted` narrow registers are reserved for those pins and
+/// survive across member bodies — each promoted signal is written by an
+/// unconditional plain assignment in an earlier-ranked member than any
+/// reader, so no seeding from state is needed. Returns `None` when any
+/// member fails to lower; the caller then falls back to per-unit
+/// execution for the whole region.
+pub(crate) fn lower_region(
+    bodies: &[&CStmt],
+    n_promoted: u16,
+    promoted: &[u32],
+    sig_width: &[u32],
+    mem_width: &[u32],
+) -> Option<BcProgram> {
+    let mut l = Lower {
+        sig_width,
+        mem_width,
+        promoted,
+        ops: Vec::new(),
+        displays: Vec::new(),
+        wconsts: Vec::new(),
+        next_n: n_promoted,
+        max_n: n_promoted,
+        next_w: 0,
+        max_w: 0,
+    };
+    for body in bodies {
+        l.stmt(body)?;
+    }
+    Some(BcProgram {
+        ops: l.ops,
+        displays: l.displays,
+        wconsts: l.wconsts,
+        n_narrow: l.max_n as usize,
+        n_wide: l.max_w as usize,
+    })
+}
+
 struct Lower<'a> {
     sig_width: &'a [u32],
     mem_width: &'a [u32],
+    /// Signal index → pinned narrow register, [`NO_PROMOTION`] otherwise.
+    /// Empty for per-unit lowering.
+    promoted: &'a [u32],
     ops: Vec<Op>,
     displays: Vec<DisplaySpec>,
     wconsts: Vec<Bits>,
@@ -299,6 +382,14 @@ struct Lower<'a> {
 }
 
 impl Lower<'_> {
+    /// The pinned narrow register holding `id`'s value, if promoted.
+    fn promoted_reg(&self, id: SigId) -> Option<u16> {
+        match self.promoted.get(id.index()) {
+            Some(&r) if r != NO_PROMOTION => Some(r as u16),
+            _ => None,
+        }
+    }
+
     fn alloc_n(&mut self) -> Option<u16> {
         if self.next_n == u16::MAX {
             return None;
@@ -478,6 +569,11 @@ impl Lower<'_> {
                 Some(d)
             }
             CExpr::Sig(id) => {
+                // Promoted signals live in a pinned register; the read is
+                // free (the register always holds the flushed value).
+                if let Some(p) = self.promoted_reg(*id) {
+                    return Some(p);
+                }
                 let d = self.alloc_n()?;
                 self.emit(Op::LdSig { dst: d, sig: *id });
                 Some(d)
@@ -653,7 +749,18 @@ impl Lower<'_> {
                 let wa = self.wide_reg(a, aw)?;
                 let wb = self.wide_reg(b, bw)?;
                 let d = self.alloc_n()?;
-                self.emit(Op::WCmp { dst: d, a: wa, b: wb, op, signed });
+                // Equal-width unsigned comparisons (including Eq/Ne, whose
+                // zero-extending semantics coincide at equal widths) take
+                // the fixed-limb kernel; LogAnd/LogOr and signed/mixed
+                // widths keep the generic dispatch.
+                match (fixed_limbs(signed, aw, bw), CmpKind::of(op)) {
+                    (Some(limbs), Some(kind)) => {
+                        self.emit(Op::WCmpF { dst: d, a: wa, b: wb, kind, limbs });
+                    }
+                    _ => {
+                        self.emit(Op::WCmp { dst: d, a: wa, b: wb, op, signed });
+                    }
+                }
                 return Some(d);
             }
             let ra = self.expr_n(a, aw)?;
@@ -772,7 +879,17 @@ impl Lower<'_> {
                 let wa = self.wide_reg(a, aw)?;
                 let wb = self.wide_reg(b, bw)?;
                 let d = self.alloc_w()?;
-                self.emit(Op::WBin { dst: d, a: wa, b: wb, op: *op, signed: *signed });
+                let fixed = matches!(
+                    op,
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::And | BinaryOp::Or | BinaryOp::Xor
+                )
+                .then(|| fixed_limbs(*signed, aw, bw))
+                .flatten();
+                if let Some(limbs) = fixed {
+                    self.emit(Op::WBinF { dst: d, a: wa, b: wb, op: *op, limbs });
+                } else {
+                    self.emit(Op::WBin { dst: d, a: wa, b: wb, op: *op, signed: *signed });
+                }
                 Some(d)
             }
             CExpr::Ternary { cond, t, f, width } => {
@@ -1085,6 +1202,25 @@ impl Lower<'_> {
     fn store(&mut self, lhs: &CLValue, rhs: &CExpr, nb: bool) -> Option<()> {
         match lhs {
             CLValue::Sig { id, width } => {
+                // Promoted target: land the truncated value in the pinned
+                // register, then blind-flush it to state (no compare, no
+                // changed-list push — intra-region readers use the
+                // register; partial-access reads and VCD see the flush).
+                if !nb {
+                    if let Some(p) = self.promoted_reg(*id) {
+                        let m = mask_of(*width);
+                        match self.expr(rhs)? {
+                            Src::N(r) => {
+                                self.emit(Op::MaskTo { dst: p, src: r, mask: m });
+                            }
+                            Src::W(r) => {
+                                self.emit(Op::NarrowFromWide { dst: p, src: r, mask: m });
+                            }
+                        }
+                        self.emit(Op::StFlushN { sig: *id, src: p });
+                        return Some(());
+                    }
+                }
                 let val = self.expr(rhs)?;
                 match val {
                     Src::N(r) if !nb => {
@@ -1395,6 +1531,29 @@ fn wide_binary(
     }
 }
 
+/// Dispatch to the fixed-limb unrolled kernels ([`hwdbg_bits::fixed`]).
+/// Lowering guarantees equal unsigned operand widths of exactly `limbs`
+/// (2 or 4) limbs and `op` ∈ {Add, Sub, And, Or, Xor}.
+fn fixed_binary(op: BinaryOp, limbs: u8, a: &Bits, b: &Bits, out: &mut Bits) {
+    macro_rules! dispatch {
+        ($kernel:ident) => {
+            if limbs == 2 {
+                fixed::$kernel::<2>(a, b, out)
+            } else {
+                fixed::$kernel::<4>(a, b, out)
+            }
+        };
+    }
+    match op {
+        BinaryOp::Add => dispatch!(add_into),
+        BinaryOp::Sub => dispatch!(sub_into),
+        BinaryOp::And => dispatch!(and_into),
+        BinaryOp::Or => dispatch!(or_into),
+        BinaryOp::Xor => dispatch!(xor_into),
+        _ => unreachable!("fixed_binary op outside the unrolled set"),
+    }
+}
+
 #[inline]
 fn cmp_u(a: u64, b: u64, kind: CmpKind) -> bool {
     match kind {
@@ -1650,6 +1809,35 @@ pub(crate) fn run(prog: &BcProgram, exec: &mut CExec<'_>) -> Result<Flow, SimErr
                 put_w(exec, a, x);
                 set_nr(exec, dst, v);
             }
+            Op::WBinF { dst, a, b, op, limbs } => {
+                let x = take_w(exec, a);
+                let y = take_w(exec, b);
+                let mut out = take_w(exec, dst);
+                fixed_binary(op, limbs, &x, &y, &mut out);
+                put_w(exec, dst, out);
+                put_w(exec, b, y);
+                put_w(exec, a, x);
+            }
+            Op::WCmpF { dst, a, b, kind, limbs } => {
+                let ord = {
+                    let x = &exec.scratch.wregs[a as usize];
+                    let y = &exec.scratch.wregs[b as usize];
+                    if limbs == 2 {
+                        fixed::cmp_unsigned::<2>(x, y)
+                    } else {
+                        fixed::cmp_unsigned::<4>(x, y)
+                    }
+                };
+                let v = match kind {
+                    CmpKind::Lt => ord.is_lt(),
+                    CmpKind::Le => ord.is_le(),
+                    CmpKind::Gt => ord.is_gt(),
+                    CmpKind::Ge => ord.is_ge(),
+                    CmpKind::Eq => ord.is_eq(),
+                    CmpKind::Ne => ord.is_ne(),
+                };
+                set_nr(exec, dst, v as u64);
+            }
             Op::WNot { dst, src } => {
                 let s = take_w(exec, src);
                 let mut d = take_w(exec, dst);
@@ -1764,6 +1952,9 @@ pub(crate) fn run(prog: &BcProgram, exec: &mut CExec<'_>) -> Result<Flow, SimErr
                 if exec.state.set_id_u64(sig, v) {
                     exec.changed.push(sig);
                 }
+            }
+            Op::StFlushN { sig, src } => {
+                exec.state.store_id_u64(sig, nr(exec, src));
             }
             Op::StSig { sig, w, src, nb } => {
                 let mut t = exec.scratch.take();

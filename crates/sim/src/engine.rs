@@ -8,9 +8,10 @@
 //! read-set intersects the signals written since their last run are
 //! re-executed.
 
-use crate::bytecode::{lower_unit, BcProgram};
+use crate::bytecode::{lower_unit, BcProgram, NO_PROMOTION};
 use crate::compile::{eval_into, CExec, CNbWrite, Compiled, EvalScratch, Flow};
 use crate::eval::eval_expr;
+use crate::sched::{build_schedule, Schedule};
 use crate::state::{RegInit, SimState};
 use crate::{Blackbox, BlackboxFactory, LogRecord, SimError};
 use hwdbg_bits::Bits;
@@ -50,10 +51,17 @@ pub enum Backend {
     /// Execute flat register-machine bytecode lowered from the tree at
     /// compile time (see [`crate::bytecode`]). Unit bodies that cannot be
     /// statically lowered (non-constant part-select bounds and the like)
-    /// transparently keep the tree-walker. This is the production
-    /// backend.
-    #[default]
+    /// transparently keep the tree-walker. Settling runs the per-unit
+    /// worklist.
     Bytecode,
+    /// Bytecode execution under the levelized static schedule (see
+    /// [`crate::sched`]): acyclic comb regions run as fused straight-line
+    /// programs in topological rank order — no worklist inside a region,
+    /// region-internal signals promoted to registers — while cyclic
+    /// regions and un-lowerable units keep the worklist fallback. This is
+    /// the production backend.
+    #[default]
+    Levelized,
 }
 
 /// Simulator configuration.
@@ -189,6 +197,12 @@ pub struct CompiledDesign {
     /// pre-sizing each simulator's [`EvalScratch`] once at build time.
     bc_narrow: usize,
     bc_wide: usize,
+    /// The levelized static schedule (fused regions + node maps).
+    sched: Schedule,
+    /// Register-file maxima including the fused region programs, which
+    /// can exceed any single unit's requirements.
+    lv_narrow: usize,
+    lv_wide: usize,
     /// Per-clock stepping plans, one per declared scalar signal.
     plans: BTreeMap<String, Arc<ClockPlan>>,
     /// Plan returned for names that are not declared scalars: no edge
@@ -248,6 +262,12 @@ impl CompiledDesign {
             bc_narrow = bc_narrow.max(prog.n_narrow);
             bc_wide = bc_wide.max(prog.n_wide);
         }
+        let sched = build_schedule(&compiled, &comb_progs, &sig_width, &mem_width);
+        let (mut lv_narrow, mut lv_wide) = (bc_narrow, bc_wide);
+        for region in &sched.regions {
+            lv_narrow = lv_narrow.max(region.prog.n_narrow);
+            lv_wide = lv_wide.max(region.prog.n_wide);
+        }
         let mut plans = BTreeMap::new();
         for (name, sig) in &design.signals {
             if sig.mem_depth.is_some() {
@@ -289,6 +309,9 @@ impl CompiledDesign {
             proc_progs,
             bc_narrow,
             bc_wide,
+            sched,
+            lv_narrow,
+            lv_wide,
             plans,
             empty_plan: Arc::new(ClockPlan {
                 clock_id: None,
@@ -311,6 +334,19 @@ impl CompiledDesign {
         let all = self.comb_progs.iter().chain(&self.proc_progs);
         let total = self.comb_progs.len() + self.proc_progs.len();
         (all.filter(|p| p.is_some()).count(), total)
+    }
+
+    /// Levelized-schedule shape: `(regions, max_level, fused_signals)` —
+    /// how many acyclic regions fused, the deepest topological level, and
+    /// how many signals were promoted to registers. Surfaced by
+    /// `hwdbg profile` / `hwdbg sim --json` so scheduling regressions are
+    /// visible rather than silent.
+    pub fn region_stats(&self) -> (usize, u32, usize) {
+        (
+            self.sched.regions.len(),
+            self.sched.max_level,
+            self.sched.fused_signals(),
+        )
     }
 
     /// The pre-resolved stepping plan for `clock` (the empty plan for
@@ -371,6 +407,11 @@ pub struct Simulator {
     /// change them until released. Empty in fault-free runs, so the hot
     /// path pays one `is_empty` check.
     forces: BTreeMap<SigId, Bits>,
+    /// Per fused region: number of active forces pinning one of its
+    /// promoted signals. Non-zero demotes the region to per-unit
+    /// execution (whose stores honor the force map); zero in fault-free
+    /// runs, so the fused path pays one load.
+    region_demoted: Vec<u32>,
     /// Hot-path event counters, allocated only when [`SimConfig::metrics`]
     /// is set. `None` keeps the disabled path to one branch per site.
     counters: Option<Box<SimCounters>>,
@@ -483,10 +524,17 @@ impl Simulator {
         let state = SimState::new(design, config.init);
         let config_metrics = config.metrics;
         let mut scratch = EvalScratch::with_max_width(shared.max_width);
-        if config.backend == Backend::Bytecode {
-            scratch.size_registers(shared.bc_narrow, shared.bc_wide, shared.max_width);
+        match config.backend {
+            Backend::Tree => {}
+            Backend::Bytecode => {
+                scratch.size_registers(shared.bc_narrow, shared.bc_wide, shared.max_width);
+            }
+            Backend::Levelized => {
+                scratch.size_registers(shared.lv_narrow, shared.lv_wide, shared.max_width);
+            }
         }
         let n_units = shared.compiled.n_units();
+        let n_regions = shared.sched.regions.len();
         let n_sigs = design.table.len();
         let bb_input_scratch = shared
             .compiled
@@ -524,6 +572,7 @@ impl Simulator {
             logs_scratch: Vec::new(),
             bb_input_scratch,
             forces: BTreeMap::new(),
+            region_demoted: vec![0; n_regions],
             counters: if config_metrics {
                 Some(Box::default())
             } else {
@@ -763,7 +812,14 @@ impl Simulator {
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
         // Apply the pinned value first (while not yet forced), then pin.
         self.apply_poke(id, &value);
-        self.forces.insert(id, value);
+        if self.forces.insert(id, value).is_none() {
+            // Pinning a register-promoted signal demotes its fused region
+            // to per-unit execution, whose stores honor the force map.
+            let rid = self.shared.sched.promoted_region[id.index()];
+            if rid != NO_PROMOTION {
+                self.region_demoted[rid as usize] += 1;
+            }
+        }
         Ok(())
     }
 
@@ -781,6 +837,10 @@ impl Simulator {
             .sig_id(name)
             .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
         if self.forces.remove(&id).is_some() {
+            let rid = self.shared.sched.promoted_region[id.index()];
+            if rid != NO_PROMOTION {
+                self.region_demoted[rid as usize] -= 1;
+            }
             // Re-run the drivers of the released signal so it recomputes,
             // and its readers so the recomputed value propagates.
             self.dirty_sigs.push(id);
@@ -869,8 +929,10 @@ impl Simulator {
         if u < n_combs {
             let body = &self.shared.compiled.combs[u].body;
             let prog = match self.config.backend {
-                Backend::Bytecode => self.shared.comb_progs[u].as_ref(),
                 Backend::Tree => None,
+                // Levelized fallback units (and demoted regions, and the
+                // FullPass sweep) execute the per-unit programs.
+                _ => self.shared.comb_progs[u].as_ref(),
             };
             let mut exec = CExec {
                 state: &mut self.state,
@@ -959,9 +1021,12 @@ impl Simulator {
     /// [`SimError::CombLoop`] if no fixpoint is reached within the
     /// configured iteration budget.
     pub fn settle(&mut self) -> Result<(), SimError> {
-        match self.config.settle_mode {
-            SettleMode::FullPass => self.settle_full(),
-            SettleMode::EventDriven => self.settle_event(),
+        match (self.config.settle_mode, self.config.backend) {
+            // FullPass sweeps per-unit regardless of backend, so its
+            // differential semantics are untouched by region fusion.
+            (SettleMode::FullPass, _) => self.settle_full(),
+            (SettleMode::EventDriven, Backend::Levelized) => self.settle_levelized(),
+            (SettleMode::EventDriven, _) => self.settle_event(),
         }
     }
 
@@ -1104,6 +1169,168 @@ impl Simulator {
         Ok(())
     }
 
+    /// Two-tier levelized settling (see [`crate::sched`]): the worklist
+    /// ranges over *nodes* — fused acyclic regions first, then fallback
+    /// units. A dirty region executes straight-line in topological rank
+    /// order (one pass is its fixpoint, so its own writes never requeue
+    /// it); cyclic SCCs, un-lowerable units, and blackboxes pop exactly
+    /// like [`settle_event`](Self::settle_event). The budget still counts
+    /// *unit* executions (a region pop charges its member count), so
+    /// `CombLoop` detection and the deadline cadence match the worklist
+    /// backends.
+    fn settle_levelized(&mut self) -> Result<(), SimError> {
+        let shared = Arc::clone(&self.shared);
+        let sched = &shared.sched;
+        let n_units = shared.compiled.n_units() as u32;
+        let n_regions = sched.regions.len() as u32;
+        let n_nodes = sched.n_nodes() as u32;
+        self.settle_heap.clear();
+        self.queued.fill(false);
+        let mut pushes = 0u64;
+        let was_full = self.force_full;
+        if self.force_full {
+            for nd in 0..n_nodes {
+                self.settle_heap.push(Reverse(nd));
+                self.queued[nd as usize] = true;
+            }
+            pushes += u64::from(n_nodes);
+        } else {
+            let dirty = std::mem::take(&mut self.dirty_sigs);
+            for &id in &dirty {
+                let readers = &sched.node_readers[id.index()];
+                pushes += readers.len() as u64;
+                for &nd in readers {
+                    if !self.queued[nd as usize] {
+                        self.queued[nd as usize] = true;
+                        self.settle_heap.push(Reverse(nd));
+                    }
+                }
+            }
+            self.dirty_sigs = dirty;
+            pushes += self.dirty_units.len() as u64;
+            let units = std::mem::take(&mut self.dirty_units);
+            for &u in &units {
+                let nd = sched.unit_node[u as usize];
+                if !self.queued[nd as usize] {
+                    self.queued[nd as usize] = true;
+                    self.settle_heap.push(Reverse(nd));
+                }
+            }
+            self.dirty_units = units;
+        }
+        self.dirty_sigs.clear();
+        self.dirty_units.clear();
+        self.force_full = false;
+
+        let budget = (self.config.max_comb_iters as u64)
+            .saturating_mul(u64::from(n_units.max(1)));
+        let tail_start = budget.saturating_sub(u64::from(n_units.max(1)));
+        let mut unstable: BTreeSet<SigId> = BTreeSet::new();
+        let mut runs = 0u64;
+        let mut region_pops = 0u64;
+        while let Some(Reverse(nd)) = self.settle_heap.pop() {
+            self.queued[nd as usize] = false;
+            let is_region = nd < n_regions;
+            let prev_runs = runs;
+            runs += if is_region {
+                sched.regions[nd as usize].members.len() as u64
+            } else {
+                1
+            };
+            if runs > budget {
+                return Err(self.comb_loop_error(unstable));
+            }
+            // Same ~1024-unit deadline cadence as the worklist: a region
+            // pop advances `runs` by its member count, so probe whenever
+            // the count crosses a 1024 boundary.
+            if self.config.deadline.is_some()
+                && (prev_runs >> 10) != (runs >> 10)
+            {
+                self.check_deadline()?;
+            }
+            self.changed_scratch.clear();
+            if is_region {
+                region_pops += 1;
+                self.run_region(nd as usize, sched)?;
+            } else {
+                self.run_unit(sched.node_unit[(nd - n_regions) as usize])?;
+            }
+            if runs > tail_start {
+                unstable.extend(self.changed_scratch.iter().copied());
+            }
+            let changed = std::mem::take(&mut self.changed_scratch);
+            for &id in &changed {
+                let readers = &sched.node_readers[id.index()];
+                pushes += readers.len() as u64;
+                for &rn in readers {
+                    // A region's pass is its fixpoint: its own outputs
+                    // never re-dirty it.
+                    if is_region && rn == nd {
+                        continue;
+                    }
+                    if !self.queued[rn as usize] {
+                        self.queued[rn as usize] = true;
+                        self.settle_heap.push(Reverse(rn));
+                    }
+                }
+            }
+            self.changed_scratch = changed;
+        }
+        if let Some(c) = &mut self.counters {
+            c.settles += 1;
+            c.units_executed += runs;
+            c.worklist_pushes += pushes;
+            c.regions_executed += region_pops;
+            c.region_skips += u64::from(n_regions).saturating_sub(region_pops);
+            if was_full {
+                c.full_settles += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one fused region: the straight-line program when clean, or
+    /// the members' per-unit programs in rank order when a force pins one
+    /// of its promoted signals (per-unit stores honor the force map; one
+    /// ordered pass still reaches the region's fixpoint).
+    fn run_region(&mut self, r: usize, sched: &Schedule) -> Result<(), SimError> {
+        if self.region_demoted[r] == 0 {
+            let mut exec = CExec {
+                state: &mut self.state,
+                scratch: &mut self.scratch,
+                nb: None,
+                logs: None,
+                for_cap: self.config.for_cap,
+                changed: &mut self.changed_scratch,
+                forced: forced_view(&self.forces),
+                strict_bounds: self.config.strict_bounds,
+                counters: self.counters.as_deref_mut(),
+            };
+            // Fused programs contain no `Finish` (excluded at build time).
+            crate::bytecode::run(&sched.regions[r].prog, &mut exec)?;
+        } else {
+            for &u in &sched.regions[r].members {
+                self.run_unit(u)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes `region_demoted` from the force map (after a wholesale
+    /// force replacement, e.g. checkpoint restore or engine reset).
+    fn recount_region_demotions(&mut self) {
+        self.region_demoted.fill(0);
+        if self.forces.is_empty() {
+            return;
+        }
+        for id in self.forces.keys() {
+            let rid = self.shared.sched.promoted_region[id.index()];
+            if rid != NO_PROMOTION {
+                self.region_demoted[rid as usize] += 1;
+            }
+        }
+    }
+
     /// Advances one full cycle of `clock`: settle, rising edge (clocked
     /// processes + blackbox ticks + nonblocking commit), settle again.
     ///
@@ -1151,8 +1378,8 @@ impl Simulator {
         for &pi in &plan.procs {
             let body = &self.shared.compiled.procs[pi].body;
             let prog = match self.config.backend {
-                Backend::Bytecode => self.shared.proc_progs[pi].as_ref(),
                 Backend::Tree => None,
+                _ => self.shared.proc_progs[pi].as_ref(),
             };
             let mut exec = CExec {
                 state: &mut self.state,
@@ -1303,10 +1530,79 @@ impl Simulator {
         // Force pins are simulation state too: a stuck-at applied after the
         // checkpoint would otherwise keep pinning the signal after rewind.
         self.forces = cp.forces.clone();
+        self.recount_region_demotions();
         // The whole value store was replaced: rebuild from scratch on the
         // next settle rather than trusting stale dirty sets.
         self.dirty_sigs.clear();
         self.dirty_units.clear();
+        self.force_full = true;
+        Ok(())
+    }
+
+    /// Returns this simulator to the state a fresh
+    /// [`from_compiled`](Self::from_compiled) with `config` would produce,
+    /// without rebuilding the value store or scratch pools. Blackbox
+    /// models are recreated from `factory`, signal/memory values are
+    /// re-initialized per `config.init` (consuming the deterministic
+    /// init RNG in exactly `SimState::new`'s order, so randomized runs
+    /// are byte-identical to a rebuilt engine), and logs, time, cycle
+    /// counts, forces, and dirty sets are cleared. Campaign workers pool
+    /// one engine per (worker, design) and reset it between jobs instead
+    /// of paying per-job construction.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`from_compiled`](Self::from_compiled):
+    /// missing blackbox models, strict-width violations.
+    pub fn reset(
+        &mut self,
+        factory: &dyn BlackboxFactory,
+        config: SimConfig,
+    ) -> Result<(), SimError> {
+        let shared = Arc::clone(&self.shared);
+        let design = &shared.design;
+        let mut blackboxes = Vec::with_capacity(design.blackboxes.len());
+        for bb in &design.blackboxes {
+            let model = factory
+                .create(bb)
+                .ok_or_else(|| SimError::NoModel(bb.module.clone()))?;
+            blackboxes.push(model);
+        }
+        if config.strict_width {
+            check_connection_widths(design)?;
+        }
+        self.blackboxes = blackboxes;
+        self.state.reset(design, config.init);
+        match config.backend {
+            Backend::Tree => {}
+            Backend::Bytecode => {
+                self.scratch
+                    .size_registers(shared.bc_narrow, shared.bc_wide, shared.max_width);
+            }
+            Backend::Levelized => {
+                self.scratch
+                    .size_registers(shared.lv_narrow, shared.lv_wide, shared.max_width);
+            }
+        }
+        self.counters = if config.metrics {
+            Some(Box::default())
+        } else {
+            None
+        };
+        self.config = config;
+        self.logs.clear();
+        self.logs_scratch.clear();
+        self.nb_scratch.clear();
+        self.dropped_logs = 0;
+        self.time = 0;
+        self.cycles.clear();
+        self.finished = false;
+        self.vcd = None;
+        self.dirty_sigs.clear();
+        self.dirty_units.clear();
+        self.changed_scratch.clear();
+        self.forces.clear();
+        self.region_demoted.fill(0);
         self.force_full = true;
         Ok(())
     }

@@ -37,6 +37,7 @@ mod engine;
 mod eval;
 pub mod fault;
 pub mod format;
+mod sched;
 mod state;
 pub mod vcd;
 

@@ -83,6 +83,39 @@ impl SimState {
         }
     }
 
+    /// Resets every signal and memory to the exact image
+    /// [`SimState::new`]`(design, init)` would produce, reusing existing
+    /// storage. The RNG is consumed in precisely the same order as `new`,
+    /// so a reset state is byte-identical to a freshly built one — that is
+    /// what lets campaign workers recycle one simulator across jobs.
+    pub fn reset(&mut self, design: &Design, init: RegInit) {
+        let mut rng = match init {
+            RegInit::Zero => None,
+            RegInit::Random(seed) => Some(SplitMix64::new(seed)),
+        };
+        for (id, sig) in design.signals.values().enumerate() {
+            let mut fill = |slot: &mut Bits, width: u32| match (&mut rng, sig.is_state()) {
+                (Some(rng), true) => {
+                    slot.set_zero(width);
+                    for i in 0..width {
+                        slot.set_bit(i, rng.next_bool());
+                    }
+                }
+                _ => slot.set_zero(width),
+            };
+            if sig.mem_depth.is_some() {
+                let slot = self.mem_slot[id] as usize;
+                let width = sig.width;
+                for el in &mut self.mems[slot] {
+                    fill(el, width);
+                }
+                self.values[id].set_zero(1);
+            } else {
+                fill(&mut self.values[id], sig.width);
+            }
+        }
+    }
+
     /// The interner this state was built against.
     pub fn table(&self) -> &SignalTable {
         &self.table
@@ -124,6 +157,28 @@ impl SimState {
     #[inline]
     pub fn set_id_u64(&mut self, id: SigId, value: u64) -> bool {
         self.values[id.index()].update_u64(value)
+    }
+
+    /// Overwrites an interned scalar with `value` truncated to the stored
+    /// width, skipping the change-detection compare that
+    /// [`set_id_u64`](SimState::set_id_u64) pays. Fused-region flushes of
+    /// register-promoted signals use this: the scheduler already knows the
+    /// region ran, so the compare buys nothing.
+    #[inline]
+    pub fn store_id_u64(&mut self, id: SigId, value: u64) {
+        let slot = &mut self.values[id.index()];
+        let w = slot.width();
+        slot.set_u64(w, value);
+    }
+
+    /// Wide counterpart of [`store_id_u64`](SimState::store_id_u64):
+    /// overwrites an interned scalar from `value`, resized to the stored
+    /// width, with no compare and no allocation.
+    #[inline]
+    pub fn store_id(&mut self, id: SigId, value: &Bits) {
+        let slot = &mut self.values[id.index()];
+        let w = slot.width();
+        slot.assign_resized(value, w);
     }
 
     /// Writes `value` into bits `[lo +: value.width]` of an interned

@@ -1,16 +1,21 @@
-//! Differential proof that the bytecode backend is observably identical
-//! to the tree-walking reference backend.
+//! Differential proof that the bytecode and levelized backends are
+//! observably identical to the tree-walking reference backend.
 //!
-//! Both [`Backend`]s execute the same compiled schedule; the bytecode
-//! path additionally lowers each unit body to a flat register-machine
-//! program at compile time. Any divergence here isolates a lowering bug:
+//! All three [`Backend`]s execute the same compiled schedule; the
+//! bytecode path additionally lowers each unit body to a flat
+//! register-machine program at compile time, and the levelized path fuses
+//! acyclic comb regions into straight-line programs with promoted
+//! registers. Any divergence here isolates a lowering or scheduling bug:
 //! a mis-masked narrow operation, a width table that disagrees with the
-//! tree-walker's dynamic widths, a branch that skipped a store, or a
-//! wide/narrow boundary case at 63/64/65 bits. Every bug in the testbed
-//! runs its full workload under both backends and must produce
+//! tree-walker's dynamic widths, a branch that skipped a store, a
+//! wide/narrow boundary case at 63/64/65 bits, or a fused region whose
+//! rank order disagrees with the worklist's fixpoint. Every bug in the
+//! testbed runs its full workload under every backend and must produce
 //! byte-identical `$display` logs, signal/memory state, and VCD
 //! waveforms; a seeded width sweep then drives a mixed-operator design at
-//! widths straddling the inline/spilled `Bits` boundary.
+//! widths straddling the inline/spilled `Bits` boundary, and dedicated
+//! designs prove cyclic SCCs route to the worklist fallback and either
+//! converge or report `CombLoop` identically.
 
 use hwdbg_bits::SplitMix64;
 use hwdbg_ip::StdModels;
@@ -55,42 +60,48 @@ fn run_backend(id: BugId, backend: Backend, init: RegInit) -> (Vec<u8>, Simulato
 }
 
 fn assert_equivalent(id: BugId, init: RegInit) {
-    let (vcd_b, sim_b, out_b) = run_backend(id, Backend::Bytecode, init);
     let (vcd_t, sim_t, out_t) = run_backend(id, Backend::Tree, init);
+    for backend in [Backend::Bytecode, Backend::Levelized] {
+        let (vcd_b, sim_b, out_b) = run_backend(id, backend, init);
 
-    assert_eq!(out_b, out_t, "{id}: workload outcome diverged");
-    assert_eq!(sim_b.logs(), sim_t.logs(), "{id}: $display logs diverged");
-    assert_eq!(
-        sim_b.dropped_logs(),
-        sim_t.dropped_logs(),
-        "{id}: dropped-log count diverged"
-    );
-    assert_eq!(
-        sim_b.finished(),
-        sim_t.finished(),
-        "{id}: $finish state diverged"
-    );
-
-    // Every scalar signal, by name, must peek identically…
-    for (name, value) in sim_b.state().iter_values() {
+        assert_eq!(out_b, out_t, "{id}/{backend:?}: workload outcome diverged");
         assert_eq!(
-            Some(value),
-            sim_t.state().get(name),
-            "{id}: signal `{name}` diverged"
+            sim_b.logs(),
+            sim_t.logs(),
+            "{id}/{backend:?}: $display logs diverged"
         );
-    }
-    // …and every memory, element for element.
-    for (name, info) in &sim_b.design().signals {
-        if info.mem_depth.is_some() {
+        assert_eq!(
+            sim_b.dropped_logs(),
+            sim_t.dropped_logs(),
+            "{id}/{backend:?}: dropped-log count diverged"
+        );
+        assert_eq!(
+            sim_b.finished(),
+            sim_t.finished(),
+            "{id}/{backend:?}: $finish state diverged"
+        );
+
+        // Every scalar signal, by name, must peek identically…
+        for (name, value) in sim_b.state().iter_values() {
             assert_eq!(
-                sim_b.state().mem(name),
-                sim_t.state().mem(name),
-                "{id}: memory `{name}` diverged"
+                Some(value),
+                sim_t.state().get(name),
+                "{id}/{backend:?}: signal `{name}` diverged"
             );
         }
-    }
+        // …and every memory, element for element.
+        for (name, info) in &sim_b.design().signals {
+            if info.mem_depth.is_some() {
+                assert_eq!(
+                    sim_b.state().mem(name),
+                    sim_t.state().mem(name),
+                    "{id}/{backend:?}: memory `{name}` diverged"
+                );
+            }
+        }
 
-    assert_eq!(vcd_b, vcd_t, "{id}: VCD waveforms diverged");
+        assert_eq!(vcd_b, vcd_t, "{id}/{backend:?}: VCD waveforms diverged");
+    }
 }
 
 #[test]
@@ -217,10 +228,112 @@ fn seeded_width_sweep_matches_tree() {
     // 63/64/65 inline-vs-spilled `Bits` crossover (and 31/32/33 for the
     // 2w-bit replication wire), and multi-limb widths.
     for w in [1u32, 2, 3, 7, 8, 31, 32, 33, 63, 64, 65, 96, 127, 128, 160] {
-        let bytecode = run_sweep(w, Backend::Bytecode);
         let tree = run_sweep(w, Backend::Tree);
-        assert_eq!(bytecode.0, tree.0, "width {w}: state diverged");
-        assert_eq!(bytecode.1, tree.1, "width {w}: logs diverged");
+        for backend in [Backend::Bytecode, Backend::Levelized] {
+            let other = run_sweep(w, backend);
+            assert_eq!(other.0, tree.0, "width {w}/{backend:?}: state diverged");
+            assert_eq!(other.1, tree.1, "width {w}/{backend:?}: logs diverged");
+        }
+    }
+}
+
+/// A design mixing a fused acyclic chain with a convergent cyclic SCC (a
+/// latch-shaped cross-coupled pair). The chain must form a region with a
+/// promoted internal signal, the SCC must stay on the worklist fallback,
+/// and all three backends must agree on every observable.
+#[test]
+fn mixed_region_and_scc_fallback_match() {
+    let src = "module m(input clk, input [7:0] d, input en, output [7:0] q);
+                 wire [7:0] c1; assign c1 = d + 8'd3;
+                 wire [7:0] c2; assign c2 = c1 ^ 8'h0F;
+                 wire [7:0] la; wire [7:0] lb;
+                 assign la = en ? c2 : lb;
+                 assign lb = la;
+                 assign q = lb;
+               endmodule";
+    let design = hwdbg_dataflow::elaborate(
+        &hwdbg_rtl::parse(src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap();
+    let run = |backend| {
+        let mut sim = Simulator::new(
+            design.clone(),
+            &hwdbg_sim::NoModels,
+            config(backend, RegInit::Zero),
+        )
+        .unwrap();
+        if backend == Backend::Levelized {
+            // The latch pair (la/lb) must be excluded from fusion; the
+            // d→c1→c2 chain and the q tail must be fused with at least
+            // c1 promoted to a region register.
+            let (regions, _, fused) = sim.compiled_design().region_stats();
+            assert!(regions >= 1, "expected a fused region, got none");
+            assert!(fused >= 1, "expected a promoted signal, got none");
+        }
+        let mut trace = Vec::new();
+        for (cycle, (d, en)) in
+            [(7u64, 1u64), (7, 0), (200, 0), (200, 1), (13, 1), (13, 0)].iter().enumerate()
+        {
+            sim.poke_u64("d", *d).unwrap();
+            sim.poke_u64("en", *en).unwrap();
+            sim.settle().unwrap();
+            trace.push((cycle, sim.peek("q").unwrap().to_u64()));
+            sim.step("clk").unwrap();
+        }
+        let state: Vec<(String, String)> = sim
+            .state()
+            .iter_values()
+            .map(|(n, v)| (n.to_owned(), v.to_bin_string()))
+            .collect();
+        (trace, state)
+    };
+    let tree = run(Backend::Tree);
+    // The latch must actually latch: q holds c2's value after en drops.
+    assert_eq!(tree.0[0].1, (7 + 3) ^ 0x0F);
+    assert_eq!(tree.0[2].1, (7 + 3) ^ 0x0F, "latch failed to hold while en=0");
+    for backend in [Backend::Bytecode, Backend::Levelized] {
+        let other = run(backend);
+        assert_eq!(other.0, tree.0, "{backend:?}: q trace diverged");
+        assert_eq!(other.1, tree.1, "{backend:?}: state diverged");
+    }
+}
+
+/// An oscillating combinational loop must fail settle with the same
+/// `CombLoop { unstable }` report — same signal names, same order —
+/// under all three backends: the SCC routes to the worklist fallback,
+/// whose budget and tail-collection semantics the levelized dispatcher
+/// shares.
+#[test]
+fn comb_loop_reports_identically() {
+    let src = "module m(input clk, input [3:0] d, output [3:0] q);
+                 wire [3:0] x; assign x = ~x;
+                 assign q = x ^ d;
+               endmodule";
+    let design = hwdbg_dataflow::elaborate(
+        &hwdbg_rtl::parse(src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap();
+    let run = |backend| {
+        let mut sim = Simulator::new(
+            design.clone(),
+            &hwdbg_sim::NoModels,
+            config(backend, RegInit::Zero),
+        )
+        .unwrap();
+        sim.poke_u64("d", 5).unwrap();
+        sim.settle().unwrap_err()
+    };
+    let tree = run(Backend::Tree);
+    assert!(
+        matches!(&tree, hwdbg_sim::SimError::CombLoop { unstable } if !unstable.is_empty()),
+        "expected CombLoop, got {tree:?}"
+    );
+    for backend in [Backend::Bytecode, Backend::Levelized] {
+        assert_eq!(run(backend), tree, "{backend:?}: CombLoop report diverged");
     }
 }
 

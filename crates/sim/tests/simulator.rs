@@ -564,6 +564,41 @@ fn checkpoint_preserves_forces_active_at_capture() {
 }
 
 #[test]
+fn force_on_promoted_signal_demotes_its_region() {
+    // Under the levelized backend the a→b→q chain fuses into one region
+    // with `a` and `b` promoted to pinned registers — which normally skip
+    // the force map entirely. A force on a promoted signal must demote
+    // the region to its per-unit programs (which honor forces) and a
+    // release must restore the fused fast path, with correct values
+    // throughout.
+    let mut s = sim(
+        "module m(input clk, input [7:0] d, output [7:0] q);
+            wire [7:0] a; assign a = d + 8'd1;
+            wire [7:0] b; assign b = a + 8'd1;
+            assign q = b + 8'd1;
+         endmodule",
+        "m",
+    );
+    let (regions, _, fused) = s.compiled_design().region_stats();
+    assert!(regions >= 1 && fused >= 2, "chain must fuse with a/b promoted");
+    s.poke_u64("d", 10).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 13);
+    s.force("a", Bits::from_u64(8, 0x40)).unwrap();
+    s.poke_u64("d", 20).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("a").unwrap().to_u64(), 0x40, "force must pin a");
+    assert_eq!(
+        s.peek("q").unwrap().to_u64(),
+        0x42,
+        "downstream of a forced promoted signal must see the forced value"
+    );
+    s.release("a").unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), 23, "release must recompute the chain");
+}
+
+#[test]
 fn run_until_reports_early_finish() {
     // Regression: `$finish` before the condition used to return Ok, so a
     // watchdog for the "Stuck" symptom silently passed on premature

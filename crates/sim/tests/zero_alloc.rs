@@ -249,17 +249,18 @@ fn shared_compiled_design_steady_state_allocates_nothing() {
     );
 }
 
-/// Both execution backends, explicitly: the bytecode interpreter's
+/// Every execution backend, explicitly: the bytecode interpreter's
 /// register files (narrow `u64`s and pre-spilled wide `Bits`) are sized
 /// once at build time, its `$display` path is only reached when a log
-/// sink is attached, and wide-register moves recycle the same heap
-/// buffers — so per-cycle allocations stay at zero under either backend.
-/// (The other tests in this file run the default backend; this one pins
-/// both down even if the default changes.)
+/// sink is attached, wide-register moves recycle the same heap buffers,
+/// and the levelized dispatcher's node heap and region programs are all
+/// compile-time artifacts — so per-cycle allocations stay at zero under
+/// any backend. (The other tests in this file run the default backend;
+/// this one pins all of them down even if the default changes.)
 #[test]
-fn both_backends_steady_state_allocate_nothing() {
+fn all_backends_steady_state_allocate_nothing() {
     use hwdbg_sim::Backend;
-    for backend in [Backend::Tree, Backend::Bytecode] {
+    for backend in [Backend::Tree, Backend::Bytecode, Backend::Levelized] {
         let design = buggy_design(BugId::D2).unwrap();
         let config = SimConfig::default().with_backend(backend);
         let mut sim = Simulator::new(design, &hwdbg_ip::StdModels, config).unwrap();
@@ -279,6 +280,54 @@ fn both_backends_steady_state_allocate_nothing() {
             "{backend:?} steady state allocated {allocs} times over 1000 cycles"
         );
     }
+}
+
+/// The fused-region fast path: the 256-stage comb chain under the
+/// levelized backend, with the schedule asserted non-trivial (one region,
+/// promoted internal links) so an accidentally-empty schedule cannot pass
+/// by falling back to the worklist. Region programs, pinned registers,
+/// and the node heap are all sized at compile time; running a region is a
+/// single straight-line interpreter pass with blind flushes — nothing in
+/// it may allocate.
+#[test]
+fn levelized_fused_region_settle_allocates_nothing() {
+    let mut src = String::from("module m(input clk, input [31:0] d, output [31:0] q);\n");
+    for i in 0..256 {
+        let prev = if i == 0 {
+            "d".to_string()
+        } else {
+            format!("w{}", i - 1)
+        };
+        src.push_str(&format!("wire [31:0] w{i}; assign w{i} = {prev} + 32'd1;\n"));
+    }
+    src.push_str("assign q = w255;\nendmodule");
+    let design = hwdbg_dataflow::elaborate(
+        &hwdbg_rtl::parse(&src).unwrap(),
+        "m",
+        &hwdbg_dataflow::NoBlackboxes,
+    )
+    .unwrap();
+    let config = SimConfig::default().with_backend(hwdbg_sim::Backend::Levelized);
+    let mut sim = Simulator::new(design, &hwdbg_sim::NoModels, config).unwrap();
+    let (regions, max_level, fused) = sim.compiled_design().region_stats();
+    assert_eq!(regions, 1, "chain must fuse into one region");
+    assert!(max_level >= 255, "chain must levelize deep, got {max_level}");
+    assert!(fused >= 255, "chain links must be promoted, got {fused}");
+    for t in 0..16u64 {
+        sim.poke_u64("d", 7 + (t & 1)).unwrap();
+        sim.settle().unwrap();
+    }
+    let before = thread_allocs();
+    for t in 0..1000u64 {
+        sim.poke_u64("d", 7 + (t & 1)).unwrap();
+        sim.settle().unwrap();
+        std::hint::black_box(sim.peek("q").unwrap());
+    }
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "levelized fused settle allocated {allocs} times over 1000 settles"
+    );
 }
 
 /// The bytecode spill path: a 192-bit mixed ALU (adds, xors, shifts, a

@@ -3,7 +3,8 @@
 //! ```text
 //! hwdbg parse <file.v> [--top NAME]                 check + print the flat module
 //! hwdbg sim <file.v> [--top NAME] [--cycles N] [--clock clk] [--vcd out.vcd]
-//!           [--backend tree|bytecode]              pick the execution backend
+//!           [--backend tree|bytecode|levelized] [--json]
+//!                                                   pick the execution backend
 //! hwdbg fsm <file.v> [--top NAME]                   detect FSMs (§4.2 heuristics)
 //! hwdbg deps <file.v> --var SIGNAL [--cycles K]     dependency chain (§4.3)
 //! hwdbg signalcat <file.v> [--top NAME] [--depth N] emit instrumented Verilog (§4.1)
@@ -89,7 +90,7 @@ fn print_usage() {
         "hwdbg — software-style bug localization for reconfigurable hardware\n\n\
          usage:\n  \
          hwdbg parse <file.v> [--top NAME]\n  \
-         hwdbg sim <file.v> [--top NAME] [--cycles N] [--clock CLK] [--vcd OUT] [--backend tree|bytecode]\n  \
+         hwdbg sim <file.v> [--top NAME] [--cycles N] [--clock CLK] [--vcd OUT] [--backend tree|bytecode|levelized] [--json]\n  \
          hwdbg fsm <file.v> [--top NAME]\n  \
          hwdbg deps <file.v> --var SIGNAL [--cycles K] [--top NAME]\n  \
          hwdbg signalcat <file.v> [--top NAME] [--depth N]\n  \
@@ -187,14 +188,24 @@ fn cmd_parse(args: &[String]) -> Result<(), Anyhow> {
 }
 
 fn cmd_sim(args: &[String]) -> Result<(), Anyhow> {
-    let opts = Opts::parse(args)?;
+    let json = args.iter().any(|a| a == "--json");
+    let filtered: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--json")
+        .cloned()
+        .collect();
+    let opts = Opts::parse(&filtered)?;
     let design = load(&opts)?;
     let clock = opts.get("clock").unwrap_or("clk").to_owned();
     let cycles: u64 = opts.get("cycles").unwrap_or("100").parse()?;
-    let backend = match opts.get("backend").unwrap_or("bytecode") {
+    let backend_name = opts.get("backend").unwrap_or("levelized").to_owned();
+    let backend = match backend_name.as_str() {
+        "levelized" => Backend::Levelized,
         "bytecode" => Backend::Bytecode,
         "tree" => Backend::Tree,
-        other => return Err(format!("unknown backend `{other}` (tree|bytecode)").into()),
+        other => {
+            return Err(format!("unknown backend `{other}` (tree|bytecode|levelized)").into())
+        }
     };
     let mut sim = Simulator::new(
         design,
@@ -205,6 +216,27 @@ fn cmd_sim(args: &[String]) -> Result<(), Anyhow> {
         sim.attach_vcd(std::fs::File::create(vcd_path)?)?;
     }
     sim.run(&clock, cycles)?;
+    let (lowered, total) = sim.compiled_design().lowering_coverage();
+    let (regions, max_level, fused_signals) = sim.compiled_design().region_stats();
+    if json {
+        let logs: Vec<String> = sim
+            .logs()
+            .iter()
+            .map(|r| format!("\"{}\"", json_escape(&r.to_string())))
+            .collect();
+        println!(
+            "{{\"clock\": \"{}\", \"cycles\": {}, \"finished\": {}, \
+             \"backend\": \"{}\", \"lowered_units\": {lowered}, \"total_units\": {total}, \
+             \"regions\": {regions}, \"max_level\": {max_level}, \
+             \"fused_signals\": {fused_signals}, \"logs\": [{}]}}",
+            json_escape(&clock),
+            sim.cycle(&clock),
+            sim.finished(),
+            json_escape(&backend_name),
+            logs.join(", "),
+        );
+        return Ok(());
+    }
     for rec in sim.logs() {
         println!("{rec}");
     }
@@ -213,6 +245,10 @@ fn cmd_sim(args: &[String]) -> Result<(), Anyhow> {
         sim.cycle(&clock),
         sim.logs().len(),
         if sim.finished() { "; $finish reached" } else { "" }
+    );
+    eprintln!(
+        "backend {backend_name}: {lowered}/{total} units lowered; \
+         {regions} fused regions (max level {max_level}, {fused_signals} promoted signals)"
     );
     Ok(())
 }
@@ -525,10 +561,14 @@ fn cmd_profile(args: &[String]) -> Result<(), Anyhow> {
     }
     timer.finish();
 
+    let (lowered, total) = sim.compiled_design().lowering_coverage();
+    let (regions, max_level, fused_signals) = sim.compiled_design().region_stats();
     if json {
         println!(
             "{{\"design\": \"{}\", \"clock\": \"{}\", \"cycles\": {cycles}, \
-             \"outcome\": \"{}\", \"stages\": {}, \"counters\": {}}}",
+             \"outcome\": \"{}\", \"lowered_units\": {lowered}, \"total_units\": {total}, \
+             \"regions\": {regions}, \"max_level\": {max_level}, \
+             \"fused_signals\": {fused_signals}, \"stages\": {}, \"counters\": {}}}",
             json_escape(&label),
             json_escape(&clock),
             json_escape(&outcome),
@@ -537,6 +577,10 @@ fn cmd_profile(args: &[String]) -> Result<(), Anyhow> {
         );
     } else {
         println!("profile of {label} — clock `{clock}`, outcome: {outcome}");
+        println!(
+            "schedule: {lowered}/{total} units lowered; {regions} fused regions \
+             (max level {max_level}, {fused_signals} promoted signals)"
+        );
         println!("{}", render_human(&timer, &counters));
     }
     Ok(())
