@@ -10,7 +10,8 @@
 //! Modes:
 //!
 //! * default — human-readable table plus summary counts;
-//! * `--json` — machine-readable per-bug results (the CI artifact);
+//! * `--json` — machine-readable per-bug results plus cumulative per-pass
+//!   wall-clock timings from the shared [`StageTimer`] (the CI artifact);
 //! * `--check` — compare against the checked-in snapshot
 //!   ([`hwdbg_testbed::lint_expect::expected_lints`]) and exit nonzero on
 //!   any drift, including any finding at all on a fixed design.
@@ -19,20 +20,38 @@
 // fixture is the desired behavior, not a robustness hole.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use hwdbg_obs::json_escape;
+use hwdbg_lint::LintConfig;
+use hwdbg_obs::{json_escape, SimCounters, StageTimer};
 use hwdbg_testbed::lint_expect::expected_lints;
 use hwdbg_testbed::{buggy_design, fixed_design, BugId};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Sorted, deduplicated L-codes that fire on a design.
-fn codes(design: &hwdbg_dataflow::Design) -> Vec<String> {
-    let mut codes: Vec<String> = hwdbg_lint::run_default(design)
+/// Sorted, deduplicated L-codes that fire on a design, timed per pass into
+/// the shared `timer`.
+fn codes(
+    design: &hwdbg_dataflow::Design,
+    timer: &mut StageTimer,
+    counters: &mut SimCounters,
+) -> Vec<String> {
+    let mut codes: Vec<String> = hwdbg_lint::run_all(design, &LintConfig::new(), timer, counters)
         .iter()
         .map(|e| e.code.as_str().to_owned())
         .collect();
     codes.sort();
     codes.dedup();
     codes
+}
+
+/// Aggregates the timer's spans by pass label. The registry runs 40 times
+/// (buggy + fixed per bug) and [`StageTimer`] records every span
+/// individually, so same-label durations are summed here.
+fn pass_timings_us(timer: &StageTimer) -> BTreeMap<String, u128> {
+    let mut out = BTreeMap::new();
+    for span in timer.spans() {
+        *out.entry(span.name.clone()).or_insert(0u128) += span.elapsed.as_micros();
+    }
+    out
 }
 
 struct Row {
@@ -53,6 +72,8 @@ fn main() -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
     let check = args.iter().any(|a| a == "--check");
 
+    let mut timer = StageTimer::new();
+    let mut counters = SimCounters::default();
     let rows: Vec<Row> = BugId::ALL
         .into_iter()
         .map(|id| {
@@ -60,12 +81,13 @@ fn main() -> ExitCode {
             let fixed = fixed_design(id).expect("fixed design elaborates");
             Row {
                 id,
-                buggy: codes(&buggy),
-                fixed: codes(&fixed),
+                buggy: codes(&buggy, &mut timer, &mut counters),
+                fixed: codes(&fixed, &mut timer, &mut counters),
                 expected: expected_lints(id).iter().map(|s| (*s).to_owned()).collect(),
             }
         })
         .collect();
+    let timings = pass_timings_us(&timer);
 
     let flagged = rows.iter().filter(|r| !r.buggy.is_empty()).count();
     let false_pos = rows.iter().map(|r| r.fixed.len()).sum::<usize>();
@@ -93,11 +115,19 @@ fn main() -> ExitCode {
                 )
             })
             .collect();
+        let timing_items: Vec<String> = timings
+            .iter()
+            .map(|(name, us)| format!("\"{}\": {us}", json_escape(name)))
+            .collect();
         println!(
             "{{\"bugs\": {}, \"statically_flagged\": {flagged}, \
              \"fixed_false_positives\": {false_pos}, \"drift\": {drift}, \
-             \"results\": [{}]}}",
+             \"lint_passes_run\": {}, \"lint_findings\": {}, \
+             \"pass_timings_us\": {{{}}}, \"results\": [{}]}}",
             rows.len(),
+            counters.lint_passes,
+            counters.lint_findings,
+            timing_items.join(", "),
             items.join(", ")
         );
     } else {

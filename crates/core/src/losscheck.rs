@@ -143,10 +143,10 @@ impl LossCheck {
                 .incoming(w)
                 .filter(|r| r.kind == DepKind::Data)
                 .filter_map(|r| {
-                    validity_of(&r.src).map(|h| {
+                    validity_of(graph.name(r.src)).map(|h| {
                         Expr::Binary(
                             BinaryOp::LogAnd,
-                            Box::new(to_bool(r.cond.clone(), design)),
+                            Box::new(to_bool(r.cond.as_ref().clone(), design)),
                             Box::new(h),
                         )
                     })
@@ -204,16 +204,16 @@ impl LossCheck {
             let a_now: Vec<Expr> = graph
                 .incoming(r)
                 .filter(|rel| rel.kind == DepKind::Data)
-                .map(|rel| to_bool(rel.cond.clone(), design))
+                .map(|rel| to_bool(rel.cond.as_ref().clone(), design))
                 .collect();
             let v_now: Vec<Expr> = graph
                 .incoming(r)
                 .filter(|rel| rel.kind == DepKind::Data)
                 .filter_map(|rel| {
-                    validity_of(&rel.src).map(|h| {
+                    validity_of(graph.name(rel.src)).map(|h| {
                         Expr::Binary(
                             BinaryOp::LogAnd,
-                            Box::new(to_bool(rel.cond.clone(), design)),
+                            Box::new(to_bool(rel.cond.as_ref().clone(), design)),
                             Box::new(h),
                         )
                     })
@@ -222,7 +222,7 @@ impl LossCheck {
             let p_now: Vec<Expr> = graph
                 .outgoing(r)
                 .filter(|rel| rel.kind == DepKind::Data)
-                .map(|rel| to_bool(rel.cond.clone(), design))
+                .map(|rel| to_bool(rel.cond.as_ref().clone(), design))
                 .collect();
 
             for (name, expr) in [

@@ -40,14 +40,16 @@ pub mod flatten;
 pub mod intern;
 pub mod prop;
 pub mod rewrite;
+pub mod scc;
 
 pub use blackbox::{BbDir, BbPort, BlackboxLib, BlackboxSpec, IpRelation, NoBlackboxes, WidthSpec, clog2};
 pub use consteval::{apply_binary, apply_binary_into, eval_const, range_width, shift_amount, ConstEnv};
 pub use design::{elaborate, resolve, BbInst, ClockedProc, CombDriver, Design, SigInfo, SigKind};
 pub use intern::{SigId, SignalTable};
 pub use flatten::{expr_to_lvalue, flatten};
-pub use prop::{DepKind, PropGraph, Relation};
+pub use prop::{cond_leaves, BuildStats, CondLeaf, DepKind, PropGraph, Relation};
 pub use rewrite::{rewrite_expr, rewrite_lvalue, rewrite_stmt, Repl};
+pub use scc::tarjan_scc;
 
 use std::fmt;
 

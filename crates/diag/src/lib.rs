@@ -204,6 +204,10 @@ pub enum ErrorCode {
     // L05xx: value ranges.
     /// A register-indexed memory access can exceed the memory depth.
     LintMemIndexRange,
+    /// A value is width-cast *before* a right shift, discarding the
+    /// significant high bits the shift was meant to bring down
+    /// (`W'(x) >> k` where `x` is wider than `W`).
+    LintTruncatedShift,
     // L06xx: handshake protocol.
     /// A response `valid` is only asserted when `ready` is already high
     /// (the AXI "valid must not wait for ready" rule).
@@ -211,6 +215,19 @@ pub enum ErrorCode {
     /// Handshake flags form a circular set-dependency with no seed:
     /// structural deadlock.
     LintHandshakeDeadlock,
+    /// Stream payload registers advance without their valid/ready
+    /// qualification (AXI-stream stability violation).
+    LintUnqualifiedAdvance,
+    /// A backpressure output (ready/stall) is tied to a constant that
+    /// permanently admits the upstream stream.
+    LintConstantBackpressure,
+    /// A FIFO full/ready occupancy threshold admits one write more than
+    /// the memory holds.
+    LintOccupancyOverflow,
+    /// A FIFO admission threshold leaves no margin for the skid register
+    /// and/or the registered (one-cycle-stale) ready it is observed
+    /// through.
+    LintOccupancyMargin,
 }
 
 impl ErrorCode {
@@ -273,8 +290,13 @@ impl ErrorCode {
             LintStickyFlag => "L0404",
             LintIncompleteReinit => "L0405",
             LintMemIndexRange => "L0501",
+            LintTruncatedShift => "L0502",
             LintValidWaitsReady => "L0601",
             LintHandshakeDeadlock => "L0602",
+            LintUnqualifiedAdvance => "L0603",
+            LintConstantBackpressure => "L0604",
+            LintOccupancyOverflow => "L0605",
+            LintOccupancyMargin => "L0606",
         }
     }
 
@@ -478,8 +500,9 @@ mod tests {
             LintMultiProcWrite, LintCombLoop, LintWidthTruncation,
             LintUnreachableState, LintTrapState, LintUndeclaredState,
             LintDeadWrite, LintNeverRead, LintInputIgnored, LintStickyFlag,
-            LintIncompleteReinit, LintMemIndexRange, LintValidWaitsReady,
-            LintHandshakeDeadlock,
+            LintIncompleteReinit, LintMemIndexRange, LintTruncatedShift,
+            LintValidWaitsReady, LintHandshakeDeadlock, LintUnqualifiedAdvance,
+            LintConstantBackpressure, LintOccupancyOverflow, LintOccupancyMargin,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         codes.sort_unstable();

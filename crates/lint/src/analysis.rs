@@ -9,9 +9,9 @@
 //! re-implementing boolean reasoning.
 
 use hwdbg_bits::Bits;
-use hwdbg_dataflow::{eval_const, Design};
-use hwdbg_rtl::{print_expr, BinaryOp, Dir, Expr, Stmt, UnaryOp};
-use std::collections::BTreeSet;
+use hwdbg_dataflow::{eval_const, CondLeaf, Design, SigKind};
+use hwdbg_rtl::{print_expr, BinaryOp, Dir, Expr, LValue, Span, Stmt, UnaryOp};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One guard on the path from a process body to a statement.
 #[derive(Debug, Clone, Copy)]
@@ -269,6 +269,123 @@ pub fn input_ports(design: &Design) -> BTreeSet<String> {
         .filter(|p| p.dir == Dir::Input)
         .map(|p| p.net.name.clone())
         .collect()
+}
+
+/// A registered valid/ready stream endpoint this design *produces*: the
+/// valid is driven by local state while ready comes back from outside.
+#[derive(Debug, Clone)]
+pub struct StreamPair {
+    /// The locally-registered valid flag (e.g. `tvalid`, `m_valid`).
+    pub valid: String,
+    /// The matching ready input (e.g. `tready`, `m_ready`).
+    pub ready: String,
+    /// Registered payload signals of the stream (`tdata`, `m_last`, …).
+    pub payloads: Vec<String>,
+}
+
+/// Payload-name suffixes of an AXI-Stream-style channel.
+const PAYLOAD_SUFFIXES: [&str; 6] = ["data", "last", "keep", "strb", "user", "id"];
+
+/// Finds every produced stream: a `*valid` register whose `*ready`
+/// counterpart is an input port, together with the registered payload
+/// signals sharing the prefix. Combinationally-driven valids (FIFO
+/// occupancy flags) are not producers in the stability sense and are
+/// excluded.
+pub fn stream_pairs(design: &Design) -> Vec<StreamPair> {
+    let inputs = input_ports(design);
+    let mut out = Vec::new();
+    for (name, info) in &design.signals {
+        if info.kind != SigKind::Reg || !name.ends_with("valid") {
+            continue;
+        }
+        let stem = &name[..name.len() - "valid".len()];
+        let ready = format!("{stem}ready");
+        if !inputs.contains(&ready) {
+            continue;
+        }
+        let mut payloads = Vec::new();
+        let mut candidates: Vec<String> = PAYLOAD_SUFFIXES
+            .iter()
+            .map(|s| format!("{stem}{s}"))
+            .collect();
+        let bare = stem.trim_end_matches('_');
+        if !bare.is_empty() {
+            candidates.push(bare.to_owned());
+        }
+        for c in candidates {
+            if design.signals.get(&c).is_some_and(|s| s.kind == SigKind::Reg) {
+                payloads.push(c);
+            }
+        }
+        if !payloads.is_empty() {
+            out.push(StreamPair {
+                valid: name.clone(),
+                ready,
+                payloads,
+            });
+        }
+    }
+    out
+}
+
+/// True when a propagation-condition leaf qualifies a payload advance
+/// against the `valid`/`ready` handshake: a positive `ready` test, a
+/// negative `valid` test (slot empty), or the idiomatic composite
+/// `!valid || ready` kept opaque as a positive disjunction.
+pub fn qualifies_advance(leaf: &CondLeaf<'_>, valid: &str, ready: &str) -> bool {
+    match leaf.expr {
+        Expr::Ident(n) if leaf.positive && n == ready => true,
+        Expr::Ident(n) if !leaf.positive && n == valid => true,
+        Expr::Binary(BinaryOp::LogOr, a, b) if leaf.positive => {
+            let is_not_valid = |e: &Expr| {
+                matches!(e, Expr::Unary(UnaryOp::LogNot | UnaryOp::Not, inner)
+                    if matches!(&**inner, Expr::Ident(n) if n == valid))
+            };
+            let is_ready = |e: &Expr| matches!(e, Expr::Ident(n) if n == ready);
+            (is_not_valid(a) && is_ready(b)) || (is_ready(a) && is_not_valid(b))
+        }
+        _ => false,
+    }
+}
+
+/// Largest count for which `count OP k` holds with the given polarity, or
+/// `None` when the comparison does not bound the count from above. This is
+/// the interval-abstraction step of the occupancy pass: an admission
+/// guard `G` admits a write whenever `G` holds, so the worst-case
+/// occupancy at the write is this bound.
+pub fn cmp_bound(op: BinaryOp, k: u64, positive: bool) -> Option<u64> {
+    if positive {
+        match op {
+            BinaryOp::Lt => k.checked_sub(1),
+            BinaryOp::Le => Some(k),
+            _ => None,
+        }
+    } else {
+        match op {
+            BinaryOp::Gt => Some(k),
+            BinaryOp::Ge => k.checked_sub(1),
+            _ => None,
+        }
+    }
+}
+
+/// Single-target continuous-assign drivers: `name -> (rhs, span)`. Used to
+/// expand one level of combinational aliasing (`full`, `count`, …) when
+/// interpreting guards.
+pub fn comb_aliases(design: &Design) -> BTreeMap<&str, (&Expr, Span)> {
+    let mut out = BTreeMap::new();
+    for c in &design.combs {
+        if let Stmt::Assign {
+            lhs: LValue::Id(n),
+            rhs,
+            span,
+            ..
+        } = &c.body
+        {
+            out.insert(n.as_str(), (rhs, *span));
+        }
+    }
+    out
 }
 
 /// Number of bits needed to represent `v` (at least 1).

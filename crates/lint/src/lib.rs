@@ -26,14 +26,17 @@
 //! point, plus conjunct flattening and constant-bound extraction.
 
 pub mod analysis;
+mod explain;
 mod passes;
 
+pub use explain::{all_explanations, explain, LintExplanation};
 pub use passes::fsm::FsmLintPass;
 pub use passes::handshake::HandshakePass;
 pub use passes::loss::{DeadWritePass, LivenessPass, ReinitPass, StickyFlagPass};
 pub use passes::range::MemIndexPass;
 pub use passes::structure::{CombLoopPass, WidthTruncationPass};
 pub use passes::style::{AssignStylePass, IncompleteCasePass, MultiProcWritePass};
+pub use passes::taint::{BackpressurePass, OccupancyPass, PrecisionPass, QualificationPass};
 
 use hwdbg_dataflow::Design;
 use hwdbg_diag::{ErrorCode, HwdbgError, Severity};
@@ -173,6 +176,10 @@ pub fn registry() -> Vec<Box<dyn LintPass>> {
         Box::new(StickyFlagPass),
         Box::new(ReinitPass),
         Box::new(MemIndexPass),
+        Box::new(QualificationPass),
+        Box::new(BackpressurePass),
+        Box::new(OccupancyPass),
+        Box::new(PrecisionPass),
     ]
 }
 

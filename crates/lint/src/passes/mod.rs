@@ -6,3 +6,4 @@ pub mod loss;
 pub mod range;
 pub mod structure;
 pub mod style;
+pub mod taint;

@@ -346,6 +346,214 @@ fn l0602_handshake_deadlock() {
 }
 
 #[test]
+fn l0502_truncated_shift() {
+    let (f, src) = lint(
+        "module t(input clk, input [11:0] a, input [11:0] b, output reg [15:0] y);\n\
+         wire [23:0] prod;\n\
+         assign prod = a * b;\n\
+         always @(posedge clk) y <= 16'(prod) >> 4;\n\
+         endmodule\n",
+        "t",
+    );
+    assert_golden(&f, &src, "L0502", "y <= 16'(prod) >> 4", "16'(prod) >> 4");
+
+    // Shift-then-cast keeps the high bits: silent.
+    let (f, _) = lint(
+        "module t(input clk, input [11:0] a, input [11:0] b, output reg [15:0] y);\n\
+         wire [23:0] prod;\n\
+         assign prod = a * b;\n\
+         always @(posedge clk) y <= 16'(prod >> 4);\n\
+         endmodule\n",
+        "t",
+    );
+    assert!(f.is_empty(), "cast-after-shift must be clean: {f:?}");
+}
+
+#[test]
+fn l0603_unqualified_advance() {
+    let (f, src) = lint(
+        "module t(input clk, input rst, input en, input [7:0] d, input m_ready,\n\
+         \x20        output reg m_valid, output reg [7:0] m_data);\n\
+         always @(posedge clk) begin\n\
+         \x20 if (rst) begin\n\
+         \x20   m_valid <= 1'b0;\n\
+         \x20   m_data <= 8'd0;\n\
+         \x20 end else begin\n\
+         \x20   m_valid <= en;\n\
+         \x20   m_data <= d;\n\
+         \x20 end\n\
+         end\nendmodule\n",
+        "t",
+    );
+    assert_golden(&f, &src, "L0603", "m_data <= d;", "m_data <= d;");
+
+    // Qualifying the advance on `!valid || ready` is the fixed shape.
+    let (f, _) = lint(
+        "module t(input clk, input rst, input en, input [7:0] d, input m_ready,\n\
+         \x20        output reg m_valid, output reg [7:0] m_data);\n\
+         always @(posedge clk) begin\n\
+         \x20 if (rst) begin\n\
+         \x20   m_valid <= 1'b0;\n\
+         \x20   m_data <= 8'd0;\n\
+         \x20 end else if (!m_valid || m_ready) begin\n\
+         \x20   m_valid <= en;\n\
+         \x20   m_data <= d;\n\
+         \x20 end\n\
+         end\nendmodule\n",
+        "t",
+    );
+    assert!(f.is_empty(), "qualified advance must be clean: {f:?}");
+}
+
+#[test]
+fn l0604_constant_backpressure() {
+    let (f, src) = lint(
+        "module t(input clk, input rst, input up_valid, input [7:0] up_data,\n\
+         \x20        output up_stall, output reg [7:0] acc);\n\
+         assign up_stall = 1'b0;\n\
+         always @(posedge clk) begin\n\
+         \x20 if (rst) acc <= 8'd0;\n\
+         \x20 else if (up_valid) acc <= acc + up_data;\n\
+         end\nendmodule\n",
+        "t",
+    );
+    assert_golden(&f, &src, "L0604", "assign up_stall", "up_stall = 1'b0");
+
+    // Backpressure derived from real state is dynamic: silent.
+    let (f, _) = lint(
+        "module t(input clk, input rst, input up_valid, input [7:0] up_data,\n\
+         \x20        output up_stall, output reg [7:0] acc, output reg busy_r);\n\
+         assign up_stall = busy_r;\n\
+         always @(posedge clk) begin\n\
+         \x20 if (rst) begin\n\
+         \x20   acc <= 8'd0;\n\
+         \x20   busy_r <= 1'b0;\n\
+         \x20 end else begin\n\
+         \x20   busy_r <= up_valid;\n\
+         \x20   if (up_valid) acc <= acc + up_data;\n\
+         \x20 end\n\
+         end\nendmodule\n",
+        "t",
+    );
+    assert!(f.is_empty(), "registered backpressure must be clean: {f:?}");
+}
+
+#[test]
+fn l0605_occupancy_overflow() {
+    let (f, src) = lint(
+        "module t(input clk, input rst, input wr_en, input [7:0] din,\n\
+         \x20        input rd_en, output reg [7:0] dout);\n\
+         reg [7:0] mem [0:15];\n\
+         reg [4:0] wr_ptr;\n\
+         reg [4:0] rd_ptr;\n\
+         wire full;\n\
+         assign full = (wr_ptr - rd_ptr) > 5'd16;\n\
+         always @(posedge clk) begin\n\
+         \x20 if (rst) begin\n\
+         \x20   wr_ptr <= 5'd0;\n\
+         \x20   rd_ptr <= 5'd0;\n\
+         \x20 end else begin\n\
+         \x20   if (wr_en && !full) begin\n\
+         \x20     mem[wr_ptr[3:0]] <= din;\n\
+         \x20     wr_ptr <= wr_ptr + 5'd1;\n\
+         \x20   end\n\
+         \x20   if (rd_en) begin\n\
+         \x20     dout <= mem[rd_ptr[3:0]];\n\
+         \x20     rd_ptr <= rd_ptr + 5'd1;\n\
+         \x20   end\n\
+         \x20 end\n\
+         end\nendmodule\n",
+        "t",
+    );
+    // The span points at the off-by-one *definition*, not the write site.
+    assert_golden(&f, &src, "L0605", "assign full", "> 5'd16");
+}
+
+#[test]
+fn l0606_occupancy_margin() {
+    let (f, src) = lint(
+        "module t(input clk, input rst, input s_valid, input [7:0] s_data,\n\
+         \x20        input m_ready, output reg s_ready, output reg [7:0] m_data);\n\
+         reg [7:0] mem [0:15];\n\
+         reg [4:0] wr_ptr;\n\
+         reg [4:0] rd_ptr;\n\
+         always @(posedge clk) begin\n\
+         \x20 if (rst) begin\n\
+         \x20   wr_ptr <= 5'd0;\n\
+         \x20   rd_ptr <= 5'd0;\n\
+         \x20   s_ready <= 1'b0;\n\
+         \x20 end else begin\n\
+         \x20   s_ready <= (wr_ptr - rd_ptr) < 5'd16;\n\
+         \x20   if (s_valid && s_ready) begin\n\
+         \x20     mem[wr_ptr[3:0]] <= s_data;\n\
+         \x20     wr_ptr <= wr_ptr + 5'd1;\n\
+         \x20   end\n\
+         \x20   if (m_ready) begin\n\
+         \x20     m_data <= mem[rd_ptr[3:0]];\n\
+         \x20     rd_ptr <= rd_ptr + 5'd1;\n\
+         \x20   end\n\
+         \x20 end\n\
+         end\nendmodule\n",
+        "t",
+    );
+    // The flag is one cycle stale but its threshold leaves zero margin.
+    assert_golden(&f, &src, "L0606", "s_ready <= (wr_ptr - rd_ptr) < 5'd16", "< 5'd16");
+}
+
+#[test]
+fn occupancy_is_silent_on_correct_skid_buffer() {
+    // A margin-aware skid-buffer FIFO: the registered ready threshold
+    // (count < 13) absorbs one stale cycle *and* one in-flight skid word
+    // (13 + 1 + 1 + 1 = 16 <= depth 16). The occupancy pass must stay
+    // silent — this is the fixed C4 shape.
+    let (f, _) = lint(
+        "module t(input clk, input rst, input s_valid, input [7:0] s_data,\n\
+         \x20        input m_ready, output s_ready, output reg [7:0] m_data);\n\
+         reg [7:0] mem [0:15];\n\
+         reg [4:0] wr_ptr;\n\
+         reg [4:0] rd_ptr;\n\
+         reg [7:0] s_reg;\n\
+         reg s_reg_v;\n\
+         reg s_ready_r;\n\
+         wire [4:0] count;\n\
+         assign count = wr_ptr - rd_ptr;\n\
+         assign s_ready = s_ready_r;\n\
+         always @(posedge clk) begin\n\
+         \x20 if (rst) begin\n\
+         \x20   wr_ptr <= 5'd0;\n\
+         \x20   rd_ptr <= 5'd0;\n\
+         \x20   s_reg_v <= 1'b0;\n\
+         \x20   s_ready_r <= 1'b0;\n\
+         \x20 end else begin\n\
+         \x20   s_ready_r <= count < 5'd13;\n\
+         \x20   if (s_reg_v && count < 5'd16) begin\n\
+         \x20     mem[wr_ptr[3:0]] <= s_reg;\n\
+         \x20     wr_ptr <= wr_ptr + 5'd1;\n\
+         \x20     s_reg_v <= 1'b0;\n\
+         \x20   end\n\
+         \x20   if (s_valid && s_ready_r) begin\n\
+         \x20     s_reg <= s_data;\n\
+         \x20     s_reg_v <= 1'b1;\n\
+         \x20   end\n\
+         \x20   if (m_ready) begin\n\
+         \x20     m_data <= mem[rd_ptr[3:0]];\n\
+         \x20     rd_ptr <= rd_ptr + 5'd1;\n\
+         \x20   end\n\
+         \x20 end\n\
+         end\nendmodule\n",
+        "t",
+    );
+    let occupancy: Vec<_> = f
+        .iter()
+        .filter(|e| matches!(e.code.as_str(), "L0605" | "L0606"))
+        .collect();
+    assert!(
+        occupancy.is_empty(),
+        "correct skid buffer must not trip the occupancy pass: {occupancy:?}"
+    );
+}
+
+#[test]
 fn sink_is_reexported_for_custom_passes() {
     // The public surface for third-party passes: implement LintPass, run
     // against a sink.

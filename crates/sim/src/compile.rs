@@ -1190,71 +1190,3 @@ impl CExec<'_> {
         Ok(())
     }
 }
-
-// ---------------------------------------------------------------------
-// Graph utilities
-// ---------------------------------------------------------------------
-
-/// Iterative Tarjan SCC; returns components with sorted member indices.
-/// Shared by the levelized scheduler (`sched`), which routes cyclic
-/// components to the worklist fallback. `hwdbg-lint`'s comb-loop pass
-/// keeps its own copy — lint cannot depend on the simulator.
-pub(crate) fn tarjan(adj: &[std::collections::BTreeSet<usize>]) -> Vec<Vec<usize>> {
-    const UNSEEN: usize = usize::MAX;
-    let n = adj.len();
-    let mut order = vec![UNSEEN; n]; // discovery order
-    let mut low = vec![0usize; n];
-    let mut on_stack = vec![false; n];
-    let mut stack = Vec::new();
-    let mut next = 0usize;
-    let mut sccs = Vec::new();
-    // Explicit DFS frames: (node, iterator position over its successors).
-    let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-    for start in 0..n {
-        if order[start] != UNSEEN {
-            continue;
-        }
-        frames.push((start, adj[start].iter().copied().collect(), 0));
-        order[start] = next;
-        low[start] = next;
-        next += 1;
-        stack.push(start);
-        on_stack[start] = true;
-        while let Some(last) = frames.len().checked_sub(1) {
-            let (v, pos) = (frames[last].0, frames[last].2);
-            if pos < frames[last].1.len() {
-                let w = frames[last].1[pos];
-                frames[last].2 += 1;
-                if order[w] == UNSEEN {
-                    order[w] = next;
-                    low[w] = next;
-                    next += 1;
-                    stack.push(w);
-                    on_stack[w] = true;
-                    frames.push((w, adj[w].iter().copied().collect(), 0));
-                } else if on_stack[w] {
-                    low[v] = low[v].min(order[w]);
-                }
-            } else {
-                frames.pop();
-                if let Some(parent) = frames.last() {
-                    let p = parent.0;
-                    low[p] = low[p].min(low[v]);
-                }
-                if low[v] == order[v] {
-                    let mut comp = Vec::new();
-                    while let Some(w) = stack.pop() {
-                        on_stack[w] = false;
-                        comp.push(w);
-                        if w == v {
-                            break;
-                        }
-                    }
-                    comp.sort_unstable();
-                    sccs.push(comp);
-                }
-            }
-        }
-    }
-    sccs
-}

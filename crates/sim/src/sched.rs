@@ -22,8 +22,8 @@
 //! "Static scheduling and region fusion".
 
 use crate::bytecode::{lower_region, BcProgram, NO_PROMOTION};
-use crate::compile::{tarjan, CLValue, CStmt, Compiled};
-use hwdbg_dataflow::SigId;
+use crate::compile::{CLValue, CStmt, Compiled};
+use hwdbg_dataflow::{tarjan_scc as tarjan, SigId};
 use std::collections::BTreeSet;
 
 /// One fused acyclic region.

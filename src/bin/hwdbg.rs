@@ -17,7 +17,7 @@
 //! hwdbg profile <file.v|BUG_ID> [--cycles N] [--clock CLK] [--json]
 //!                                                   stage timings + hot-path counters
 //! hwdbg lint <file.v|BUG_ID> [--json] [--deny IDS] [--allow IDS] [--warn IDS]
-//!                                                   static bug-pattern analysis (§6)
+//!            [--explain LXXXX]                      static bug-pattern analysis (§6)
 //! hwdbg campaign <spec|fault-matrix|seed-sweep> [--jobs N] [--json] [--out FILE]
 //!                [--job-timeout SECS] [--retries N] [--journal FILE]
 //!                [--resume FILE] [--baseline FILE]
@@ -99,7 +99,7 @@ fn print_usage() {
          hwdbg testbed [BUG_ID|all]\n  \
          hwdbg faults <file.v> --plan PLAN [--cycles N] [--clock CLK] [--top NAME]\n  \
          hwdbg profile <file.v|BUG_ID> [--top NAME] [--cycles N] [--clock CLK] [--json]\n  \
-         hwdbg lint <file.v|BUG_ID> [--top NAME] [--json] [--deny IDS] [--allow IDS] [--warn IDS]\n  \
+         hwdbg lint <file.v|BUG_ID> [--top NAME] [--json] [--deny IDS] [--allow IDS] [--warn IDS] [--explain LXXXX]\n  \
          hwdbg campaign <spec|fault-matrix|seed-sweep> [--jobs N] [--json] [--out FILE] [--seeds N]\n           \
          [--job-timeout SECS] [--retries N] [--journal FILE] [--resume FILE] [--baseline FILE]"
     );
@@ -601,6 +601,10 @@ fn cmd_lint(args: &[String]) -> Result<(), Anyhow> {
         .cloned()
         .collect();
     let opts = Opts::parse(&filtered)?;
+    // `--explain LXXXX` needs no design: resolve the code and exit.
+    if let Some(code) = opts.get("explain") {
+        return explain_code(code, json);
+    }
     let target = opts.file()?;
 
     // Testbed bug id or path on disk.
@@ -706,6 +710,38 @@ fn cmd_lint(args: &[String]) -> Result<(), Anyhow> {
     }
     if errors > 0 {
         return Err(format!("{errors} deny-level finding(s)").into());
+    }
+    Ok(())
+}
+
+/// `hwdbg lint --explain LXXXX`: print what a code fingerprints, the
+/// Table 1 subclass it targets, and a minimal triggering example.
+fn explain_code(code: &str, json: bool) -> Result<(), Anyhow> {
+    let Some(e) = hwdbg::lint::explain(code) else {
+        return Err(format!(
+            "unknown lint code `{code}` (codes look like L0501; \
+             see `hwdbg lint` findings for the full set)"
+        )
+        .into());
+    };
+    if json {
+        println!(
+            "{{\"code\": \"{}\", \"subclass\": \"{}\", \"summary\": \"{}\", \
+             \"example\": \"{}\"}}",
+            e.code,
+            json_escape(e.subclass),
+            json_escape(e.summary),
+            json_escape(e.example),
+        );
+    } else {
+        println!("{} — Table 1 subclass: {}", e.code, e.subclass);
+        println!();
+        println!("{}", e.summary);
+        println!();
+        println!("example:");
+        for line in e.example.lines() {
+            println!("    {line}");
+        }
     }
     Ok(())
 }
